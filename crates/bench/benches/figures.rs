@@ -1,0 +1,30 @@
+//! Regenerates every figure of the paper's evaluation (Figs. 13–22).
+//!
+//! Runs at the scale selected by `OBSTACLE_SCALE` (tiny / default / full;
+//! default: `default`). Invoked by `cargo bench -p obstacle-bench --bench
+//! figures`; for the paper-exact scale use the `repro` binary.
+
+use obstacle_bench::{figures, Scale, Workbench};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "== Obstacle query reproduction: all figures ==\n\
+         scale: |O| = {}, {} queries/workload, range normalisation x{:.2}\n",
+        scale.obstacles,
+        scale.queries,
+        scale.range_scale()
+    );
+    let t0 = std::time::Instant::now();
+    let w = Workbench::new(scale);
+    println!(
+        "city generated and indexed in {:.1?} ({} obstacle-tree pages, buffer {} pages)\n",
+        t0.elapsed(),
+        w.obstacles.tree().pages(),
+        w.obstacles.tree().buffer_capacity()
+    );
+    for table in figures::generate_all(&w) {
+        println!("{}", table.render());
+    }
+    println!("total: {:.1?}", t0.elapsed());
+}

@@ -1,0 +1,91 @@
+//! Reproduction CLI.
+//!
+//! ```text
+//! repro [--figure fig13|...|fig22|all] [--scale tiny|default|full]
+//!       [--obstacles N] [--queries N] [--seed N] [--csv]
+//! ```
+//!
+//! Regenerates the requested figure(s) of the paper and prints the series
+//! as plain-text tables (or CSV with `--csv`).
+
+use obstacle_bench::figures::{self, FigureId};
+use obstacle_bench::{Scale, Workbench};
+
+fn main() {
+    let mut figure: Option<FigureId> = None;
+    let mut all = true;
+    let mut scale = Scale::default_scale();
+    let mut csv = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--figure" => {
+                let v = args.next().unwrap_or_else(|| usage("missing figure id"));
+                if v == "all" {
+                    all = true;
+                    figure = None;
+                } else {
+                    figure =
+                        Some(FigureId::parse(&v).unwrap_or_else(|| usage("unknown figure id")));
+                    all = false;
+                }
+            }
+            "--scale" => {
+                let v = args.next().unwrap_or_else(|| usage("missing scale"));
+                scale = Scale::by_name(&v).unwrap_or_else(|| usage("unknown scale"));
+            }
+            "--obstacles" => {
+                scale.obstacles = parse_num(args.next(), "obstacles");
+            }
+            "--queries" => {
+                scale.queries = parse_num(args.next(), "queries");
+            }
+            "--seed" => {
+                scale.seed = parse_num(args.next(), "seed") as u64;
+            }
+            "--csv" => csv = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    eprintln!(
+        "generating city: |O| = {}, {} queries/workload, seed {:#x} ...",
+        scale.obstacles, scale.queries, scale.seed
+    );
+    let t0 = std::time::Instant::now();
+    let w = Workbench::new(scale);
+    eprintln!("ready in {:.1?}", t0.elapsed());
+
+    let tables = match (all, figure) {
+        (false, Some(id)) => figures::generate(id, &w),
+        _ => figures::generate_all(&w),
+    };
+    for t in tables {
+        if csv {
+            println!("# {}", t.title);
+            print!("{}", t.to_csv());
+            println!();
+        } else {
+            println!("{}", t.render());
+        }
+    }
+    eprintln!("done in {:.1?}", t0.elapsed());
+}
+
+fn parse_num(v: Option<String>, what: &str) -> usize {
+    v.and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| usage(&format!("bad value for --{what}")))
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [--figure fig13..fig22|all] [--scale tiny|default|full]\n\
+         \x20            [--obstacles N] [--queries N] [--seed N] [--csv]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

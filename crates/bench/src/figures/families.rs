@@ -1,0 +1,185 @@
+//! Experiment families: the eight parameter sweeps behind Figs. 13–22.
+//!
+//! Each family runs one workload per grid point and aggregates the
+//! paper's metrics. Two figures often share a family (e.g. Fig. 13 plots
+//! I/O + CPU and Fig. 15a the false-hit ratio of the *same* OR sweep), so
+//! the harness runs each family once and derives all panels from it.
+
+use crate::setup::Workbench;
+use obstacle_core::{
+    closest_pairs, distance_join, EngineOptions, EntityIndex, QueryEngine, QueryStats,
+};
+use obstacle_datagen::parameter_grid as grid;
+
+/// Aggregated metrics of one grid point (averaged per query for workload
+/// families; totals for the single-execution join/CP families).
+#[derive(Clone, Debug)]
+pub struct SeriesPoint {
+    /// The x-axis value as printed (ratio, range fraction or k).
+    pub x: String,
+    /// Entity ("data") R-tree page accesses (logical fetches; see
+    /// `QueryStats::entity_fetches`).
+    pub entity_reads: f64,
+    /// Obstacle R-tree page accesses (logical fetches).
+    pub obstacle_reads: f64,
+    /// CPU time in milliseconds.
+    pub cpu_ms: f64,
+    /// Aggregate false-hit ratio (total false hits / total results).
+    pub fh_ratio: f64,
+}
+
+fn finish(x: String, agg: QueryStats, per: f64) -> SeriesPoint {
+    SeriesPoint {
+        x,
+        entity_reads: agg.entity_fetches as f64 / per,
+        obstacle_reads: agg.obstacle_fetches as f64 / per,
+        cpu_ms: agg.cpu.as_secs_f64() * 1e3 / per,
+        fh_ratio: if agg.results == 0 {
+            0.0
+        } else {
+            agg.false_hits as f64 / agg.results as f64
+        },
+    }
+}
+
+/// OR workload over one entity dataset.
+fn run_or(w: &Workbench, entities: &EntityIndex, e: f64) -> QueryStats {
+    w.reset_io(&[entities]);
+    let engine = QueryEngine::new(entities, &w.obstacles);
+    let mut agg = QueryStats::default();
+    for q in w.queries() {
+        agg.accumulate(&engine.range(q, e).stats);
+    }
+    agg
+}
+
+/// ONN workload over one entity dataset.
+fn run_onn(w: &Workbench, entities: &EntityIndex, k: usize) -> QueryStats {
+    w.reset_io(&[entities]);
+    let engine = QueryEngine::new(entities, &w.obstacles);
+    let mut agg = QueryStats::default();
+    for q in w.queries() {
+        agg.accumulate(&engine.nearest(q, k).stats);
+    }
+    agg
+}
+
+/// Fig. 13 / Fig. 15a: OR vs |P|/|O| at e = 0.1 %.
+pub fn or_by_ratio(w: &Workbench) -> Vec<SeriesPoint> {
+    let e = w.range_from_fraction(grid::DEFAULT_RANGE_FRACTION);
+    grid::CARDINALITY_RATIOS
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| {
+            let entities = w.entity_index(w.scale.entity_count(ratio), 10 + i as u64);
+            let agg = run_or(w, &entities, e);
+            finish(format!("{ratio}"), agg, w.scale.queries as f64)
+        })
+        .collect()
+}
+
+/// Fig. 14 / Fig. 15b: OR vs e at |P| = |O|.
+pub fn or_by_range(w: &Workbench) -> Vec<SeriesPoint> {
+    let entities = w.entity_index(w.scale.entity_count(1.0), 20);
+    grid::RANGE_FRACTIONS
+        .iter()
+        .map(|&frac| {
+            let agg = run_or(w, &entities, w.range_from_fraction(frac));
+            finish(
+                format!("{}%", frac * 100.0),
+                agg,
+                w.scale.queries as f64,
+            )
+        })
+        .collect()
+}
+
+/// Fig. 16 / Fig. 18a: ONN vs |P|/|O| at k = 16.
+pub fn onn_by_ratio(w: &Workbench) -> Vec<SeriesPoint> {
+    grid::CARDINALITY_RATIOS
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| {
+            let entities = w.entity_index(w.scale.entity_count(ratio), 30 + i as u64);
+            let agg = run_onn(w, &entities, grid::DEFAULT_K);
+            finish(format!("{ratio}"), agg, w.scale.queries as f64)
+        })
+        .collect()
+}
+
+/// Fig. 17 / Fig. 18b: ONN vs k at |P| = |O|.
+pub fn onn_by_k(w: &Workbench) -> Vec<SeriesPoint> {
+    let entities = w.entity_index(w.scale.entity_count(1.0), 40);
+    grid::K_VALUES
+        .iter()
+        .map(|&k| {
+            let agg = run_onn(w, &entities, k);
+            finish(format!("{k}"), agg, w.scale.queries as f64)
+        })
+        .collect()
+}
+
+/// Fig. 19: ODJ vs |S|/|O| at e = 0.01 %, |T| = 0.1·|O|.
+pub fn odj_by_ratio(w: &Workbench) -> Vec<SeriesPoint> {
+    let e = w.range_from_fraction(grid::DEFAULT_JOIN_RANGE_FRACTION);
+    let t = w.entity_index(w.scale.entity_count(grid::T_RATIO), 50);
+    grid::JOIN_CARDINALITY_RATIOS
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| {
+            let s = w.entity_index(w.scale.entity_count(ratio), 60 + i as u64);
+            w.reset_io(&[&s, &t]);
+            let r = distance_join(&s, &t, &w.obstacles, e, EngineOptions::default());
+            finish(format!("{ratio}"), r.stats, 1.0)
+        })
+        .collect()
+}
+
+/// Fig. 20: ODJ vs e at |S| = |T| = 0.1·|O|.
+pub fn odj_by_range(w: &Workbench) -> Vec<SeriesPoint> {
+    let s = w.entity_index(w.scale.entity_count(grid::T_RATIO), 70);
+    let t = w.entity_index(w.scale.entity_count(grid::T_RATIO), 71);
+    grid::JOIN_RANGE_FRACTIONS
+        .iter()
+        .map(|&frac| {
+            w.reset_io(&[&s, &t]);
+            let r = distance_join(
+                &s,
+                &t,
+                &w.obstacles,
+                w.range_from_fraction(frac),
+                EngineOptions::default(),
+            );
+            finish(format!("{}%", frac * 100.0), r.stats, 1.0)
+        })
+        .collect()
+}
+
+/// Fig. 21: OCP vs |S|/|O| at k = 16, |T| = 0.1·|O|.
+pub fn ocp_by_ratio(w: &Workbench) -> Vec<SeriesPoint> {
+    let t = w.entity_index(w.scale.entity_count(grid::T_RATIO), 80);
+    grid::JOIN_CARDINALITY_RATIOS
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| {
+            let s = w.entity_index(w.scale.entity_count(ratio), 90 + i as u64);
+            w.reset_io(&[&s, &t]);
+            let r = closest_pairs(&s, &t, &w.obstacles, grid::DEFAULT_K, EngineOptions::default());
+            finish(format!("{ratio}"), r.stats, 1.0)
+        })
+        .collect()
+}
+
+/// Fig. 22: OCP vs k at |S| = |T| = 0.1·|O|.
+pub fn ocp_by_k(w: &Workbench) -> Vec<SeriesPoint> {
+    let s = w.entity_index(w.scale.entity_count(grid::T_RATIO), 100);
+    let t = w.entity_index(w.scale.entity_count(grid::T_RATIO), 101);
+    grid::K_VALUES
+        .iter()
+        .map(|&k| {
+            w.reset_io(&[&s, &t]);
+            let r = closest_pairs(&s, &t, &w.obstacles, k, EngineOptions::default());
+            finish(format!("{k}"), r.stats, 1.0)
+        })
+        .collect()
+}

@@ -1,0 +1,368 @@
+//! Per-figure table generation (Figs. 13–22 of the paper).
+
+pub mod families;
+
+use crate::setup::Workbench;
+use crate::table::Table;
+use families::SeriesPoint;
+
+/// The ten figures of the paper's evaluation section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum FigureId {
+    Fig13,
+    Fig14,
+    Fig15,
+    Fig16,
+    Fig17,
+    Fig18,
+    Fig19,
+    Fig20,
+    Fig21,
+    Fig22,
+}
+
+impl FigureId {
+    /// All figures in paper order.
+    pub fn all() -> [FigureId; 10] {
+        use FigureId::*;
+        [Fig13, Fig14, Fig15, Fig16, Fig17, Fig18, Fig19, Fig20, Fig21, Fig22]
+    }
+
+    /// Parses `"fig13"` … `"fig22"` (case-insensitive, `fig` optional).
+    pub fn parse(s: &str) -> Option<FigureId> {
+        let s = s.to_ascii_lowercase();
+        let n: u32 = s.trim_start_matches("fig").parse().ok()?;
+        use FigureId::*;
+        Some(match n {
+            13 => Fig13,
+            14 => Fig14,
+            15 => Fig15,
+            16 => Fig16,
+            17 => Fig17,
+            18 => Fig18,
+            19 => Fig19,
+            20 => Fig20,
+            21 => Fig21,
+            22 => Fig22,
+            _ => return None,
+        })
+    }
+}
+
+fn io_table(title: &str, x_label: &str, points: &[SeriesPoint]) -> Table {
+    let mut t = Table::new(
+        title,
+        x_label,
+        vec!["obstacle R-tree".into(), "data R-tree".into()],
+    );
+    for p in points {
+        t.push(p.x.clone(), vec![p.obstacle_reads, p.entity_reads]);
+    }
+    t
+}
+
+fn cpu_table(title: &str, x_label: &str, points: &[SeriesPoint], in_seconds: bool) -> Table {
+    let unit = if in_seconds { "CPU (sec)" } else { "CPU (msec)" };
+    let mut t = Table::new(title, x_label, vec![unit.into()]);
+    for p in points {
+        let v = if in_seconds { p.cpu_ms / 1e3 } else { p.cpu_ms };
+        t.push(p.x.clone(), vec![v]);
+    }
+    t
+}
+
+fn fh_table(title: &str, x_label: &str, points: &[SeriesPoint]) -> Table {
+    let mut t = Table::new(title, x_label, vec!["false-hit ratio".into()]);
+    for p in points {
+        t.push(p.x.clone(), vec![p.fh_ratio]);
+    }
+    t
+}
+
+/// Generates the tables of one figure.
+pub fn generate(id: FigureId, w: &Workbench) -> Vec<Table> {
+    match id {
+        FigureId::Fig13 => {
+            let pts = families::or_by_ratio(w);
+            vec![
+                io_table(
+                    "Fig. 13a — OR page accesses vs |P|/|O|  (e = 0.1%)",
+                    "|P|/|O|",
+                    &pts,
+                ),
+                cpu_table(
+                    "Fig. 13b — OR CPU vs |P|/|O|  (e = 0.1%)",
+                    "|P|/|O|",
+                    &pts,
+                    false,
+                ),
+            ]
+        }
+        FigureId::Fig14 => {
+            let pts = families::or_by_range(w);
+            vec![
+                io_table(
+                    "Fig. 14a — OR page accesses vs e  (|P| = |O|)",
+                    "e",
+                    &pts,
+                ),
+                cpu_table("Fig. 14b — OR CPU vs e  (|P| = |O|)", "e", &pts, false),
+            ]
+        }
+        FigureId::Fig15 => {
+            let by_ratio = families::or_by_ratio(w);
+            let by_range = families::or_by_range(w);
+            vec![
+                fh_table(
+                    "Fig. 15a — OR false-hit ratio vs |P|/|O|  (e = 0.1%)",
+                    "|P|/|O|",
+                    &by_ratio,
+                ),
+                fh_table(
+                    "Fig. 15b — OR false-hit ratio vs e  (|P| = |O|)",
+                    "e",
+                    &by_range,
+                ),
+            ]
+        }
+        FigureId::Fig16 => {
+            let pts = families::onn_by_ratio(w);
+            vec![
+                io_table(
+                    "Fig. 16a — ONN page accesses vs |P|/|O|  (k = 16)",
+                    "|P|/|O|",
+                    &pts,
+                ),
+                cpu_table(
+                    "Fig. 16b — ONN CPU vs |P|/|O|  (k = 16)",
+                    "|P|/|O|",
+                    &pts,
+                    false,
+                ),
+            ]
+        }
+        FigureId::Fig17 => {
+            let pts = families::onn_by_k(w);
+            vec![
+                io_table("Fig. 17a — ONN page accesses vs k  (|P| = |O|)", "k", &pts),
+                cpu_table("Fig. 17b — ONN CPU vs k  (|P| = |O|)", "k", &pts, false),
+            ]
+        }
+        FigureId::Fig18 => {
+            let by_ratio = families::onn_by_ratio(w);
+            let by_k = families::onn_by_k(w);
+            vec![
+                fh_table(
+                    "Fig. 18a — ONN false-hit ratio vs |P|/|O|  (k = 16)",
+                    "|P|/|O|",
+                    &by_ratio,
+                ),
+                fh_table(
+                    "Fig. 18b — ONN false-hit ratio vs k  (|P| = |O|)",
+                    "k",
+                    &by_k,
+                ),
+            ]
+        }
+        FigureId::Fig19 => {
+            let pts = families::odj_by_ratio(w);
+            vec![
+                io_table(
+                    "Fig. 19a — ODJ page accesses vs |S|/|O|  (e = 0.01%, |T| = 0.1|O|)",
+                    "|S|/|O|",
+                    &pts,
+                ),
+                cpu_table(
+                    "Fig. 19b — ODJ CPU vs |S|/|O|  (e = 0.01%, |T| = 0.1|O|)",
+                    "|S|/|O|",
+                    &pts,
+                    true,
+                ),
+            ]
+        }
+        FigureId::Fig20 => {
+            let pts = families::odj_by_range(w);
+            vec![
+                io_table(
+                    "Fig. 20a — ODJ page accesses vs e  (|S| = |T| = 0.1|O|)",
+                    "e",
+                    &pts,
+                ),
+                cpu_table(
+                    "Fig. 20b — ODJ CPU vs e  (|S| = |T| = 0.1|O|)",
+                    "e",
+                    &pts,
+                    true,
+                ),
+            ]
+        }
+        FigureId::Fig21 => {
+            let pts = families::ocp_by_ratio(w);
+            vec![
+                io_table(
+                    "Fig. 21a — OCP page accesses vs |S|/|O|  (k = 16, |T| = 0.1|O|)",
+                    "|S|/|O|",
+                    &pts,
+                ),
+                cpu_table(
+                    "Fig. 21b — OCP CPU vs |S|/|O|  (k = 16, |T| = 0.1|O|)",
+                    "|S|/|O|",
+                    &pts,
+                    true,
+                ),
+            ]
+        }
+        FigureId::Fig22 => {
+            let pts = families::ocp_by_k(w);
+            vec![
+                io_table(
+                    "Fig. 22a — OCP page accesses vs k  (|S| = |T| = 0.1|O|)",
+                    "k",
+                    &pts,
+                ),
+                cpu_table(
+                    "Fig. 22b — OCP CPU vs k  (|S| = |T| = 0.1|O|)",
+                    "k",
+                    &pts,
+                    true,
+                ),
+            ]
+        }
+    }
+}
+
+/// Generates every figure, running each experiment family exactly once.
+pub fn generate_all(w: &Workbench) -> Vec<Table> {
+    let or_ratio = families::or_by_ratio(w);
+    let or_range = families::or_by_range(w);
+    let onn_ratio = families::onn_by_ratio(w);
+    let onn_k = families::onn_by_k(w);
+    let odj_ratio = families::odj_by_ratio(w);
+    let odj_range = families::odj_by_range(w);
+    let ocp_ratio = families::ocp_by_ratio(w);
+    let ocp_k = families::ocp_by_k(w);
+
+    vec![
+        io_table(
+            "Fig. 13a — OR page accesses vs |P|/|O|  (e = 0.1%)",
+            "|P|/|O|",
+            &or_ratio,
+        ),
+        cpu_table(
+            "Fig. 13b — OR CPU vs |P|/|O|  (e = 0.1%)",
+            "|P|/|O|",
+            &or_ratio,
+            false,
+        ),
+        io_table(
+            "Fig. 14a — OR page accesses vs e  (|P| = |O|)",
+            "e",
+            &or_range,
+        ),
+        cpu_table("Fig. 14b — OR CPU vs e  (|P| = |O|)", "e", &or_range, false),
+        fh_table(
+            "Fig. 15a — OR false-hit ratio vs |P|/|O|  (e = 0.1%)",
+            "|P|/|O|",
+            &or_ratio,
+        ),
+        fh_table(
+            "Fig. 15b — OR false-hit ratio vs e  (|P| = |O|)",
+            "e",
+            &or_range,
+        ),
+        io_table(
+            "Fig. 16a — ONN page accesses vs |P|/|O|  (k = 16)",
+            "|P|/|O|",
+            &onn_ratio,
+        ),
+        cpu_table(
+            "Fig. 16b — ONN CPU vs |P|/|O|  (k = 16)",
+            "|P|/|O|",
+            &onn_ratio,
+            false,
+        ),
+        io_table("Fig. 17a — ONN page accesses vs k  (|P| = |O|)", "k", &onn_k),
+        cpu_table("Fig. 17b — ONN CPU vs k  (|P| = |O|)", "k", &onn_k, false),
+        fh_table(
+            "Fig. 18a — ONN false-hit ratio vs |P|/|O|  (k = 16)",
+            "|P|/|O|",
+            &onn_ratio,
+        ),
+        fh_table("Fig. 18b — ONN false-hit ratio vs k  (|P| = |O|)", "k", &onn_k),
+        io_table(
+            "Fig. 19a — ODJ page accesses vs |S|/|O|  (e = 0.01%, |T| = 0.1|O|)",
+            "|S|/|O|",
+            &odj_ratio,
+        ),
+        cpu_table(
+            "Fig. 19b — ODJ CPU vs |S|/|O|  (e = 0.01%, |T| = 0.1|O|)",
+            "|S|/|O|",
+            &odj_ratio,
+            true,
+        ),
+        io_table(
+            "Fig. 20a — ODJ page accesses vs e  (|S| = |T| = 0.1|O|)",
+            "e",
+            &odj_range,
+        ),
+        cpu_table(
+            "Fig. 20b — ODJ CPU vs e  (|S| = |T| = 0.1|O|)",
+            "e",
+            &odj_range,
+            true,
+        ),
+        io_table(
+            "Fig. 21a — OCP page accesses vs |S|/|O|  (k = 16, |T| = 0.1|O|)",
+            "|S|/|O|",
+            &ocp_ratio,
+        ),
+        cpu_table(
+            "Fig. 21b — OCP CPU vs |S|/|O|  (k = 16, |T| = 0.1|O|)",
+            "|S|/|O|",
+            &ocp_ratio,
+            true,
+        ),
+        io_table(
+            "Fig. 22a — OCP page accesses vs k  (|S| = |T| = 0.1|O|)",
+            "k",
+            &ocp_k,
+        ),
+        cpu_table(
+            "Fig. 22b — OCP CPU vs k  (|S| = |T| = 0.1|O|)",
+            "k",
+            &ocp_k,
+            true,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn figure_ids_parse() {
+        assert_eq!(FigureId::parse("fig13"), Some(FigureId::Fig13));
+        assert_eq!(FigureId::parse("22"), Some(FigureId::Fig22));
+        assert_eq!(FigureId::parse("FIG15"), Some(FigureId::Fig15));
+        assert_eq!(FigureId::parse("fig12"), None);
+        assert_eq!(FigureId::all().len(), 10);
+    }
+
+    #[test]
+    fn tiny_or_figures_have_expected_grid() {
+        let w = Workbench::new(Scale::tiny());
+        let tables = generate(FigureId::Fig13, &w);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 5); // 5 cardinality ratios
+        assert_eq!(tables[0].columns.len(), 2);
+        // I/O counts are non-negative and finite.
+        for (_, vals) in &tables[0].rows {
+            for v in vals {
+                assert!(v.is_finite() && *v >= 0.0);
+            }
+        }
+    }
+}

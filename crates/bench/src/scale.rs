@@ -1,0 +1,117 @@
+//! Experiment scale selection.
+
+use obstacle_datagen::CityConfig;
+
+/// Scale of a reproduction run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Scale {
+    /// Obstacle dataset cardinality |O|.
+    pub obstacles: usize,
+    /// Queries per workload (the paper uses 200).
+    pub queries: usize,
+    /// RNG seed for data and workloads.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Smoke-test scale (seconds).
+    pub fn tiny() -> Scale {
+        Scale {
+            obstacles: 512,
+            queries: 4,
+            seed: 0xC17,
+        }
+    }
+
+    /// Default `cargo bench` scale (about a minute for all figures).
+    pub fn default_scale() -> Scale {
+        Scale {
+            obstacles: 16_384,
+            queries: 32,
+            seed: 0xC17,
+        }
+    }
+
+    /// The paper's setup: |O| = 131,461, 200-query workloads.
+    pub fn full() -> Scale {
+        Scale {
+            obstacles: CityConfig::PAPER_OBSTACLE_COUNT,
+            queries: 200,
+            seed: 0xC17,
+        }
+    }
+
+    /// Parses a scale name (`tiny` / `default` / `full`).
+    pub fn by_name(name: &str) -> Option<Scale> {
+        match name {
+            "tiny" => Some(Scale::tiny()),
+            "default" => Some(Scale::default_scale()),
+            "full" => Some(Scale::full()),
+            _ => None,
+        }
+    }
+
+    /// Reads `OBSTACLE_SCALE` from the environment (default: `default`).
+    pub fn from_env() -> Scale {
+        match std::env::var("OBSTACLE_SCALE") {
+            Ok(v) => Scale::by_name(&v).unwrap_or_else(|| {
+                eprintln!("unknown OBSTACLE_SCALE '{v}', using default");
+                Scale::default_scale()
+            }),
+            Err(_) => Scale::default_scale(),
+        }
+    }
+
+    /// Density-normalisation factor for query ranges: at full scale 1.0,
+    /// at reduced scales `sqrt(131461 / |O|)`, so the expected number of
+    /// entities/obstacles inside a range matches the paper's setup and
+    /// every curve keeps its shape.
+    pub fn range_scale(&self) -> f64 {
+        (CityConfig::PAPER_OBSTACLE_COUNT as f64 / self.obstacles as f64).sqrt()
+    }
+
+    /// Entity count for a cardinality ratio |P|/|O| (at least 1).
+    pub fn entity_count(&self, ratio: f64) -> usize {
+        ((self.obstacles as f64 * ratio).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_matches_paper() {
+        let s = Scale::full();
+        assert_eq!(s.obstacles, 131_461);
+        assert_eq!(s.queries, 200);
+        assert!((s.range_scale() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Scale::by_name("tiny"), Some(Scale::tiny()));
+        assert_eq!(Scale::by_name("default"), Some(Scale::default_scale()));
+        assert_eq!(Scale::by_name("full"), Some(Scale::full()));
+        assert_eq!(Scale::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn range_scale_preserves_expected_counts() {
+        let s = Scale::default_scale();
+        // (e · scale)² · |O| must equal e² · |O_paper|.
+        let e = 0.001;
+        let scaled = e * s.range_scale();
+        let ours = scaled * scaled * s.obstacles as f64;
+        let paper = e * e * 131_461.0;
+        assert!((ours - paper).abs() / paper < 1e-9);
+    }
+
+    #[test]
+    fn entity_counts() {
+        let s = Scale::default_scale();
+        assert_eq!(s.entity_count(1.0), 16_384);
+        assert_eq!(s.entity_count(0.0001), 2);
+        assert_eq!(s.entity_count(0.0), 1, "floor of one entity");
+    }
+}

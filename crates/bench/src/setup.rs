@@ -1,0 +1,99 @@
+//! Shared experiment fixtures: the city, indexes and workloads.
+
+use crate::scale::Scale;
+use obstacle_core::{EntityIndex, ObstacleIndex};
+use obstacle_datagen::{query_workload, sample_entities, City, CityConfig};
+use obstacle_geom::Point;
+use obstacle_rtree::RTreeConfig;
+
+/// A generated city with its obstacle index, shared by all experiments of
+/// one run (the paper uses one obstacle dataset throughout §7).
+pub struct Workbench {
+    /// The run's scale.
+    pub scale: Scale,
+    /// The generated city.
+    pub city: City,
+    /// R*-tree over the obstacles (paper configuration: 4 KiB pages,
+    /// LRU buffer 10 %).
+    pub obstacles: ObstacleIndex,
+}
+
+impl Workbench {
+    /// Generates the city and indexes the obstacles.
+    ///
+    /// Indexes are bulk-loaded (STR): at the paper's full scale,
+    /// one-by-one R* insertion of 10·|O| entities is prohibitively slow
+    /// for a harness that rebuilds the entity dataset per series point;
+    /// occupancy differences shift absolute page counts slightly but no
+    /// trend (see EXPERIMENTS.md).
+    pub fn new(scale: Scale) -> Workbench {
+        let city = City::generate(CityConfig::new(scale.obstacles, scale.seed));
+        let obstacles = ObstacleIndex::bulk_load(RTreeConfig::paper(), city.obstacles.clone());
+        Workbench {
+            scale,
+            city,
+            obstacles,
+        }
+    }
+
+    /// An entity dataset of `count` points following the obstacle
+    /// distribution (deterministic per `(scale.seed, stream)`).
+    pub fn entity_index(&self, count: usize, stream: u64) -> EntityIndex {
+        let pts = sample_entities(&self.city, count, self.scale.seed ^ (stream << 8));
+        EntityIndex::bulk_load(RTreeConfig::paper(), pts)
+    }
+
+    /// The query workload (follows the obstacle distribution).
+    pub fn queries(&self) -> Vec<Point> {
+        query_workload(&self.city, self.scale.queries, self.scale.seed ^ 0x9)
+    }
+
+    /// Universe side length (ranges are expressed as fractions of it).
+    pub fn side(&self) -> f64 {
+        self.city.universe.width().max(self.city.universe.height())
+    }
+
+    /// Density-normalised absolute range from a paper range fraction.
+    pub fn range_from_fraction(&self, fraction: f64) -> f64 {
+        fraction * self.side() * self.scale.range_scale()
+    }
+
+    /// Resets I/O statistics and buffers (cold start) on the obstacle
+    /// tree and the given entity trees — call before each measured
+    /// workload point.
+    pub fn reset_io(&self, entity_trees: &[&EntityIndex]) {
+        self.obstacles.tree().reset_buffer();
+        self.obstacles.tree().reset_io_stats();
+        for t in entity_trees {
+            t.tree().reset_buffer();
+            t.tree().reset_io_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workbench_is_deterministic() {
+        let a = Workbench::new(Scale::tiny());
+        let b = Workbench::new(Scale::tiny());
+        assert_eq!(a.city.rects, b.city.rects);
+        assert_eq!(a.queries(), b.queries());
+        let ea = a.entity_index(64, 1);
+        let eb = b.entity_index(64, 1);
+        assert_eq!(ea.points(), eb.points());
+        // Different streams differ.
+        let ec = a.entity_index(64, 2);
+        assert_ne!(ea.points(), ec.points());
+    }
+
+    #[test]
+    fn range_normalisation_full_scale_is_identity() {
+        let w = Workbench::new(Scale::tiny());
+        let e = w.range_from_fraction(0.001);
+        assert!((e - 0.001 * w.side() * w.scale.range_scale()).abs() < 1e-15);
+        assert!(w.scale.range_scale() > 1.0); // tiny is denser-normalised
+    }
+}

@@ -1,0 +1,137 @@
+//! Plain-text result tables (one per paper figure panel).
+
+use std::fmt::Write as _;
+
+/// A result table: the series the paper plots in one figure panel.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Figure id and description, e.g. `"Fig. 13a — OR page accesses…"`.
+    pub title: String,
+    /// Label of the x-axis column.
+    pub x_label: String,
+    /// Names of the value columns.
+    pub columns: Vec<String>,
+    /// Rows: x value (printed verbatim) and one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Table {
+        Table {
+            title: title.into(),
+            x_label: x_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    pub fn push(&mut self, x: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row arity mismatch");
+        self.rows.push((x.into(), values));
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let width = 16usize;
+        let xw = self
+            .rows
+            .iter()
+            .map(|(x, _)| x.len())
+            .chain(std::iter::once(self.x_label.len()))
+            .max()
+            .unwrap_or(8)
+            + 2;
+        let _ = write!(out, "  {:<xw$}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, "{c:>width$}");
+        }
+        let _ = writeln!(out);
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "  {x:<xw$}");
+            for v in vals {
+                let _ = write!(out, "{:>width$}", format_value(*v));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders CSV (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for c in &self.columns {
+            let _ = write!(out, ",{c}");
+        }
+        let _ = writeln!(out);
+        for (x, vals) in &self.rows {
+            let _ = write!(out, "{x}");
+            for v in vals {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Compact value formatting: integers plain, small values with enough
+/// significant digits to compare.
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_rows() {
+        let mut t = Table::new(
+            "Fig. X — demo",
+            "ratio",
+            vec!["data R-tree".into(), "obstacle R-tree".into()],
+        );
+        t.push("0.1", vec![1.25, 4.0]);
+        t.push("10", vec![123.456, 0.0123]);
+        let s = t.render();
+        assert!(s.contains("Fig. X — demo"));
+        assert!(s.contains("ratio"));
+        assert!(s.contains("1.25"));
+        assert!(s.contains("123.5"));
+        assert!(s.contains("0.0123"));
+    }
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let mut t = Table::new("t", "x", vec!["a".into(), "b".into()]);
+        t.push("1", vec![0.5, 2.0]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("x,a,b"));
+        assert!(csv.contains("1,0.5,2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "x", vec!["a".into()]);
+        t.push("1", vec![0.5, 2.0]);
+    }
+}

@@ -1,0 +1,313 @@
+//! Obstructed distance computation (Fig. 8 of the paper).
+
+use crate::engine::ObstacleIndex;
+use obstacle_geom::Point;
+use obstacle_visibility::{dijkstra_distance, EdgeBuilder, NodeId, VisibilityGraph};
+use std::collections::HashSet;
+
+/// A local visibility graph plus the set of obstacle ids it contains.
+///
+/// Wraps [`VisibilityGraph`] with O(1) membership tests so the iterative
+/// range-expansion of [`compute_obstructed_distance`] can detect its
+/// fixpoint ("no new obstacles in the last range") cheaply.
+#[derive(Debug, Default)]
+pub struct LocalGraph {
+    /// The underlying visibility graph.
+    pub graph: VisibilityGraph,
+    present: HashSet<u64>,
+}
+
+impl LocalGraph {
+    /// Creates an empty local graph.
+    pub fn new(builder: EdgeBuilder) -> Self {
+        LocalGraph {
+            graph: VisibilityGraph::new(builder),
+            present: HashSet::new(),
+        }
+    }
+
+    /// Number of obstacles currently in the graph.
+    pub fn obstacle_count(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Ensures every obstacle within Euclidean distance `radius` of
+    /// `center` is part of the graph (a range query on the obstacle
+    /// R-tree followed by `add_obstacle` for the newcomers). Returns the
+    /// number of obstacles added.
+    pub fn ensure_obstacles_within(
+        &mut self,
+        obstacles: &ObstacleIndex,
+        center: Point,
+        radius: f64,
+    ) -> usize {
+        self.absorb(obstacles, obstacles.tree().range_circle(center, radius))
+    }
+
+    /// Ensures every obstacle intersecting the ellipse with foci `f1`,
+    /// `f2` and major-axis length `d` (the locus `|x−f1| + |x−f2| ≤ d`)
+    /// is part of the graph. Strictly tighter than the circle of radius
+    /// `d` around either focus — every path from `f1` to `f2` of length
+    /// ≤ `d` stays inside this ellipse, so it is a valid (and smaller)
+    /// search region for the Fig. 8 fixpoint. Returns the number of
+    /// obstacles added.
+    pub fn ensure_obstacles_within_ellipse(
+        &mut self,
+        obstacles: &ObstacleIndex,
+        f1: Point,
+        f2: Point,
+        d: f64,
+    ) -> usize {
+        let items = obstacles
+            .tree()
+            .range_by_bound(|r| r.mindist_point(f1) + r.mindist_point(f2), d);
+        self.absorb(obstacles, items)
+    }
+
+    fn absorb(
+        &mut self,
+        obstacles: &ObstacleIndex,
+        items: Vec<obstacle_rtree::Item>,
+    ) -> usize {
+        let mut added = 0;
+        for item in items {
+            if self.present.insert(item.id) {
+                self.graph
+                    .add_obstacle(obstacles.polygon(item.id).clone(), item.id);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Adds a waypoint (entity or query point); see
+    /// [`VisibilityGraph::add_waypoint`].
+    pub fn add_waypoint(&mut self, pos: Point, tag: u64) -> NodeId {
+        self.graph.add_waypoint(pos, tag)
+    }
+
+    /// Removes a waypoint; see [`VisibilityGraph::remove_waypoint`].
+    pub fn remove_waypoint(&mut self, id: NodeId) {
+        self.graph.remove_waypoint(id)
+    }
+}
+
+/// Computes the exact obstructed distance `d_O(p, q)` (Fig. 8).
+///
+/// `graph` must already contain the waypoints `p` and `q`; any obstacles
+/// already present are reused. The algorithm:
+///
+/// 1. ensure the obstacles within the Euclidean distance `d_E(p, q)` of
+///    `q` are present (the initial graph of Fig. 7);
+/// 2. compute a provisional shortest path; obstacles outside the range
+///    may still obstruct it, so
+/// 3. re-range with the provisional distance and repeat until a range
+///    adds no new obstacle — the provisional distance is then exact,
+///    because any path of length ≤ `d` stays inside the disk of radius
+///    `d` around `q`, and every obstacle intersecting that disk is in the
+///    graph.
+///
+/// If `p` is unreachable in the current graph (possible while the graph
+/// is still missing remote obstacles whose vertices are needed as
+/// detour corners), the search radius doubles until either a path
+/// appears or the whole dataset is covered; `None` then means truly
+/// unreachable (e.g. a point strictly inside an obstacle).
+pub fn compute_obstructed_distance(
+    graph: &mut LocalGraph,
+    p: NodeId,
+    q: NodeId,
+    obstacles: &ObstacleIndex,
+) -> Option<f64> {
+    compute_obstructed_distance_pruned(graph, p, q, obstacles, false)
+}
+
+/// [`compute_obstructed_distance`] with a choice of search region.
+///
+/// With `ellipse = false` the search regions are the paper's disks around
+/// `q` (Fig. 8). With `ellipse = true` they are the strictly tighter
+/// ellipses with foci `p` and `q` and major axis equal to the provisional
+/// distance — any path of length ≤ `d` from `p` to `q` lies inside that
+/// ellipse, so the fixpoint argument is unchanged while fewer obstacles
+/// qualify (see the `ellipse_pruning` ablation).
+pub fn compute_obstructed_distance_pruned(
+    graph: &mut LocalGraph,
+    p: NodeId,
+    q: NodeId,
+    obstacles: &ObstacleIndex,
+    ellipse: bool,
+) -> Option<f64> {
+    let p_pos = graph.graph.position(p);
+    let q_pos = graph.graph.position(q);
+    let euclid = p_pos.dist(q_pos);
+    if euclid == 0.0 {
+        return Some(0.0);
+    }
+
+    // Radius beyond which no obstacle exists: dataset fully covered.
+    let cover_radius = if obstacles.is_empty() {
+        0.0
+    } else {
+        obstacles.universe().maxdist_point(q_pos)
+    };
+    let ensure = |graph: &mut LocalGraph, d: f64| {
+        if ellipse {
+            graph.ensure_obstacles_within_ellipse(obstacles, p_pos, q_pos, d)
+        } else {
+            graph.ensure_obstacles_within(obstacles, q_pos, d)
+        }
+    };
+
+    let mut radius = euclid;
+    ensure(graph, radius);
+    loop {
+        match dijkstra_distance(&graph.graph, p, q) {
+            Some(d) => {
+                // Termination test: does the current search region hold
+                // any obstacle the graph lacks?
+                let added = ensure(graph, d);
+                radius = radius.max(d);
+                if added == 0 {
+                    return Some(d);
+                }
+                // New obstacles may lengthen the path; iterate (d can only
+                // grow, so this terminates once the region stops growing).
+            }
+            None => {
+                if radius >= 2.0 * cover_radius {
+                    return None; // the full dataset cannot connect them
+                }
+                radius = (radius * 2.0).min(2.0 * cover_radius).max(1e-12);
+                ensure(graph, radius);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ObstacleIndex;
+    use crate::QUERY_TAG;
+    use obstacle_geom::{Polygon, Rect};
+    use obstacle_rtree::RTreeConfig;
+
+    fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::from_rect(Rect::from_coords(x0, y0, x1, y1))
+    }
+
+    fn dist_through(
+        obstacles: Vec<Polygon>,
+        a: Point,
+        b: Point,
+    ) -> Option<f64> {
+        let idx = ObstacleIndex::build(RTreeConfig::tiny(8), obstacles);
+        let mut g = LocalGraph::new(EdgeBuilder::RotationalSweep);
+        let pa = g.add_waypoint(a, 0);
+        let pb = g.add_waypoint(b, QUERY_TAG);
+        compute_obstructed_distance(&mut g, pa, pb, &idx)
+    }
+
+    #[test]
+    fn no_obstacles_gives_euclidean() {
+        let d = dist_through(vec![], Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert_eq!(d, Some(5.0));
+    }
+
+    #[test]
+    fn detour_around_one_square() {
+        let d = dist_through(
+            vec![square(1.0, -1.0, 2.0, 1.0)],
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+        )
+        .unwrap();
+        let expect = 2.0 * 2.0f64.sqrt() + 1.0;
+        assert!((d - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn far_obstacle_discovered_by_second_range() {
+        // The initial range (the Euclidean disk around q through p) does
+        // not include the big wall that blocks the direct path near p;
+        // the iterative re-ranging must find it.
+        //
+        // q at origin, p at (2, 0); a tall wall crosses the segment at
+        // x ∈ (1.4, 1.6) but extends far in y so the detour is long.
+        let wall = square(1.4, -5.0, 1.6, 5.0);
+        let d = dist_through(vec![wall], Point::new(2.0, 0.0), Point::new(0.0, 0.0)).unwrap();
+        // Detour via (1.4, 5) / (1.6, 5) corners (or the -5 twins).
+        let via_top = Point::new(0.0, 0.0).dist(Point::new(1.4, 5.0))
+            + 0.2
+            + Point::new(1.6, 5.0).dist(Point::new(2.0, 0.0));
+        assert!((d - via_top).abs() < 1e-9, "{d} vs {via_top}");
+        assert!(d > 2.0); // strictly longer than Euclidean
+    }
+
+    #[test]
+    fn chain_of_walls_requires_multiple_iterations() {
+        // Each detour reveals the next wall: forces ≥ 2 expansion rounds.
+        let walls = vec![
+            square(1.0, -2.0, 1.2, 2.0),
+            square(2.0, -3.0, 2.2, 3.0),
+            square(3.0, -4.5, 3.2, 4.5),
+        ];
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        let d = dist_through(walls.clone(), a, b).unwrap();
+        // Verify against the full (global) graph distance.
+        let (full, wps) = obstacle_visibility::VisibilityGraph::build(
+            EdgeBuilder::Naive,
+            walls.into_iter().enumerate().map(|(i, p)| (p, i as u64)),
+            [(a, 0), (b, 1)],
+        );
+        let expect = obstacle_visibility::dijkstra_distance(&full, wps[0], wps[1]).unwrap();
+        assert!((d - expect).abs() < 1e-9, "{d} vs {expect}");
+    }
+
+    #[test]
+    fn unreachable_inside_obstacle() {
+        let d = dist_through(
+            vec![square(0.0, 0.0, 1.0, 1.0)],
+            Point::new(0.5, 0.5), // strictly inside
+            Point::new(2.0, 2.0),
+        );
+        assert_eq!(d, None);
+    }
+
+    #[test]
+    fn distance_is_at_least_euclidean_and_zero_on_self() {
+        let obs = vec![square(0.2, 0.2, 0.4, 0.3), square(0.6, 0.5, 0.7, 0.9)];
+        let a = Point::new(0.1, 0.1);
+        let b = Point::new(0.9, 0.9);
+        let d = dist_through(obs.clone(), a, b).unwrap();
+        assert!(d >= a.dist(b) - 1e-12);
+        assert_eq!(dist_through(obs, a, a), Some(0.0));
+    }
+
+    #[test]
+    fn graph_reuse_across_computations() {
+        let idx = ObstacleIndex::build(
+            RTreeConfig::tiny(8),
+            vec![square(1.0, -1.0, 2.0, 1.0), square(4.0, -1.0, 5.0, 1.0)],
+        );
+        let mut g = LocalGraph::new(EdgeBuilder::RotationalSweep);
+        let q = g.add_waypoint(Point::new(0.0, 0.0), QUERY_TAG);
+
+        let p1 = g.add_waypoint(Point::new(3.0, 0.0), 1);
+        let d1 = compute_obstructed_distance(&mut g, p1, q, &idx).unwrap();
+        g.remove_waypoint(p1);
+        let obstacles_after_first = g.obstacle_count();
+
+        let p2 = g.add_waypoint(Point::new(3.0, 0.0), 2);
+        let d2 = compute_obstructed_distance(&mut g, p2, q, &idx).unwrap();
+        g.remove_waypoint(p2);
+
+        assert!((d1 - d2).abs() < 1e-12, "reuse must not change results");
+        assert_eq!(
+            g.obstacle_count(),
+            obstacles_after_first,
+            "second identical computation adds no obstacles"
+        );
+        assert!(g.graph.validate(true).is_ok());
+    }
+}

@@ -1,0 +1,290 @@
+//! Indexed datasets and the query engine facade.
+
+use obstacle_geom::{Point, Polygon, Rect};
+use obstacle_rtree::{Item, RTree, RTreeConfig};
+use obstacle_visibility::EdgeBuilder;
+
+/// An entity dataset (points of interest) with its R*-tree.
+#[derive(Debug)]
+pub struct EntityIndex {
+    tree: RTree,
+    points: Vec<Point>,
+}
+
+impl EntityIndex {
+    /// Indexes `points` by one-by-one R* insertion (the paper's setup).
+    pub fn build(config: RTreeConfig, points: Vec<Point>) -> Self {
+        let tree = RTree::build(
+            config,
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Item::point(p, i as u64)),
+        );
+        EntityIndex { tree, points }
+    }
+
+    /// Indexes `points` with STR bulk loading (faster construction; used
+    /// by large-scale benchmarks).
+    pub fn bulk_load(config: RTreeConfig, points: Vec<Point>) -> Self {
+        let tree = RTree::bulk_load_str(
+            config,
+            points
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| Item::point(p, i as u64))
+                .collect(),
+        );
+        EntityIndex { tree, points }
+    }
+
+    /// The underlying R*-tree.
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// Position of entity `id`.
+    pub fn position(&self, id: u64) -> Point {
+        self.points[id as usize]
+    }
+
+    /// All entity positions (ids are indices).
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Inserts a new entity and returns its id. Updates are the reason
+    /// the paper builds visibility graphs on-line instead of
+    /// materialising them (§2.4) — the R-tree absorbs the insert and
+    /// every subsequent query sees the new entity with no rebuild.
+    pub fn insert(&mut self, p: Point) -> u64 {
+        let id = self.points.len() as u64;
+        self.points.push(p);
+        self.tree.insert(Item::point(p, id));
+        id
+    }
+
+    /// Deletes an entity by id. Returns whether it was present. The id
+    /// slot is retired (never reused); `position` keeps answering for
+    /// retired ids but no query will return them.
+    pub fn delete(&mut self, id: u64) -> bool {
+        match self.points.get(id as usize) {
+            Some(&p) => self.tree.delete(&Item::point(p, id)),
+            None => false,
+        }
+    }
+}
+
+/// The obstacle dataset (simple polygons) with its R*-tree over MBRs.
+#[derive(Debug)]
+pub struct ObstacleIndex {
+    tree: RTree,
+    polygons: Vec<Polygon>,
+}
+
+impl ObstacleIndex {
+    /// Indexes `polygons` by one-by-one R* insertion.
+    pub fn build(config: RTreeConfig, polygons: Vec<Polygon>) -> Self {
+        let tree = RTree::build(
+            config,
+            polygons
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Item::new(p.bbox(), i as u64)),
+        );
+        ObstacleIndex { tree, polygons }
+    }
+
+    /// Indexes `polygons` with STR bulk loading.
+    pub fn bulk_load(config: RTreeConfig, polygons: Vec<Polygon>) -> Self {
+        let tree = RTree::bulk_load_str(
+            config,
+            polygons
+                .iter()
+                .enumerate()
+                .map(|(i, p)| Item::new(p.bbox(), i as u64))
+                .collect(),
+        );
+        ObstacleIndex { tree, polygons }
+    }
+
+    /// The underlying R*-tree (indexes obstacle MBRs).
+    pub fn tree(&self) -> &RTree {
+        &self.tree
+    }
+
+    /// The polygon of obstacle `id`.
+    pub fn polygon(&self, id: u64) -> &Polygon {
+        &self.polygons[id as usize]
+    }
+
+    /// All obstacle polygons (ids are indices).
+    pub fn polygons(&self) -> &[Polygon] {
+        &self.polygons
+    }
+
+    /// Number of obstacles.
+    pub fn len(&self) -> usize {
+        self.polygons.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.polygons.is_empty()
+    }
+
+    /// A rectangle covering the whole obstacle dataset.
+    pub fn universe(&self) -> Rect {
+        if self.tree.is_empty() {
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0)
+        } else {
+            self.tree.root_mbr()
+        }
+    }
+
+    /// Inserts a new obstacle and returns its id. Queries issued after
+    /// the insert immediately respect the new obstacle — the paper's
+    /// argument for on-line local visibility graphs (§2.4).
+    pub fn insert(&mut self, polygon: Polygon) -> u64 {
+        let id = self.polygons.len() as u64;
+        self.tree.insert(Item::new(polygon.bbox(), id));
+        self.polygons.push(polygon);
+        id
+    }
+
+    /// Deletes an obstacle by id. Returns whether it was present. The id
+    /// slot is retired (never reused).
+    pub fn delete(&mut self, id: u64) -> bool {
+        match self.polygons.get(id as usize) {
+            Some(p) => self.tree.delete(&Item::new(p.bbox(), id)),
+            None => false,
+        }
+    }
+}
+
+/// Tunable algorithm knobs. The defaults follow the paper exactly; the
+/// alternatives exist for the ablation benchmarks (DESIGN.md §6).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Visibility-edge builder (paper: rotational plane sweep \[SS84\]).
+    pub builder: EdgeBuilder,
+    /// ONN: keep shrinking the Euclidean search threshold `d_Emax` as
+    /// closer obstructed neighbours are found (paper: on).
+    pub shrink_threshold: bool,
+    /// ONN: reuse one visibility graph across candidates via
+    /// add/delete-entity (paper: on). Off rebuilds per candidate.
+    pub reuse_graph: bool,
+    /// ODJ: process join seeds in Hilbert order (paper: on).
+    pub hilbert_seed_order: bool,
+    /// ODJ: pick the seed side as the dataset with fewer distinct
+    /// candidates (paper: on). Off always seeds from `S`.
+    pub seed_side_heuristic: bool,
+    /// Obstructed-distance computation: search obstacles inside the
+    /// ellipse with foci `p`, `q` instead of the paper's disk around `q`
+    /// (paper: off). Strictly fewer obstacles qualify; results are
+    /// identical (extension, see DESIGN.md §6).
+    pub ellipse_pruning: bool,
+    /// OR/ODJ: prune non-tangent edges from the local visibility graph
+    /// before the Dijkstra expansion (the tangent visibility graph
+    /// \[PV95\] noted in §2.3; paper: off). Results are identical —
+    /// shortest waypoint-to-waypoint paths only turn at tangent vertices.
+    pub tangent_filter: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            builder: EdgeBuilder::RotationalSweep,
+            shrink_threshold: true,
+            reuse_graph: true,
+            hilbert_seed_order: true,
+            seed_side_heuristic: true,
+            ellipse_pruning: false,
+            tangent_filter: false,
+        }
+    }
+}
+
+/// Facade bundling an entity dataset and the obstacle dataset for the
+/// unary query types (range, k-NN and their incremental variants).
+///
+/// Binary queries (joins, closest pairs) take their two entity indexes
+/// explicitly — see [`distance_join`](crate::distance_join) and
+/// [`closest_pairs`](crate::closest_pairs).
+#[derive(Clone, Copy, Debug)]
+pub struct QueryEngine<'a> {
+    /// The entity dataset `P`.
+    pub entities: &'a EntityIndex,
+    /// The obstacle dataset `O`.
+    pub obstacles: &'a ObstacleIndex,
+    /// Algorithm options.
+    pub options: EngineOptions,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Engine with paper-default options.
+    pub fn new(entities: &'a EntityIndex, obstacles: &'a ObstacleIndex) -> Self {
+        QueryEngine {
+            entities,
+            obstacles,
+            options: EngineOptions::default(),
+        }
+    }
+
+    /// Engine with custom options (ablations).
+    pub fn with_options(
+        entities: &'a EntityIndex,
+        obstacles: &'a ObstacleIndex,
+        options: EngineOptions,
+    ) -> Self {
+        QueryEngine {
+            entities,
+            obstacles,
+            options,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_index_roundtrip() {
+        let pts = vec![Point::new(0.1, 0.2), Point::new(0.9, 0.8)];
+        let idx = EntityIndex::build(RTreeConfig::tiny(4), pts.clone());
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.position(1), pts[1]);
+        assert_eq!(idx.tree().len(), 2);
+    }
+
+    #[test]
+    fn obstacle_index_roundtrip() {
+        let polys = vec![
+            Polygon::from_rect(Rect::from_coords(0.0, 0.0, 0.2, 0.1)),
+            Polygon::from_rect(Rect::from_coords(0.5, 0.5, 0.6, 0.9)),
+        ];
+        let idx = ObstacleIndex::build(RTreeConfig::tiny(4), polys.clone());
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.polygon(0), &polys[0]);
+        assert_eq!(idx.universe(), Rect::from_coords(0.0, 0.0, 0.6, 0.9));
+    }
+
+    #[test]
+    fn default_options_are_paper_faithful() {
+        let o = EngineOptions::default();
+        assert_eq!(o.builder, EdgeBuilder::RotationalSweep);
+        assert!(o.shrink_threshold && o.reuse_graph);
+        assert!(o.hilbert_seed_order && o.seed_side_heuristic);
+    }
+}

@@ -1,0 +1,135 @@
+//! Obstructed shortest *paths* (not just distances).
+//!
+//! The paper's algorithms only need distances, but applications
+//! (navigation, the pedestrian of Fig. 1) want the actual route. This
+//! module exposes exact shortest obstructed paths using the same
+//! iterative local-graph construction as [`compute_obstructed_distance`]
+//! (Fig. 8), so the returned polyline is provably optimal.
+
+use crate::distance::{compute_obstructed_distance, LocalGraph};
+use crate::engine::{ObstacleIndex, QueryEngine};
+use crate::QUERY_TAG;
+use obstacle_geom::Point;
+use obstacle_visibility::{shortest_path, EdgeBuilder, PathResult};
+
+/// Exact shortest obstructed path between two free points, or `None` when
+/// unreachable (a point strictly inside an obstacle).
+///
+/// The local visibility graph is grown until the distance fixpoint of
+/// Fig. 8 certifies optimality; the polyline is then reconstructed on the
+/// final graph.
+pub fn shortest_obstructed_path(
+    a: Point,
+    b: Point,
+    obstacles: &ObstacleIndex,
+    builder: EdgeBuilder,
+) -> Option<PathResult> {
+    let mut g = LocalGraph::new(builder);
+    let na = g.add_waypoint(a, 0);
+    let nb = g.add_waypoint(b, QUERY_TAG);
+    compute_obstructed_distance(&mut g, na, nb, obstacles)?;
+    shortest_path(&g.graph, na, nb)
+}
+
+impl QueryEngine<'_> {
+    /// The `k` obstructed nearest neighbours of `q` together with their
+    /// shortest paths (ascending by distance).
+    pub fn nearest_with_paths(&self, q: Point, k: usize) -> Vec<(u64, PathResult)> {
+        self.nearest(q, k)
+            .neighbors
+            .into_iter()
+            .filter_map(|(id, d)| {
+                let path = shortest_obstructed_path(
+                    q,
+                    self.entities.position(id),
+                    self.obstacles,
+                    self.options.builder,
+                )?;
+                debug_assert!((path.distance - d).abs() < 1e-9);
+                Some((id, path))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EntityIndex;
+    use obstacle_geom::{Polygon, Rect};
+    use obstacle_rtree::RTreeConfig;
+
+    fn wall_scene() -> ObstacleIndex {
+        ObstacleIndex::build(
+            RTreeConfig::tiny(4),
+            vec![Polygon::from_rect(Rect::from_coords(1.0, -1.0, 1.2, 1.0))],
+        )
+    }
+
+    #[test]
+    fn path_length_equals_distance_and_corners_are_obstacle_vertices() {
+        let obstacles = wall_scene();
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 0.0);
+        let p = shortest_obstructed_path(a, b, &obstacles, EdgeBuilder::RotationalSweep).unwrap();
+        let seg_sum: f64 = p.points.windows(2).map(|w| w[0].dist(w[1])).sum();
+        assert!((seg_sum - p.distance).abs() < 1e-9);
+        assert_eq!(p.points.first(), Some(&a));
+        assert_eq!(p.points.last(), Some(&b));
+        // Interior waypoints are wall corners.
+        for w in &p.points[1..p.points.len() - 1] {
+            assert!(
+                [
+                    Point::new(1.0, 1.0),
+                    Point::new(1.2, 1.0),
+                    Point::new(1.0, -1.0),
+                    Point::new(1.2, -1.0)
+                ]
+                .contains(w),
+                "unexpected corner {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn straight_path_when_unobstructed() {
+        let obstacles = wall_scene();
+        let a = Point::new(0.0, 2.0);
+        let b = Point::new(2.0, 2.0);
+        let p = shortest_obstructed_path(a, b, &obstacles, EdgeBuilder::RotationalSweep).unwrap();
+        assert_eq!(p.points.len(), 2);
+        assert!((p.distance - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_target_yields_none() {
+        let obstacles = ObstacleIndex::build(
+            RTreeConfig::tiny(4),
+            vec![Polygon::from_rect(Rect::from_coords(0.0, 0.0, 1.0, 1.0))],
+        );
+        assert!(shortest_obstructed_path(
+            Point::new(-1.0, 0.5),
+            Point::new(0.5, 0.5),
+            &obstacles,
+            EdgeBuilder::RotationalSweep
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn nearest_with_paths_is_consistent() {
+        let obstacles = wall_scene();
+        let entities = EntityIndex::build(
+            RTreeConfig::tiny(4),
+            vec![Point::new(2.0, 0.0), Point::new(0.0, 0.5)],
+        );
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let with_paths = engine.nearest_with_paths(Point::new(0.0, 0.0), 2);
+        let plain = engine.nearest(Point::new(0.0, 0.0), 2);
+        assert_eq!(with_paths.len(), plain.neighbors.len());
+        for ((id_a, path), (id_b, d)) in with_paths.iter().zip(plain.neighbors.iter()) {
+            assert_eq!(id_a, id_b);
+            assert!((path.distance - d).abs() < 1e-9);
+        }
+    }
+}

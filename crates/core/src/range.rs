@@ -1,0 +1,171 @@
+//! Obstacle range query (OR — §3, Fig. 5).
+
+use crate::engine::QueryEngine;
+use crate::stats::{QueryStats, RangeResult};
+use crate::QUERY_TAG;
+use obstacle_geom::Point;
+use obstacle_visibility::{bounded_expansion, NodeKind, VisibilityGraph};
+use std::time::Instant;
+
+impl QueryEngine<'_> {
+    /// All entities within **obstructed** distance `e` of `q`, with their
+    /// obstructed distances, in ascending distance order.
+    ///
+    /// Implements the OR algorithm of Fig. 5:
+    ///
+    /// 1. Euclidean range queries retrieve the candidate entities `P'`
+    ///    and the relevant obstacles `O'` (by the Euclidean lower bound,
+    ///    no entity or obstacle outside the disk can participate);
+    /// 2. a local visibility graph over `q ∪ P' ∪ O'` is built with the
+    ///    rotational plane sweep;
+    /// 3. one Dijkstra expansion from `q`, pruned at radius `e`, settles
+    ///    nodes in ascending obstructed distance; settled entities are
+    ///    reported, the rest of `P'` are false hits.
+    pub fn range(&self, q: Point, e: f64) -> RangeResult {
+        let t0 = Instant::now();
+        let entity_io0 = self.entities.tree().io_stats();
+        let obstacle_io0 = self.obstacles.tree().io_stats();
+
+        // Step 1: candidates and relevant obstacles.
+        let candidates = self.entities.tree().range_circle(q, e);
+        let relevant = self.obstacles.tree().range_circle(q, e);
+
+        let mut hits = Vec::new();
+        let mut peak_graph_nodes = 0;
+        if !candidates.is_empty() {
+            // Step 2: local visibility graph.
+            let (mut graph, waypoints) = VisibilityGraph::build(
+                self.options.builder,
+                relevant
+                    .iter()
+                    .map(|item| (self.obstacles.polygon(item.id).clone(), item.id)),
+                std::iter::once((q, QUERY_TAG)).chain(
+                    candidates
+                        .iter()
+                        .map(|item| (item.mbr.min, item.id)),
+                ),
+            );
+            peak_graph_nodes = graph.node_count();
+            if self.options.tangent_filter {
+                graph.prune_non_tangent();
+            }
+            let q_node = waypoints[0];
+
+            // Step 3: single bounded expansion from q.
+            for (node, d) in bounded_expansion(&graph, q_node, e) {
+                if node == q_node {
+                    continue;
+                }
+                if let NodeKind::Waypoint { tag } = graph.kind(node) {
+                    hits.push((tag, d));
+                }
+            }
+        }
+
+        let entity_io = self.entities.tree().io_stats() - entity_io0;
+        let obstacle_io = self.obstacles.tree().io_stats() - obstacle_io0;
+        let stats = QueryStats {
+            entity_reads: entity_io.reads,
+            obstacle_reads: obstacle_io.reads,
+            entity_fetches: entity_io.fetches(),
+            obstacle_fetches: obstacle_io.fetches(),
+            cpu: t0.elapsed(),
+            candidates: candidates.len(),
+            results: hits.len(),
+            false_hits: candidates.len() - hits.len(),
+            distance_computations: 1,
+            peak_graph_nodes,
+        };
+        RangeResult { hits, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{EntityIndex, ObstacleIndex};
+    use obstacle_geom::{Polygon, Rect};
+    use obstacle_rtree::RTreeConfig;
+
+    fn scene() -> (EntityIndex, ObstacleIndex) {
+        // A wall between q and the east entities.
+        //
+        //   q=(0,0)   wall x∈[1,1.2], y∈[-1,1]   a=(2,0)  b=(1.5,2)  c=(-1,0)
+        let entities = EntityIndex::build(
+            RTreeConfig::tiny(4),
+            vec![
+                Point::new(2.0, 0.0),  // 0: behind the wall
+                Point::new(1.5, 2.0),  // 1: above the wall
+                Point::new(-1.0, 0.0), // 2: free line of sight
+            ],
+        );
+        let obstacles = ObstacleIndex::build(
+            RTreeConfig::tiny(4),
+            vec![Polygon::from_rect(Rect::from_coords(1.0, -1.0, 1.2, 1.0))],
+        );
+        (entities, obstacles)
+    }
+
+    #[test]
+    fn wall_pushes_entity_out_of_range() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let q = Point::new(0.0, 0.0);
+
+        // Euclidean distance to entity 0 is 2.0, but the obstructed path
+        // must round a wall corner: d_O = |q→(1,1)| + |(1,1)→(1.2,1)| +
+        // |(1.2,1)→(2,0)| ≈ 2.897. A range of 2.2 keeps it out.
+        let r = engine.range(q, 2.2);
+        let ids: Vec<u64> = r.hits.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, vec![2]); // only the unobstructed west entity
+        assert_eq!(r.stats.candidates, 2); // entities 0 and 2
+        assert_eq!(r.stats.false_hits, 1); // entity 0 eliminated
+        assert!((r.stats.false_hit_ratio() - 1.0).abs() < 1e-12);
+
+        // A range of 3.0 admits it (and entity 1 at Euclidean 2.5).
+        let r = engine.range(q, 3.0);
+        let ids: Vec<u64> = r.hits.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 3);
+        // Ascending obstructed distance: c (1.0) first.
+        assert_eq!(r.hits[0].0, 2);
+        for w in r.hits.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn exact_distance_of_detour() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let r = engine.range(Point::new(0.0, 0.0), 3.0);
+        let d0 = r.hits.iter().find(|(id, _)| *id == 0).unwrap().1;
+        let expect = Point::new(0.0, 0.0).dist(Point::new(1.0, 1.0))
+            + 0.2
+            + Point::new(1.2, 1.0).dist(Point::new(2.0, 0.0));
+        assert!((d0 - expect).abs() < 1e-9, "{d0} vs {expect}");
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let r = engine.range(Point::new(10.0, 10.0), 0.5);
+        assert!(r.hits.is_empty());
+        assert_eq!(r.stats.candidates, 0);
+        assert_eq!(r.stats.false_hits, 0);
+    }
+
+    #[test]
+    fn distances_respect_euclidean_lower_bound() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let q = Point::new(0.3, 0.4);
+        let r = engine.range(q, 5.0);
+        for (id, d) in &r.hits {
+            let euclid = entities.position(*id).dist(q);
+            assert!(*d >= euclid - 1e-12);
+            assert!(*d <= 5.0 + 1e-12);
+        }
+        assert_eq!(r.hits.len(), 3);
+    }
+}

@@ -1,0 +1,338 @@
+//! City generator: density-weighted BSP blocks with inset street MBRs.
+
+use obstacle_geom::{Point, Polygon, Rect};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Shape of the generated obstacles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ObstacleShape {
+    /// Thin axis-parallel rectangles — the MBRs of streets, as in the
+    /// paper's LA dataset.
+    #[default]
+    StreetRect,
+    /// Random convex polygons with up to the given number of vertices
+    /// (≥ 3). Exercises the general-polygon code paths the paper claims
+    /// ("our methods support arbitrary polygons").
+    ConvexPolygon {
+        /// Upper bound on the vertex count per obstacle.
+        max_vertices: usize,
+    },
+}
+
+/// Configuration of the synthetic city.
+#[derive(Clone, Copy, Debug)]
+pub struct CityConfig {
+    /// Number of obstacles (street MBRs) to generate. The paper's full
+    /// scale is 131,461.
+    pub obstacle_count: usize,
+    /// RNG seed; equal configs generate identical cities.
+    pub seed: u64,
+    /// The data universe (defaults to the unit square).
+    pub universe: Rect,
+    /// Number of Gaussian density bumps ("downtowns"); more bumps ⇒ more
+    /// clustering of small blocks.
+    pub cluster_centers: usize,
+    /// Obstacle shape (defaults to street rectangles, as in the paper).
+    pub shape: ObstacleShape,
+}
+
+impl Default for CityConfig {
+    fn default() -> Self {
+        CityConfig {
+            obstacle_count: 10_000,
+            seed: 0xC17,
+            universe: Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            cluster_centers: 6,
+            shape: ObstacleShape::default(),
+        }
+    }
+}
+
+impl CityConfig {
+    /// Convenience: `obstacle_count` and `seed`, defaults elsewhere.
+    pub fn new(obstacle_count: usize, seed: u64) -> Self {
+        CityConfig {
+            obstacle_count,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// The paper's full-scale obstacle cardinality (|O| = 131,461).
+    pub const PAPER_OBSTACLE_COUNT: usize = 131_461;
+}
+
+/// A generated city: non-overlapping rectangular obstacles.
+#[derive(Clone, Debug)]
+pub struct City {
+    /// The data universe.
+    pub universe: Rect,
+    /// Obstacle rectangles (`rects[i]` bounds `obstacles[i]`).
+    pub rects: Vec<Rect>,
+    /// Obstacles as polygons (for visibility computations).
+    pub obstacles: Vec<Polygon>,
+}
+
+/// A BSP block pending subdivision, prioritised by density-weighted area.
+struct Block {
+    rect: Rect,
+    weight: f64,
+}
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight
+    }
+}
+impl Eq for Block {}
+impl PartialOrd for Block {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Block {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.weight
+            .partial_cmp(&other.weight)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl City {
+    /// Generates a city.
+    pub fn generate(config: CityConfig) -> City {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let u = config.universe;
+
+        // Density field: a base plus Gaussian bumps. Blocks in dense areas
+        // carry more weight and get subdivided further, yielding the
+        // clustered, heavy-tailed block sizes of a real street map.
+        let bumps: Vec<(Point, f64, f64)> = (0..config.cluster_centers)
+            .map(|_| {
+                let c = Point::new(
+                    u.min.x + rng.gen::<f64>() * u.width(),
+                    u.min.y + rng.gen::<f64>() * u.height(),
+                );
+                let sigma = (0.05 + rng.gen::<f64>() * 0.15) * u.width().max(u.height());
+                let amp = 1.0 + rng.gen::<f64>() * 8.0;
+                (c, sigma, amp)
+            })
+            .collect();
+        let density = |p: Point| -> f64 {
+            let mut d = 0.15;
+            for &(c, sigma, amp) in &bumps {
+                let r2 = p.dist_sq(c);
+                d += amp * (-r2 / (2.0 * sigma * sigma)).exp();
+            }
+            d
+        };
+
+        // Recursive weighted BSP until we have one block per obstacle.
+        let mut heap: BinaryHeap<Block> = BinaryHeap::new();
+        let weight = |r: &Rect| r.area() * density(r.center());
+        heap.push(Block {
+            rect: u,
+            weight: weight(&u),
+        });
+        while heap.len() < config.obstacle_count.max(1) {
+            let Block { rect, .. } = heap.pop().expect("heap never empties");
+            let ratio = 0.35 + rng.gen::<f64>() * 0.30;
+            let (a, b) = if rect.width() >= rect.height() {
+                let x = rect.min.x + rect.width() * ratio;
+                (
+                    Rect::from_coords(rect.min.x, rect.min.y, x, rect.max.y),
+                    Rect::from_coords(x, rect.min.y, rect.max.x, rect.max.y),
+                )
+            } else {
+                let y = rect.min.y + rect.height() * ratio;
+                (
+                    Rect::from_coords(rect.min.x, rect.min.y, rect.max.x, y),
+                    Rect::from_coords(rect.min.x, y, rect.max.x, rect.max.y),
+                )
+            };
+            heap.push(Block {
+                weight: weight(&a),
+                rect: a,
+            });
+            heap.push(Block {
+                weight: weight(&b),
+                rect: b,
+            });
+        }
+
+        // One obstacle per block, inset so obstacles never touch across
+        // block borders: margin ≥ 6 % of the block extent per side.
+        let mut obstacles = Vec::with_capacity(config.obstacle_count);
+        for Block { rect: block, .. } in heap.into_vec() {
+            let (w, h) = (block.width(), block.height());
+            let mx = w * (0.06 + rng.gen::<f64>() * 0.06);
+            let my = h * (0.06 + rng.gen::<f64>() * 0.06);
+            let inner = Rect::from_coords(
+                block.min.x + mx,
+                block.min.y + my,
+                block.max.x - mx,
+                block.max.y - my,
+            );
+            obstacles.push(match config.shape {
+                ObstacleShape::StreetRect => street_rect(&inner, &mut rng),
+                ObstacleShape::ConvexPolygon { max_vertices } => {
+                    convex_obstacle(&inner, max_vertices, &mut rng)
+                }
+            });
+        }
+
+        let rects = obstacles.iter().map(|p: &Polygon| p.bbox()).collect();
+        City {
+            universe: u,
+            rects,
+            obstacles,
+        }
+    }
+
+    /// Number of obstacles.
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// Whether the city has no obstacles.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Total obstacle perimeter (used for boundary-weighted sampling).
+    pub fn total_perimeter(&self) -> f64 {
+        self.obstacles.iter().map(|p| p.perimeter()).sum()
+    }
+}
+
+/// A thin rectangle along the longer axis of the block: a street's MBR.
+fn street_rect(inner: &Rect, rng: &mut SmallRng) -> Polygon {
+    let (iw, ih) = (inner.width(), inner.height());
+    let (sw, sh) = if iw >= ih {
+        (
+            iw * (0.60 + rng.gen::<f64>() * 0.30),
+            ih * (0.15 + rng.gen::<f64>() * 0.25),
+        )
+    } else {
+        (
+            iw * (0.15 + rng.gen::<f64>() * 0.25),
+            ih * (0.60 + rng.gen::<f64>() * 0.30),
+        )
+    };
+    let ox = rng.gen::<f64>() * (iw - sw);
+    let oy = rng.gen::<f64>() * (ih - sh);
+    let x0 = inner.min.x + ox;
+    let y0 = inner.min.y + oy;
+    Polygon::from_rect(Rect::from_coords(x0, y0, x0 + sw, y0 + sh))
+}
+
+/// A random convex polygon strictly inside the block: the convex hull of
+/// random points in a sub-rectangle. Degenerate hulls (rare collinear
+/// draws) fall back to the street rectangle.
+fn convex_obstacle(inner: &Rect, max_vertices: usize, rng: &mut SmallRng) -> Polygon {
+    let samples = max_vertices.max(3) + 3;
+    let pts: Vec<obstacle_geom::Point> = (0..samples)
+        .map(|_| {
+            obstacle_geom::Point::new(
+                inner.min.x + rng.gen::<f64>() * inner.width(),
+                inner.min.y + rng.gen::<f64>() * inner.height(),
+            )
+        })
+        .collect();
+    let mut hull = obstacle_geom::convex_hull(&pts);
+    if hull.len() > max_vertices.max(3) {
+        hull.truncate(max_vertices.max(3));
+        // Truncating a hull keeps it convex (a sub-sequence of a convex
+        // loop), but may produce collinear-ish slivers; re-validate.
+    }
+    match Polygon::new(hull) {
+        Ok(p) => p,
+        Err(_) => street_rect(inner, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        for n in [1usize, 2, 37, 500] {
+            let c = City::generate(CityConfig::new(n, 1));
+            assert_eq!(c.len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = City::generate(CityConfig::new(200, 7));
+        let b = City::generate(CityConfig::new(200, 7));
+        assert_eq!(a.rects, b.rects);
+        let c = City::generate(CityConfig::new(200, 8));
+        assert_ne!(a.rects, c.rects);
+    }
+
+    #[test]
+    fn obstacles_are_strictly_disjoint() {
+        let c = City::generate(CityConfig::new(600, 3));
+        for i in 0..c.rects.len() {
+            for j in (i + 1)..c.rects.len() {
+                assert!(
+                    !c.rects[i].intersects(&c.rects[j]),
+                    "obstacles {i} and {j} overlap: {:?} {:?}",
+                    c.rects[i],
+                    c.rects[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn obstacles_fit_in_universe() {
+        let c = City::generate(CityConfig::new(300, 4));
+        for r in &c.rects {
+            assert!(c.universe.contains_rect(r));
+            assert!(r.area() > 0.0);
+        }
+    }
+
+    #[test]
+    fn convex_polygon_cities_are_disjoint_and_convex() {
+        let c = City::generate(CityConfig {
+            shape: ObstacleShape::ConvexPolygon { max_vertices: 7 },
+            ..CityConfig::new(300, 11)
+        });
+        assert_eq!(c.len(), 300);
+        for (i, p) in c.obstacles.iter().enumerate() {
+            assert!(p.is_convex(), "obstacle {i} is not convex");
+            assert!(p.len() >= 3 && p.len() <= 7);
+            assert_eq!(p.bbox(), c.rects[i]);
+        }
+        for i in 0..c.rects.len() {
+            for j in (i + 1)..c.rects.len() {
+                assert!(
+                    !c.rects[i].intersects(&c.rects[j]),
+                    "obstacles {i} and {j} overlap"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layout_is_clustered() {
+        // Density weighting must produce meaningful size variety: the
+        // largest obstacle should dwarf the smallest.
+        let c = City::generate(CityConfig::new(1000, 5));
+        let mut areas: Vec<f64> = c.rects.iter().map(|r| r.area()).collect();
+        areas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let small = areas[areas.len() / 20];       // 5th percentile
+        let large = areas[areas.len() * 19 / 20];  // 95th percentile
+        assert!(
+            large > small * 3.0,
+            "expected heavy-tailed areas, got p5 {small} vs p95 {large}"
+        );
+    }
+}

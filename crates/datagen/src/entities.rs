@@ -1,0 +1,115 @@
+//! Entity datasets following the obstacle distribution.
+
+use crate::city::City;
+use obstacle_geom::Point;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Outward displacement applied to boundary-sampled entities so they are
+/// numerically strictly outside every obstacle interior. At unit-square
+/// scale this is far below any query range of interest (the paper's
+/// smallest range is 0.001 % = 1e-5 of the universe side).
+pub const ENTITY_DISPLACEMENT: f64 = 1e-9;
+
+/// Samples `count` entity points that follow the obstacle distribution:
+/// each point lies on (an outward hair's breadth from) the boundary of an
+/// obstacle chosen with probability proportional to its perimeter, as in
+/// the paper's synthetic entity datasets ("the entities are allowed to lie
+/// on the boundaries of the obstacles but not in their interior").
+pub fn sample_entities(city: &City, count: usize, seed: u64) -> Vec<Point> {
+    assert!(!city.is_empty(), "cannot sample entities without obstacles");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xE17);
+    // Cumulative perimeter weights.
+    let mut cumulative = Vec::with_capacity(city.len());
+    let mut acc = 0.0;
+    for poly in &city.obstacles {
+        acc += poly.perimeter();
+        cumulative.push(acc);
+    }
+    let total = acc;
+    (0..count)
+        .map(|_| {
+            let x = rng.gen::<f64>() * total;
+            let idx = cumulative.partition_point(|&c| c < x).min(city.len() - 1);
+            let t = rng.gen::<f64>();
+            city.obstacles[idx].boundary_point_displaced(t, ENTITY_DISPLACEMENT)
+        })
+        .collect()
+}
+
+/// Uniformly distributed points in the city universe that avoid obstacle
+/// interiors (rejection sampling). Used by the distribution-sensitivity
+/// ablations, not by the paper reproduction itself.
+pub fn uniform_points(city: &City, count: usize, seed: u64) -> Vec<Point> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x04F);
+    let u = city.universe;
+    let mut out = Vec::with_capacity(count);
+    while out.len() < count {
+        let p = Point::new(
+            u.min.x + rng.gen::<f64>() * u.width(),
+            u.min.y + rng.gen::<f64>() * u.height(),
+        );
+        // Obstacles are rectangles, so rejection is a containment scan
+        // (random points hit boundaries with probability zero).
+        if city.rects.iter().all(|r| !r.contains_point(p)) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityConfig;
+    use obstacle_geom::PointLocation;
+
+    #[test]
+    fn entities_are_outside_every_interior() {
+        let city = City::generate(CityConfig::new(150, 2));
+        let pts = sample_entities(&city, 400, 7);
+        assert_eq!(pts.len(), 400);
+        for (i, p) in pts.iter().enumerate() {
+            for (oi, poly) in city.obstacles.iter().enumerate() {
+                assert_ne!(
+                    poly.locate(*p),
+                    PointLocation::Inside,
+                    "entity {i} is inside obstacle {oi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn entities_hug_obstacle_boundaries() {
+        let city = City::generate(CityConfig::new(150, 2));
+        let pts = sample_entities(&city, 100, 3);
+        for p in &pts {
+            let nearest = city
+                .rects
+                .iter()
+                .map(|r| r.mindist_point(*p))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 1e-6, "entity {p} is {nearest} away from all obstacles");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let city = City::generate(CityConfig::new(80, 9));
+        assert_eq!(sample_entities(&city, 50, 1), sample_entities(&city, 50, 1));
+        assert_ne!(sample_entities(&city, 50, 1), sample_entities(&city, 50, 2));
+    }
+
+    #[test]
+    fn uniform_points_avoid_interiors() {
+        let city = City::generate(CityConfig::new(60, 4));
+        let pts = uniform_points(&city, 200, 5);
+        assert_eq!(pts.len(), 200);
+        for p in &pts {
+            for poly in &city.obstacles {
+                assert_ne!(poly.locate(*p), PointLocation::Inside);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic datasets and workloads for the obstacle-query experiments.
+//!
+//! The paper's obstacle dataset is the set of 131,461 MBRs of Los Angeles
+//! streets (the original download link is dead and the data proprietary).
+//! This crate generates a faithful substitute (see `DESIGN.md` §3/§4): a
+//! recursive, density-weighted binary space partition produces city
+//! *blocks*; each block receives one thin "street MBR" inset strictly
+//! inside it, guaranteeing the paper's **non-overlapping obstacles**
+//! invariant while reproducing a clustered, heavy-tailed urban layout.
+//!
+//! Entity datasets and query workloads "follow the obstacle distribution"
+//! (§7): points are sampled on obstacle boundaries with probability
+//! proportional to perimeter, then displaced outward by a configurable
+//! hair's breadth so they are numerically strictly outside every interior
+//! (the paper allows entities on boundaries but not inside).
+
+#![warn(missing_docs)]
+
+mod city;
+mod entities;
+mod workload;
+
+pub use city::{City, CityConfig, ObstacleShape};
+pub use entities::{sample_entities, uniform_points, ENTITY_DISPLACEMENT};
+pub use workload::{parameter_grid, query_workload, EntitySets};

@@ -1,0 +1,106 @@
+//! Query workloads and the paper's parameter grids.
+
+use crate::city::City;
+use crate::entities::sample_entities;
+use obstacle_geom::Point;
+
+/// Query points for range / NN workloads: the paper executes "workloads of
+/// 200 queries, which also follow the obstacle distribution" (§7). Query
+/// points are sampled exactly like entities but from an independent seed
+/// stream.
+pub fn query_workload(city: &City, count: usize, seed: u64) -> Vec<Point> {
+    sample_entities(city, count, seed ^ 0x5EED)
+}
+
+/// The two entity datasets `S` and `T` of a join/closest-pair experiment.
+#[derive(Clone, Debug)]
+pub struct EntitySets {
+    /// The outer dataset `S`.
+    pub s: Vec<Point>,
+    /// The inner dataset `T`.
+    pub t: Vec<Point>,
+}
+
+impl EntitySets {
+    /// Generates `S` (`s_count` points) and `T` (`t_count` points), both
+    /// following the obstacle distribution with independent streams.
+    pub fn generate(city: &City, s_count: usize, t_count: usize, seed: u64) -> Self {
+        EntitySets {
+            s: sample_entities(city, s_count, seed.wrapping_mul(3) ^ 0x5),
+            t: sample_entities(city, t_count, seed.wrapping_mul(5) ^ 0x7),
+        }
+    }
+}
+
+/// The exact parameter grids of the paper's evaluation (§7), expressed as
+/// fractions of the obstacle cardinality / universe side:
+///
+/// * cardinality ratios `|P|/|O|` for range & NN figures (13, 15a, 16, 18a),
+/// * ranges `e` for Figs. 14/15b (percent of universe side),
+/// * `k` values for Figs. 17/18b/22,
+/// * join ratios `|S|/|O|` for Figs. 19/21,
+/// * join ranges `e` for Fig. 20.
+pub mod parameter_grid {
+    /// `|P|/|O|` ∈ {0.1, 0.5, 1, 2, 10} (Figs. 13, 15a, 16, 18a).
+    pub const CARDINALITY_RATIOS: [f64; 5] = [0.1, 0.5, 1.0, 2.0, 10.0];
+    /// Range `e` as a fraction of the universe side:
+    /// {0.01 %, 0.05 %, 0.1 %, 0.5 %, 1 %} (Figs. 14, 15b).
+    pub const RANGE_FRACTIONS: [f64; 5] = [0.0001, 0.0005, 0.001, 0.005, 0.01];
+    /// Default range for cardinality sweeps: 0.1 % of the side.
+    pub const DEFAULT_RANGE_FRACTION: f64 = 0.001;
+    /// `k` ∈ {1, 4, 16, 64, 256} (Figs. 17, 18b, 22).
+    pub const K_VALUES: [usize; 5] = [1, 4, 16, 64, 256];
+    /// Default `k` for cardinality sweeps (Figs. 16, 18a, 21).
+    pub const DEFAULT_K: usize = 16;
+    /// `|S|/|O|` ∈ {0.01, 0.05, 0.1, 0.5, 1} (Figs. 19, 21).
+    pub const JOIN_CARDINALITY_RATIOS: [f64; 5] = [0.01, 0.05, 0.1, 0.5, 1.0];
+    /// Join `e` ∈ {0.001 %, …, 0.1 %} of the side (Fig. 20).
+    pub const JOIN_RANGE_FRACTIONS: [f64; 5] = [0.00001, 0.00005, 0.0001, 0.0005, 0.001];
+    /// Default join range: 0.01 % of the side (Fig. 19).
+    pub const DEFAULT_JOIN_RANGE_FRACTION: f64 = 0.0001;
+    /// `|T|/|O|` used throughout the join/CP experiments.
+    pub const T_RATIO: f64 = 0.1;
+    /// Workload size for range/NN experiments (queries per data point).
+    pub const WORKLOAD_QUERIES: usize = 200;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::city::CityConfig;
+
+    #[test]
+    fn workload_is_deterministic_and_sized() {
+        let city = City::generate(CityConfig::new(100, 1));
+        let w1 = query_workload(&city, 25, 9);
+        let w2 = query_workload(&city, 25, 9);
+        assert_eq!(w1.len(), 25);
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn workload_differs_from_entities_with_same_seed() {
+        let city = City::generate(CityConfig::new(100, 1));
+        let entities = sample_entities(&city, 25, 9);
+        let queries = query_workload(&city, 25, 9);
+        assert_ne!(entities, queries, "streams must be independent");
+    }
+
+    #[test]
+    fn entity_sets_have_requested_sizes() {
+        let city = City::generate(CityConfig::new(100, 1));
+        let sets = EntitySets::generate(&city, 40, 12, 3);
+        assert_eq!(sets.s.len(), 40);
+        assert_eq!(sets.t.len(), 12);
+        assert_ne!(sets.s[..12], sets.t[..]);
+    }
+
+    #[test]
+    fn grids_match_the_paper() {
+        use parameter_grid::*;
+        assert_eq!(CARDINALITY_RATIOS.len(), 5);
+        assert_eq!(K_VALUES, [1, 4, 16, 64, 256]);
+        assert!((RANGE_FRACTIONS[2] - 0.001).abs() < 1e-12);
+        assert_eq!(WORKLOAD_QUERIES, 200);
+    }
+}

@@ -1,0 +1,204 @@
+//! Angular ordering around a pivot point.
+//!
+//! The rotational plane sweep of Sharir & Schorr \[SS84\] processes the
+//! vertices of nearby obstacles in angular order around the sweep origin.
+//! [`angular_cmp`] provides that order **exactly** (no trigonometry): it
+//! combines a half-plane split with the robust [`orient2d`](crate::orient2d)
+//! predicate, breaking ties on the same ray by distance (closer first).
+
+use crate::{orient2d, Orientation, Point};
+use std::cmp::Ordering;
+
+/// Cheap monotone surrogate for `atan2(dy, dx)`, mapping directions to
+/// `[0, 4)` with `0` at the positive x-axis, increasing counter-clockwise.
+/// Only the *order* of the returned values is meaningful. The zero vector
+/// maps to `0`.
+pub fn pseudo_angle(dx: f64, dy: f64) -> f64 {
+    let denom = dx.abs() + dy.abs();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let p = dx / denom;
+    if dy >= 0.0 {
+        1.0 - p // [0, 2): upper half plane plus both x-axis directions
+    } else {
+        3.0 + p // [2, 4): lower half plane
+    }
+}
+
+/// Which half of the plane around `pivot` a point falls in:
+/// `0` for angles in `[0°, 180°)` (positive x-axis inclusive, upper half),
+/// `1` for `[180°, 360°)`.
+#[inline]
+fn half(pivot: Point, p: Point) -> u8 {
+    let dx = p.x - pivot.x;
+    let dy = p.y - pivot.y;
+    if dy > 0.0 || (dy == 0.0 && dx > 0.0) {
+        0
+    } else {
+        1
+    }
+}
+
+/// Exact angular comparison of `a` and `b` around `pivot`.
+///
+/// Orders by angle from the positive x-axis, counter-clockwise, in
+/// `[0°, 360°)`; points on the same ray are ordered near-to-far. `pivot`
+/// itself compares before everything else.
+pub fn angular_cmp(pivot: Point, a: Point, b: Point) -> Ordering {
+    if a == b {
+        return Ordering::Equal;
+    }
+    if a == pivot {
+        return Ordering::Less;
+    }
+    if b == pivot {
+        return Ordering::Greater;
+    }
+    let ha = half(pivot, a);
+    let hb = half(pivot, b);
+    if ha != hb {
+        return ha.cmp(&hb);
+    }
+    match orient2d(pivot, a, b) {
+        Orientation::CounterClockwise => Ordering::Less,
+        Orientation::Clockwise => Ordering::Greater,
+        Orientation::Collinear => {
+            // Same half and collinear through the pivot ⇒ same ray.
+            let da = pivot.dist_sq(a);
+            let db = pivot.dist_sq(b);
+            da.partial_cmp(&db).unwrap()
+        }
+    }
+}
+
+/// Reusable comparator: angular order around a fixed pivot.
+///
+/// Useful with `sort_by`:
+/// ```
+/// use obstacle_geom::{AngularOrder, Point};
+/// let pivot = Point::new(0.0, 0.0);
+/// let mut pts = vec![Point::new(0.0, -1.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0)];
+/// let ord = AngularOrder::new(pivot);
+/// pts.sort_by(|a, b| ord.cmp(*a, *b));
+/// assert_eq!(pts[0], Point::new(1.0, 0.0));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AngularOrder {
+    pivot: Point,
+}
+
+impl AngularOrder {
+    /// Comparator for angular order around `pivot`.
+    pub fn new(pivot: Point) -> Self {
+        AngularOrder { pivot }
+    }
+
+    /// Compare two points in the angular order.
+    pub fn cmp(&self, a: Point, b: Point) -> Ordering {
+        angular_cmp(self.pivot, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn pseudo_angle_matches_atan2_order() {
+        let dirs = [
+            (1.0, 0.0),
+            (1.0, 1.0),
+            (0.0, 1.0),
+            (-1.0, 1.0),
+            (-1.0, 0.0),
+            (-1.0, -1.0),
+            (0.0, -1.0),
+            (1.0, -1.0),
+        ];
+        let mut prev = -1.0;
+        for (dx, dy) in dirs {
+            let a = pseudo_angle(dx, dy);
+            assert!(a > prev, "pseudo_angle must increase CCW from +x");
+            prev = a;
+        }
+        assert_eq!(pseudo_angle(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn angular_cmp_full_circle() {
+        let pivot = p(0.5, 0.5);
+        let ring = [
+            p(1.5, 0.5),  // 0°
+            p(1.5, 1.5),  // 45°
+            p(0.5, 1.5),  // 90°
+            p(-0.5, 1.5), // 135°
+            p(-0.5, 0.5), // 180°
+            p(-0.5, -0.5),
+            p(0.5, -0.5),
+            p(1.5, -0.5),
+        ];
+        for w in ring.windows(2) {
+            assert_eq!(angular_cmp(pivot, w[0], w[1]), Ordering::Less);
+            assert_eq!(angular_cmp(pivot, w[1], w[0]), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn same_ray_orders_by_distance() {
+        let pivot = p(0.0, 0.0);
+        assert_eq!(
+            angular_cmp(pivot, p(1.0, 1.0), p(2.0, 2.0)),
+            Ordering::Less
+        );
+        assert_eq!(
+            angular_cmp(pivot, p(2.0, 2.0), p(1.0, 1.0)),
+            Ordering::Greater
+        );
+        // Opposite rays are NOT the same ray: (−1,−1) is at 225°.
+        assert_eq!(
+            angular_cmp(pivot, p(1.0, 1.0), p(-1.0, -1.0)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn sort_is_total_and_stable_under_shuffle() {
+        let pivot = p(0.0, 0.0);
+        let mut pts = vec![
+            p(0.0, -2.0),
+            p(1.0, 0.0),
+            p(-3.0, 0.0),
+            p(0.5, 0.5),
+            p(2.0, 0.0),
+            p(0.0, 4.0),
+            p(-1.0, -1.0),
+        ];
+        pts.sort_by(|a, b| angular_cmp(pivot, *a, *b));
+        let expected = vec![
+            p(1.0, 0.0),
+            p(2.0, 0.0),
+            p(0.5, 0.5),
+            p(0.0, 4.0),
+            p(-3.0, 0.0),
+            p(-1.0, -1.0),
+            p(0.0, -2.0),
+        ];
+        assert_eq!(pts, expected);
+    }
+
+    #[test]
+    fn pivot_sorts_first_and_equal_points_are_equal() {
+        let pivot = p(1.0, 1.0);
+        assert_eq!(angular_cmp(pivot, pivot, p(2.0, 2.0)), Ordering::Less);
+        assert_eq!(angular_cmp(pivot, p(2.0, 2.0), pivot), Ordering::Greater);
+        assert_eq!(
+            angular_cmp(pivot, p(2.0, 2.0), p(2.0, 2.0)),
+            Ordering::Equal
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Hilbert space-filling curve.
+//!
+//! The ODJ algorithm of the paper sorts join seeds "according to Hilbert
+//! order to maximise locality" between successive obstacle R-tree range
+//! queries (§5, Fig. 10). The R-tree crate also offers Hilbert-order bulk
+//! loading. Both use this module.
+
+use crate::{Point, Rect};
+
+/// Default curve order used when mapping unit-universe points:
+/// a 2^16 × 2^16 grid is far below `f64` precision but fine enough that
+/// Hilbert ordering reflects true spatial locality for any realistic
+/// dataset size.
+pub const HILBERT_ORDER: u32 = 16;
+
+/// Maps grid cell `(x, y)` on the `2^order × 2^order` Hilbert curve to its
+/// distance `d` along the curve. Coordinates must be `< 2^order`.
+///
+/// This is the classic iterative conversion (rotate/reflect quadrants from
+/// the most significant bit downward).
+pub fn hilbert_index(order: u32, mut x: u32, mut y: u32) -> u64 {
+    assert!(order > 0 && order <= 31, "order must be in 1..=31");
+    let n: u32 = 1 << order;
+    assert!(x < n && y < n, "coordinates must be < 2^order");
+    let mut d: u64 = 0;
+    let mut s: u32 = n >> 1;
+    while s > 0 {
+        let rx: u32 = u32::from(x & s > 0);
+        let ry: u32 = u32::from(y & s > 0);
+        d += (s as u64) * (s as u64) * ((3 * rx) ^ ry) as u64;
+        // Rotate the quadrant so the sub-curve is oriented canonically.
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s >>= 1;
+    }
+    d
+}
+
+/// Hilbert index of a point within the `universe` rectangle, using a
+/// `2^HILBERT_ORDER` grid. Points outside the universe are clamped to it.
+pub fn hilbert_index_unit(p: Point, universe: &Rect) -> u64 {
+    let side = (1u32 << HILBERT_ORDER) as f64;
+    let w = universe.width().max(f64::MIN_POSITIVE);
+    let h = universe.height().max(f64::MIN_POSITIVE);
+    let fx = ((p.x - universe.min.x) / w).clamp(0.0, 1.0);
+    let fy = ((p.y - universe.min.y) / h).clamp(0.0, 1.0);
+    let gx = ((fx * side) as u32).min((1 << HILBERT_ORDER) - 1);
+    let gy = ((fy * side) as u32).min((1 << HILBERT_ORDER) - 1);
+    hilbert_index(HILBERT_ORDER, gx, gy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_one_quadrants() {
+        assert_eq!(hilbert_index(1, 0, 0), 0);
+        assert_eq!(hilbert_index(1, 0, 1), 1);
+        assert_eq!(hilbert_index(1, 1, 1), 2);
+        assert_eq!(hilbert_index(1, 1, 0), 3);
+    }
+
+    #[test]
+    fn order_two_is_the_classic_16_cell_curve() {
+        // The canonical order-2 Hilbert walk.
+        let walk = [
+            (0, 0),
+            (1, 0),
+            (1, 1),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, 3),
+            (1, 2),
+            (2, 2),
+            (2, 3),
+            (3, 3),
+            (3, 2),
+            (3, 1),
+            (2, 1),
+            (2, 0),
+            (3, 0),
+        ];
+        for (d, (x, y)) in walk.iter().enumerate() {
+            assert_eq!(hilbert_index(2, *x, *y), d as u64, "cell ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn is_a_bijection_on_small_grids() {
+        for order in 1..=5u32 {
+            let n = 1u32 << order;
+            let mut seen = vec![false; (n as usize) * (n as usize)];
+            for x in 0..n {
+                for y in 0..n {
+                    let d = hilbert_index(order, x, y) as usize;
+                    assert!(d < seen.len());
+                    assert!(!seen[d], "duplicate index {d}");
+                    seen[d] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn consecutive_indices_are_adjacent_cells() {
+        // The defining locality property of the Hilbert curve.
+        let order = 4;
+        let n = 1u32 << order;
+        let mut by_d = vec![(0u32, 0u32); (n as usize) * (n as usize)];
+        for x in 0..n {
+            for y in 0..n {
+                by_d[hilbert_index(order, x, y) as usize] = (x, y);
+            }
+        }
+        for w in by_d.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let manhattan = (x0 as i64 - x1 as i64).abs() + (y0 as i64 - y1 as i64).abs();
+            assert_eq!(manhattan, 1, "curve must move to a 4-neighbour");
+        }
+    }
+
+    #[test]
+    fn unit_mapping_clamps_and_orders() {
+        let u = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let a = hilbert_index_unit(Point::new(0.1, 0.1), &u);
+        let b = hilbert_index_unit(Point::new(0.11, 0.1), &u);
+        let far = hilbert_index_unit(Point::new(0.9, 0.1), &u);
+        // Nearby points have nearby indices; far points differ a lot more.
+        assert!(a.abs_diff(b) < a.abs_diff(far));
+        // Outside points clamp instead of panicking.
+        let _ = hilbert_index_unit(Point::new(-5.0, 99.0), &u);
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinates must be < 2^order")]
+    fn out_of_range_coordinates_panic() {
+        hilbert_index(2, 4, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Convex hulls (Andrew's monotone chain).
+//!
+//! Used by the data generator to produce arbitrary convex polygon
+//! obstacles (the paper's algorithms support any simple polygon; the
+//! experiments use rectangles, so polygon obstacles exercise the general
+//! path).
+
+use crate::{orient2d, Orientation, Point};
+
+/// Convex hull of a point set, as a counter-clockwise vertex loop without
+/// collinear intermediate points. Returns fewer than three points when
+/// the input is degenerate (empty, a single point, or all collinear —
+/// callers that need a polygon must check).
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.lex_cmp(b));
+    pts.dedup();
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d(hull[hull.len() - 2], hull[hull.len() - 1], p)
+                != Orientation::CounterClockwise
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // the first point is repeated at the end
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PointLocation, Polygon};
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+            p(0.5, 0.5),
+            p(0.25, 0.75),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        // CCW and a valid convex polygon.
+        let poly = Polygon::new(hull).unwrap();
+        assert!(poly.is_convex());
+        assert_eq!(poly.area(), 1.0);
+    }
+
+    #[test]
+    fn collinear_input_degenerates() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)];
+        assert!(convex_hull(&pts).len() < 3);
+        assert_eq!(convex_hull(&[]).len(), 0);
+        assert_eq!(convex_hull(&[p(1.0, 1.0)]).len(), 1);
+        assert_eq!(convex_hull(&[p(1.0, 1.0), p(1.0, 1.0)]).len(), 1);
+    }
+
+    #[test]
+    fn collinear_edge_points_are_dropped() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(1.0, 1.0)];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 3); // (1,0) is interior to the bottom edge
+    }
+
+    #[test]
+    fn hull_contains_all_inputs() {
+        // Deterministic pseudo-random check.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..40).map(|_| p(next(), next())).collect();
+        let hull = convex_hull(&pts);
+        assert!(hull.len() >= 3);
+        let poly = Polygon::new(hull).unwrap();
+        assert!(poly.is_convex());
+        for q in &pts {
+            assert_ne!(poly.locate(*q), PointLocation::Outside, "{q}");
+        }
+    }
+}

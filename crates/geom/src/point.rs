@@ -1,0 +1,180 @@
+//! 2-D points with `f64` coordinates.
+
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A point (or free vector) in the plane.
+///
+/// The type doubles as a vector: subtraction of two points yields the
+/// displacement vector between them, and `cross`/`dot` operate on such
+/// displacement vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root when
+    /// only comparisons are needed).
+    #[inline]
+    pub fn dist_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product) of `self`
+    /// and `other` interpreted as vectors.
+    #[inline]
+    pub fn cross(&self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Dot product of `self` and `other` interpreted as vectors.
+    #[inline]
+    pub fn dot(&self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Euclidean norm of `self` interpreted as a vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.dot(*self).sqrt()
+    }
+
+    /// Midpoint of the segment `self`–`other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Returns true when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Lexicographic comparison (by `x`, then `y`); a total order for
+    /// finite points, used to canonicalise polygon vertex orders in tests.
+    #[inline]
+    pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
+        self.x
+            .partial_cmp(&other.x)
+            .unwrap()
+            .then(self.y.partial_cmp(&other.y).unwrap())
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, rhs: f64) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(b.dist(a), 5.0);
+        assert_eq!(a.dist(a), 0.0);
+    }
+
+    #[test]
+    fn dist_sq_matches_dist() {
+        let a = Point::new(-3.0, 0.5);
+        let b = Point::new(2.0, -1.5);
+        assert!((a.dist_sq(b).sqrt() - a.dist(b)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cross_sign_encodes_turn_direction() {
+        let e1 = Point::new(1.0, 0.0);
+        let e2 = Point::new(0.0, 1.0);
+        assert!(e1.cross(e2) > 0.0); // counter-clockwise
+        assert!(e2.cross(e1) < 0.0); // clockwise
+        assert_eq!(e1.cross(e1), 0.0);
+    }
+
+    #[test]
+    fn midpoint_and_lerp_agree() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 4.0);
+        assert_eq!(a.midpoint(b), a.lerp(b, 0.5));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(b - a, Point::new(2.0, 3.0));
+        assert_eq!(a + b, Point::new(4.0, 7.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!((b - a).norm(), (13.0f64).sqrt());
+    }
+
+    #[test]
+    fn lex_cmp_orders_by_x_then_y() {
+        use std::cmp::Ordering;
+        let a = Point::new(0.0, 5.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(0.0, 6.0);
+        assert_eq!(a.lex_cmp(&b), Ordering::Less);
+        assert_eq!(a.lex_cmp(&c), Ordering::Less);
+        assert_eq!(a.lex_cmp(&a), Ordering::Equal);
+    }
+}

@@ -1,0 +1,393 @@
+//! Robust orientation predicates.
+//!
+//! The visibility graph construction and all segment-intersection tests in
+//! this workspace hinge on the sign of the 2×2 determinant
+//!
+//! ```text
+//! | ax - cx   ay - cy |
+//! | bx - cx   by - cy |
+//! ```
+//!
+//! Plain `f64` evaluation of that determinant can return the wrong sign for
+//! nearly-collinear inputs, which corrupts visibility decisions (an edge
+//! that "almost" grazes an obstacle corner may be classified as blocked or
+//! free inconsistently between the naive and the plane-sweep builder).
+//!
+//! [`orient2d`] therefore follows the classic Shewchuk design: a fast
+//! floating-point evaluation with a forward error bound, falling back to an
+//! exact computation using expansion arithmetic when the filter cannot
+//! certify the sign. The exact path ([`orient2d_exact`]) computes the
+//! determinant as a sum of nonoverlapping `f64` expansions and is *always*
+//! correct for finite inputs.
+
+use crate::Point;
+
+/// Relative orientation of an ordered point triple `(a, b, c)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// `c` lies strictly to the left of the directed line `a → b`
+    /// (the triple makes a counter-clockwise turn).
+    CounterClockwise,
+    /// `c` lies strictly to the right of the directed line `a → b`.
+    Clockwise,
+    /// The three points are exactly collinear.
+    Collinear,
+}
+
+impl Orientation {
+    /// Maps a signed determinant to an [`Orientation`].
+    #[inline]
+    pub fn from_sign(det: f64) -> Orientation {
+        if det > 0.0 {
+            Orientation::CounterClockwise
+        } else if det < 0.0 {
+            Orientation::Clockwise
+        } else {
+            Orientation::Collinear
+        }
+    }
+
+    /// The orientation of the mirrored triple (`a`, `b` swapped).
+    #[inline]
+    pub fn reversed(self) -> Orientation {
+        match self {
+            Orientation::CounterClockwise => Orientation::Clockwise,
+            Orientation::Clockwise => Orientation::CounterClockwise,
+            Orientation::Collinear => Orientation::Collinear,
+        }
+    }
+}
+
+/// `2^-53`, the relative rounding error of `f64` arithmetic.
+const EPSILON: f64 = 1.1102230246251565e-16;
+/// Forward error bound for the fast orientation filter
+/// (`(3 + 16ε)·ε`, from Shewchuk's robustness analysis).
+const CCW_ERRBOUND_A: f64 = (3.0 + 16.0 * EPSILON) * EPSILON;
+/// `2^27 + 1`, used to split a double into two half-precision parts.
+const SPLITTER: f64 = 134_217_729.0;
+
+// ---------------------------------------------------------------------------
+// Error-free transformations (Dekker / Knuth building blocks).
+// Each returns `(x, y)` with `x + y` exactly equal to the true result and
+// `x` equal to the rounded result.
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    let b_virt = x - a;
+    let a_virt = x - b_virt;
+    let b_round = b - b_virt;
+    let a_round = a - a_virt;
+    (x, a_round + b_round)
+}
+
+#[inline]
+fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let x = a - b;
+    let b_virt = a - x;
+    let a_virt = x + b_virt;
+    let b_round = b_virt - b;
+    let a_round = a - a_virt;
+    (x, a_round + b_round)
+}
+
+#[inline]
+fn split(a: f64) -> (f64, f64) {
+    let c = SPLITTER * a;
+    let a_big = c - a;
+    let hi = c - a_big;
+    (hi, a - hi)
+}
+
+#[inline]
+fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let x = a * b;
+    let (ahi, alo) = split(a);
+    let (bhi, blo) = split(b);
+    let err1 = x - ahi * bhi;
+    let err2 = err1 - alo * bhi;
+    let err3 = err2 - ahi * blo;
+    (x, alo * blo - err3)
+}
+
+/// `(a1 + a0) - (b1 + b0)` as an exact 4-component expansion
+/// (components in increasing magnitude order).
+#[inline]
+fn two_two_diff(a1: f64, a0: f64, b1: f64, b0: f64) -> [f64; 4] {
+    // Two_One_Diff(a1, a0, b0) ...
+    let (i, x0) = two_diff(a0, b0);
+    let (j, lo) = two_sum(a1, i);
+    // ... followed by Two_One_Diff(j, lo, b1).
+    let (i2, x1) = two_diff(lo, b1);
+    let (x3, x2) = two_sum(j, i2);
+    [x0, x1, x2, x3]
+}
+
+/// Sums two expansions (each sorted by increasing magnitude, nonoverlapping)
+/// into `out`, eliminating zero components. Returns the number of components
+/// written. This is Shewchuk's `FAST_EXPANSION_SUM_ZEROELIM`.
+fn fast_expansion_sum_zeroelim(e: &[f64], f: &[f64], out: &mut [f64]) -> usize {
+    let (mut e_i, mut f_i) = (0usize, 0usize);
+    let mut e_now = e[0];
+    let mut f_now = f[0];
+    let mut q;
+    if (f_now > e_now) == (f_now > -e_now) {
+        q = e_now;
+        e_i += 1;
+        if e_i < e.len() {
+            e_now = e[e_i];
+        }
+    } else {
+        q = f_now;
+        f_i += 1;
+        if f_i < f.len() {
+            f_now = f[f_i];
+        }
+    }
+    let mut out_n = 0usize;
+    if e_i < e.len() && f_i < f.len() {
+        let (new_q, h);
+        if (f_now > e_now) == (f_now > -e_now) {
+            let r = fast_two_sum(e_now, q);
+            new_q = r.0;
+            h = r.1;
+            e_i += 1;
+            if e_i < e.len() {
+                e_now = e[e_i];
+            }
+        } else {
+            let r = fast_two_sum(f_now, q);
+            new_q = r.0;
+            h = r.1;
+            f_i += 1;
+            if f_i < f.len() {
+                f_now = f[f_i];
+            }
+        }
+        q = new_q;
+        if h != 0.0 {
+            out[out_n] = h;
+            out_n += 1;
+        }
+        while e_i < e.len() && f_i < f.len() {
+            let (new_q, h);
+            if (f_now > e_now) == (f_now > -e_now) {
+                let r = two_sum(q, e_now);
+                new_q = r.0;
+                h = r.1;
+                e_i += 1;
+                if e_i < e.len() {
+                    e_now = e[e_i];
+                }
+            } else {
+                let r = two_sum(q, f_now);
+                new_q = r.0;
+                h = r.1;
+                f_i += 1;
+                if f_i < f.len() {
+                    f_now = f[f_i];
+                }
+            }
+            q = new_q;
+            if h != 0.0 {
+                out[out_n] = h;
+                out_n += 1;
+            }
+        }
+    }
+    while e_i < e.len() {
+        let (new_q, h) = two_sum(q, e_now);
+        e_i += 1;
+        if e_i < e.len() {
+            e_now = e[e_i];
+        }
+        q = new_q;
+        if h != 0.0 {
+            out[out_n] = h;
+            out_n += 1;
+        }
+    }
+    while f_i < f.len() {
+        let (new_q, h) = two_sum(q, f_now);
+        f_i += 1;
+        if f_i < f.len() {
+            f_now = f[f_i];
+        }
+        q = new_q;
+        if h != 0.0 {
+            out[out_n] = h;
+            out_n += 1;
+        }
+    }
+    if q != 0.0 || out_n == 0 {
+        out[out_n] = q;
+        out_n += 1;
+    }
+    out_n
+}
+
+#[inline]
+fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let x = a + b;
+    (x, b - (x - a))
+}
+
+/// Exact sign of the orientation determinant, via expansion arithmetic.
+///
+/// Computes `ax·by − ax·cy + bx·cy − bx·ay + cx·ay − cx·by` exactly and
+/// returns its orientation. Correct for all finite inputs (no overflow
+/// handling: coordinates are expected to be well within ±1e150, which holds
+/// for the unit-square universes used throughout this workspace).
+pub fn orient2d_exact(a: Point, b: Point, c: Point) -> Orientation {
+    let (axby1, axby0) = two_product(a.x, b.y);
+    let (axcy1, axcy0) = two_product(a.x, c.y);
+    let aterms = two_two_diff(axby1, axby0, axcy1, axcy0);
+
+    let (bxcy1, bxcy0) = two_product(b.x, c.y);
+    let (bxay1, bxay0) = two_product(b.x, a.y);
+    let bterms = two_two_diff(bxcy1, bxcy0, bxay1, bxay0);
+
+    let (cxay1, cxay0) = two_product(c.x, a.y);
+    let (cxby1, cxby0) = two_product(c.x, b.y);
+    let cterms = two_two_diff(cxay1, cxay0, cxby1, cxby0);
+
+    let mut ab = [0.0f64; 8];
+    let ab_n = fast_expansion_sum_zeroelim(&aterms, &bterms, &mut ab);
+    let mut abc = [0.0f64; 12];
+    let abc_n = fast_expansion_sum_zeroelim(&ab[..ab_n], &cterms, &mut abc);
+
+    // The most significant (last) nonzero component carries the sign.
+    Orientation::from_sign(abc[abc_n - 1])
+}
+
+/// Orientation of the ordered triple `(a, b, c)`: does `a → b → c` turn
+/// counter-clockwise, clockwise, or not at all?
+///
+/// Uses a fast floating-point evaluation guarded by a forward error bound;
+/// when the bound cannot certify the sign the computation falls back to the
+/// exact predicate [`orient2d_exact`]. The returned orientation is always
+/// the exact one.
+pub fn orient2d(a: Point, b: Point, c: Point) -> Orientation {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+
+    let detsum;
+    if detleft > 0.0 {
+        if detright <= 0.0 {
+            return Orientation::from_sign(det);
+        }
+        detsum = detleft + detright;
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return Orientation::from_sign(det);
+        }
+        detsum = -detleft - detright;
+    } else {
+        return Orientation::from_sign(det);
+    }
+
+    let errbound = CCW_ERRBOUND_A * detsum;
+    if det >= errbound || -det >= errbound {
+        return Orientation::from_sign(det);
+    }
+    orient2d_exact(a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn basic_orientations() {
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(1.0, 0.0), p(0.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(0.0, 1.0), p(1.0, 0.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orient2d(p(0.0, 0.0), p(1.0, 1.0), p(2.0, 2.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn exact_and_filtered_agree_on_easy_inputs() {
+        let cases = [
+            (p(0.0, 0.0), p(3.0, 1.0), p(1.0, 4.0)),
+            (p(-5.0, 2.0), p(7.0, -3.0), p(0.25, 0.125)),
+            (p(1.0, 1.0), p(2.0, 2.0), p(3.0, 3.0)),
+        ];
+        for (a, b, c) in cases {
+            assert_eq!(orient2d(a, b, c), orient2d_exact(a, b, c));
+        }
+    }
+
+    #[test]
+    fn nearly_collinear_is_resolved_exactly() {
+        // Classic robustness torture: points on a line y = x with a tiny
+        // perturbation far below the naive rounding noise.
+        // An offset of ~1 ulp of 24.0: far below the naive filter's noise
+        // floor for this input, so the exact fallback must decide the sign.
+        let a = p(0.5, 0.5);
+        let b = p(12.0, 12.0);
+        let c = p(24.0, 24.0 + 4e-15); // just above the line => CCW turn
+        assert_eq!(orient2d(a, b, c), Orientation::CounterClockwise);
+        let c2 = p(24.0, 24.0 - 4e-15);
+        assert_eq!(orient2d(a, b, c2), Orientation::Clockwise);
+        let c3 = p(24.0, 24.0);
+        assert_eq!(orient2d(a, b, c3), Orientation::Collinear);
+    }
+
+    #[test]
+    fn antisymmetry() {
+        let a = p(0.1, 0.7);
+        let b = p(0.9, 0.3);
+        let c = p(0.4, 0.4);
+        assert_eq!(orient2d(a, b, c), orient2d(b, a, c).reversed());
+    }
+
+    #[test]
+    fn cyclic_permutation_invariance() {
+        let a = p(0.3, 0.1);
+        let b = p(0.9, 0.8);
+        let c = p(0.2, 0.95);
+        let o = orient2d(a, b, c);
+        assert_eq!(o, orient2d(b, c, a));
+        assert_eq!(o, orient2d(c, a, b));
+    }
+
+    #[test]
+    fn degenerate_duplicated_points_are_collinear() {
+        let a = p(0.5, 0.25);
+        let b = p(0.75, 0.33);
+        assert_eq!(orient2d(a, a, b), Orientation::Collinear);
+        assert_eq!(orient2d(a, b, b), Orientation::Collinear);
+        assert_eq!(orient2d(a, b, a), Orientation::Collinear);
+        assert_eq!(orient2d(a, a, a), Orientation::Collinear);
+    }
+
+    #[test]
+    fn grid_of_adversarial_offsets() {
+        // Sweep a point across the line through (0,0)-(1,1) with sub-ulp
+        // offsets; the exact predicate must classify every position
+        // consistently with the mathematical sign.
+        let a = p(0.0, 0.0);
+        let b = p(1.0, 1.0);
+        for i in 0..50 {
+            let base = 0.5 + (i as f64) * 1e-17;
+            let c = p(base, base);
+            // c is mathematically on the line only when base is exactly
+            // representable equal in both coordinates, which it is here.
+            assert_eq!(orient2d(a, b, c), Orientation::Collinear);
+        }
+    }
+}

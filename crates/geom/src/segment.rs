@@ -1,0 +1,306 @@
+//! Line segments and intersection tests.
+
+use crate::{orient2d, Orientation, Point};
+
+/// A closed line segment between two endpoints.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment from its endpoints.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Segment length.
+    #[inline]
+    pub fn len(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// Whether the segment is degenerate (both endpoints equal).
+    #[inline]
+    pub fn is_degenerate(&self) -> bool {
+        self.a == self.b
+    }
+
+    /// Whether `p` lies on the closed segment. `p` is assumed collinear
+    /// with the segment; for arbitrary points use [`Segment::contains`].
+    #[inline]
+    pub fn contains_collinear(&self, p: Point) -> bool {
+        p.x >= self.a.x.min(self.b.x)
+            && p.x <= self.a.x.max(self.b.x)
+            && p.y >= self.a.y.min(self.b.y)
+            && p.y <= self.a.y.max(self.b.y)
+    }
+
+    /// Whether `p` lies on the closed segment (exact test).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        orient2d(self.a, self.b, p) == Orientation::Collinear && self.contains_collinear(p)
+    }
+
+    /// Whether `p` lies in the open interior of the segment (on the
+    /// segment, but not at either endpoint).
+    #[inline]
+    pub fn interior_contains(&self, p: Point) -> bool {
+        self.contains(p) && p != self.a && p != self.b
+    }
+
+    /// Parameter `t ∈ [0, 1]` of the closest point on the segment to `p`.
+    pub fn closest_param(&self, p: Point) -> f64 {
+        let d = self.b - self.a;
+        let len_sq = d.dot(d);
+        if len_sq == 0.0 {
+            return 0.0;
+        }
+        ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0)
+    }
+
+    /// Point on the segment at parameter `t ∈ [0, 1]`.
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Distance from `p` to the closest point of the segment.
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        self.at(self.closest_param(p)).dist(p)
+    }
+}
+
+/// Distance from point `p` to segment `s` (free-function convenience).
+#[inline]
+pub fn segment_point_distance(s: Segment, p: Point) -> f64 {
+    s.dist_to_point(p)
+}
+
+/// Whether segments `s` and `t` intersect *properly*: their open interiors
+/// cross in exactly one point. Touching at an endpoint, overlapping
+/// collinearly, or sharing an endpoint are all **not** proper crossings.
+///
+/// This is the blocking test at the heart of visibility computation: a
+/// sight line that properly crosses an obstacle edge necessarily passes
+/// through the obstacle interior.
+pub fn proper_crossing(s: Segment, t: Segment) -> bool {
+    let o1 = orient2d(s.a, s.b, t.a);
+    let o2 = orient2d(s.a, s.b, t.b);
+    let o3 = orient2d(t.a, t.b, s.a);
+    let o4 = orient2d(t.a, t.b, s.b);
+    o1 != Orientation::Collinear
+        && o2 != Orientation::Collinear
+        && o3 != Orientation::Collinear
+        && o4 != Orientation::Collinear
+        && o1 != o2
+        && o3 != o4
+}
+
+/// Whether the closed segments `s` and `t` share at least one point
+/// (proper crossings, endpoint touches and collinear overlaps all count).
+pub fn segments_intersect(s: Segment, t: Segment) -> bool {
+    if proper_crossing(s, t) {
+        return true;
+    }
+    // Any non-proper intersection involves an endpoint of one segment lying
+    // on the other (this also covers collinear overlaps).
+    let o1 = orient2d(s.a, s.b, t.a);
+    let o2 = orient2d(s.a, s.b, t.b);
+    let o3 = orient2d(t.a, t.b, s.a);
+    let o4 = orient2d(t.a, t.b, s.b);
+    (o1 == Orientation::Collinear && s.contains_collinear(t.a))
+        || (o2 == Orientation::Collinear && s.contains_collinear(t.b))
+        || (o3 == Orientation::Collinear && t.contains_collinear(s.a))
+        || (o4 == Orientation::Collinear && t.contains_collinear(s.b))
+}
+
+/// Intersection parameter(s) of segment `s` with segment `t`, expressed as
+/// parameters along `s` (`0` at `s.a`, `1` at `s.b`).
+///
+/// * A proper or touching crossing yields one parameter.
+/// * A collinear overlap yields the two parameters bounding the shared
+///   sub-segment.
+/// * Disjoint segments yield none.
+///
+/// Parameters are computed in floating point; they are used to cut a sight
+/// line into sub-intervals whose midpoints are then classified by exact
+/// point-in-polygon tests, so small parameter errors are harmless.
+pub fn intersection_params(s: Segment, t: Segment) -> SmallParams {
+    let mut out = SmallParams::default();
+    let d1 = s.b - s.a;
+    let d2 = t.b - t.a;
+    let denom = d1.cross(d2);
+
+    let o_ta = orient2d(s.a, s.b, t.a);
+    let o_tb = orient2d(s.a, s.b, t.b);
+
+    if o_ta == Orientation::Collinear && o_tb == Orientation::Collinear {
+        // Collinear: project t's endpoints onto s.
+        let len_sq = d1.dot(d1);
+        if len_sq == 0.0 {
+            return out;
+        }
+        let ta = (t.a - s.a).dot(d1) / len_sq;
+        let tb = (t.b - s.a).dot(d1) / len_sq;
+        let (lo, hi) = if ta <= tb { (ta, tb) } else { (tb, ta) };
+        let lo = lo.max(0.0);
+        let hi = hi.min(1.0);
+        if lo <= hi {
+            out.push(lo);
+            if hi > lo {
+                out.push(hi);
+            }
+        }
+        return out;
+    }
+
+    if !segments_intersect(s, t) {
+        return out;
+    }
+    if denom != 0.0 {
+        let u = (t.a - s.a).cross(d2) / denom;
+        out.push(u.clamp(0.0, 1.0));
+    } else {
+        // Parallel but touching at an endpoint.
+        if t.contains(s.a) {
+            out.push(0.0);
+        }
+        if t.contains(s.b) {
+            out.push(1.0);
+        }
+        if s.contains(t.a) {
+            out.push(s.closest_param(t.a));
+        }
+        if s.contains(t.b) {
+            out.push(s.closest_param(t.b));
+        }
+    }
+    out
+}
+
+/// Tiny fixed-capacity container for intersection parameters (at most two
+/// distinct values can ever be produced per segment pair).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SmallParams {
+    buf: [f64; 4],
+    len: usize,
+}
+
+impl SmallParams {
+    fn push(&mut self, v: f64) {
+        if self.len < self.buf.len() {
+            self.buf[self.len] = v;
+            self.len += 1;
+        }
+    }
+
+    /// The collected parameters.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.buf[..self.len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn proper_crossing_detects_an_x() {
+        let s = seg(0.0, 0.0, 1.0, 1.0);
+        let t = seg(0.0, 1.0, 1.0, 0.0);
+        assert!(proper_crossing(s, t));
+        assert!(segments_intersect(s, t));
+    }
+
+    #[test]
+    fn endpoint_touch_is_not_proper() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        let t = seg(1.0, 0.0, 2.0, 1.0); // shares endpoint (1,0)
+        assert!(!proper_crossing(s, t));
+        assert!(segments_intersect(s, t));
+    }
+
+    #[test]
+    fn t_junction_is_not_proper_but_intersects() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        let t = seg(1.0, 0.0, 1.0, 1.0); // touches interior of s at (1,0)
+        assert!(!proper_crossing(s, t));
+        assert!(segments_intersect(s, t));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        let t = seg(1.0, 0.0, 3.0, 0.0);
+        assert!(!proper_crossing(s, t));
+        assert!(segments_intersect(s, t));
+        let params = intersection_params(s, t);
+        assert_eq!(params.as_slice(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn collinear_disjoint_does_not_intersect() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        let t = seg(2.0, 0.0, 3.0, 0.0);
+        assert!(!segments_intersect(s, t));
+        assert!(intersection_params(s, t).as_slice().is_empty());
+    }
+
+    #[test]
+    fn parallel_non_collinear_does_not_intersect() {
+        let s = seg(0.0, 0.0, 1.0, 0.0);
+        let t = seg(0.0, 1.0, 1.0, 1.0);
+        assert!(!segments_intersect(s, t));
+    }
+
+    #[test]
+    fn fully_disjoint() {
+        let s = seg(0.0, 0.0, 1.0, 1.0);
+        let t = seg(5.0, 5.0, 6.0, 7.0);
+        assert!(!segments_intersect(s, t));
+        assert!(!proper_crossing(s, t));
+    }
+
+    #[test]
+    fn crossing_param_is_correct() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        let t = seg(0.5, -1.0, 0.5, 1.0);
+        let params = intersection_params(s, t);
+        assert_eq!(params.as_slice(), &[0.25]);
+    }
+
+    #[test]
+    fn point_distance() {
+        let s = seg(0.0, 0.0, 2.0, 0.0);
+        assert_eq!(s.dist_to_point(Point::new(1.0, 1.0)), 1.0);
+        assert_eq!(s.dist_to_point(Point::new(3.0, 0.0)), 1.0);
+        assert_eq!(s.dist_to_point(Point::new(1.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn contains_and_interior() {
+        let s = seg(0.0, 0.0, 2.0, 2.0);
+        assert!(s.contains(Point::new(1.0, 1.0)));
+        assert!(s.contains(Point::new(0.0, 0.0)));
+        assert!(s.interior_contains(Point::new(1.0, 1.0)));
+        assert!(!s.interior_contains(Point::new(0.0, 0.0)));
+        assert!(!s.contains(Point::new(1.0, 1.0001)));
+    }
+
+    #[test]
+    fn degenerate_segment() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert!(s.is_degenerate());
+        assert_eq!(s.len(), 0.0);
+        assert_eq!(s.closest_param(Point::new(5.0, 5.0)), 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Entries and items.
+
+use obstacle_geom::{Point, Rect};
+
+/// Identifier of a simulated disk page holding one tree node.
+pub type PageId = u32;
+
+/// An entry of a tree node: a bounding rectangle plus a pointer.
+///
+/// In internal nodes the pointer is the [`PageId`] of a child node; in
+/// leaves it is the caller-assigned identifier of the indexed object.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Entry {
+    /// Minimum bounding rectangle of the referenced subtree or object.
+    pub mbr: Rect,
+    /// Child page id (internal nodes) or object id (leaves).
+    pub ptr: u64,
+}
+
+impl Entry {
+    /// Creates an entry.
+    #[inline]
+    pub fn new(mbr: Rect, ptr: u64) -> Self {
+        Entry { mbr, ptr }
+    }
+
+    /// The pointer reinterpreted as a page id (valid in internal nodes).
+    #[inline]
+    pub fn child(&self) -> PageId {
+        self.ptr as PageId
+    }
+}
+
+/// A leaf-level object: what callers insert into and get back from a tree.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Item {
+    /// Minimum bounding rectangle of the object. For point objects this is
+    /// degenerate (`min == max`).
+    pub mbr: Rect,
+    /// Caller-assigned object identifier.
+    pub id: u64,
+}
+
+impl Item {
+    /// Creates an item from an arbitrary rectangle.
+    #[inline]
+    pub fn new(mbr: Rect, id: u64) -> Self {
+        Item { mbr, id }
+    }
+
+    /// Creates a point item.
+    #[inline]
+    pub fn point(p: Point, id: u64) -> Self {
+        Item {
+            mbr: Rect::from_point(p),
+            id,
+        }
+    }
+
+    /// Center of the item's rectangle (the point itself for point items).
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.mbr.center()
+    }
+}
+
+impl From<Item> for Entry {
+    fn from(i: Item) -> Entry {
+        Entry::new(i.mbr, i.id)
+    }
+}
+
+impl From<Entry> for Item {
+    fn from(e: Entry) -> Item {
+        Item::new(e.mbr, e.ptr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_entry_roundtrip() {
+        let it = Item::point(Point::new(1.0, 2.0), 42);
+        let e: Entry = it.into();
+        let back: Item = e.into();
+        assert_eq!(back, it);
+        assert_eq!(back.center(), Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn entry_child_cast() {
+        let e = Entry::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 7);
+        assert_eq!(e.child(), 7u32);
+    }
+}

@@ -1,0 +1,71 @@
+//! A totally-ordered `f64` wrapper for priority queues.
+
+use std::cmp::Ordering;
+
+/// An `f64` that implements `Ord`.
+///
+/// All distances flowing through the query priority queues are finite and
+/// non-NaN by construction (they are Euclidean distances of finite
+/// coordinates); the wrapper asserts that in debug builds and falls back to
+/// a total order treating NaN as greatest otherwise.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl OrdF64 {
+    /// Wraps a distance value, debug-asserting it is not NaN.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(!v.is_nan(), "NaN distance in priority queue");
+        OrdF64(v)
+    }
+}
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or_else(|| {
+            // NaN-tolerant total order (NaN sorts last) — unreachable in
+            // practice, see type docs.
+            match (self.0.is_nan(), other.0.is_nan()) {
+                (true, true) => Ordering::Equal,
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => unreachable!(),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(OrdF64::new(1.0) < OrdF64::new(2.0));
+        assert!(OrdF64::new(-1.0) < OrdF64::new(0.0));
+        assert_eq!(OrdF64::new(3.5), OrdF64::new(3.5));
+    }
+
+    #[test]
+    fn works_in_a_binary_heap_as_min_heap() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut h = BinaryHeap::new();
+        for v in [3.0, 1.0, 2.0] {
+            h.push(Reverse(OrdF64::new(v)));
+        }
+        assert_eq!(h.pop().unwrap().0 .0, 1.0);
+        assert_eq!(h.pop().unwrap().0 .0, 2.0);
+        assert_eq!(h.pop().unwrap().0 .0, 3.0);
+    }
+}

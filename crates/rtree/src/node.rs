@@ -1,0 +1,65 @@
+//! Tree nodes (one per simulated page).
+
+use crate::entry::Entry;
+use obstacle_geom::Rect;
+
+/// A tree node. `level == 0` for leaves; the root has the highest level.
+#[derive(Clone, Debug, Default)]
+pub struct Node {
+    /// Height of this node above the leaf level.
+    pub level: u32,
+    /// The node's entries (child pointers or objects).
+    pub entries: Vec<Entry>,
+}
+
+impl Node {
+    /// Creates an empty node at `level`.
+    pub fn new(level: u32) -> Self {
+        Node {
+            level,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Whether this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the node has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Union of all entry rectangles (the node's own MBR).
+    pub fn mbr(&self) -> Rect {
+        self.entries
+            .iter()
+            .fold(Rect::empty(), |acc, e| acc.union(&e.mbr))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obstacle_geom::Rect;
+
+    #[test]
+    fn mbr_unions_entries() {
+        let mut n = Node::new(0);
+        assert!(n.mbr().is_empty());
+        n.entries.push(Entry::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 1));
+        n.entries.push(Entry::new(Rect::from_coords(2.0, 2.0, 3.0, 4.0), 2));
+        assert_eq!(n.mbr(), Rect::from_coords(0.0, 0.0, 3.0, 4.0));
+        assert!(n.is_leaf());
+        assert_eq!(n.len(), 2);
+    }
+}

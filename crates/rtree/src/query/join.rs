@@ -1,0 +1,215 @@
+//! R-tree e-distance join \[BKS93\].
+//!
+//! Synchronized depth-first traversal of two trees, following node pairs
+//! whose MBR `mindist` does not exceed the join distance `e`. At the leaf
+//! level a plane-sweep along the x axis avoids the full quadratic pairing
+//! of the two nodes' entries. The ODJ algorithm of the paper runs this to
+//! obtain candidate pairs before obstructed-distance refinement.
+
+use crate::entry::{Entry, Item, PageId};
+use crate::tree::RTree;
+
+/// All item pairs `(s, t)` with `mindist(s.mbr, t.mbr) ≤ e` (for point
+/// items this is the exact Euclidean e-distance join of the paper).
+///
+/// `left` and `right` may be the same tree; self-pairs `(x, x)` are then
+/// included (callers filter as needed).
+pub fn distance_join(left: &RTree, right: &RTree, e: f64) -> Vec<(Item, Item)> {
+    let mut out = Vec::new();
+    if left.is_empty() || right.is_empty() {
+        return out;
+    }
+    join_pages(left, right, left.root_page(), right.root_page(), e, &mut out);
+    out
+}
+
+fn join_pages(
+    left: &RTree,
+    right: &RTree,
+    lp: PageId,
+    rp: PageId,
+    e: f64,
+    out: &mut Vec<(Item, Item)>,
+) {
+    let ln = left.read_page(lp);
+    let rn = right.read_page(rp);
+
+    match (ln.is_leaf(), rn.is_leaf()) {
+        (true, true) => {
+            sweep_leaf_pairs(&ln.entries, &rn.entries, e, out);
+        }
+        (false, true) => {
+            // Descend the left (taller) side only.
+            let rmbr = rn.mbr();
+            let children: Vec<PageId> = ln
+                .entries
+                .iter()
+                .filter(|le| le.mbr.mindist_rect(&rmbr) <= e)
+                .map(|le| le.child())
+                .collect();
+            for lc in children {
+                join_pages(left, right, lc, rp, e, out);
+            }
+        }
+        (true, false) => {
+            let lmbr = ln.mbr();
+            let children: Vec<PageId> = rn
+                .entries
+                .iter()
+                .filter(|re| re.mbr.mindist_rect(&lmbr) <= e)
+                .map(|re| re.child())
+                .collect();
+            for rc in children {
+                join_pages(left, right, lp, rc, e, out);
+            }
+        }
+        (false, false) => {
+            // Both internal: pair children with mindist ≤ e. Sorting by
+            // x-low lets the scan skip far-apart pairs early.
+            let pairs = qualifying_pairs(&ln.entries, &rn.entries, e);
+            for (lc, rc) in pairs {
+                join_pages(left, right, lc, rc, e, out);
+            }
+        }
+    }
+}
+
+/// Child-pair generation for two internal nodes with an x-axis sweep.
+fn qualifying_pairs(ls: &[Entry], rs: &[Entry], e: f64) -> Vec<(PageId, PageId)> {
+    let mut l: Vec<&Entry> = ls.iter().collect();
+    let mut r: Vec<&Entry> = rs.iter().collect();
+    l.sort_by(|a, b| a.mbr.min.x.partial_cmp(&b.mbr.min.x).unwrap());
+    r.sort_by(|a, b| a.mbr.min.x.partial_cmp(&b.mbr.min.x).unwrap());
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    for le in &l {
+        // Advance past right entries that end too far left of `le`.
+        while start < r.len() && r[start].mbr.max.x < le.mbr.min.x - e {
+            start += 1;
+        }
+        for re in r.iter().skip(start) {
+            if re.mbr.min.x > le.mbr.max.x + e {
+                break;
+            }
+            if le.mbr.mindist_rect(&re.mbr) <= e {
+                out.push((le.child(), re.child()));
+            }
+        }
+    }
+    out
+}
+
+/// Leaf-level pairing with the same sweep.
+fn sweep_leaf_pairs(ls: &[Entry], rs: &[Entry], e: f64, out: &mut Vec<(Item, Item)>) {
+    let mut l: Vec<&Entry> = ls.iter().collect();
+    let mut r: Vec<&Entry> = rs.iter().collect();
+    l.sort_by(|a, b| a.mbr.min.x.partial_cmp(&b.mbr.min.x).unwrap());
+    r.sort_by(|a, b| a.mbr.min.x.partial_cmp(&b.mbr.min.x).unwrap());
+    let mut start = 0usize;
+    for le in &l {
+        while start < r.len() && r[start].mbr.max.x < le.mbr.min.x - e {
+            start += 1;
+        }
+        for re in r.iter().skip(start) {
+            if re.mbr.min.x > le.mbr.max.x + e {
+                break;
+            }
+            if le.mbr.mindist_rect(&re.mbr) <= e {
+                out.push((Item::from(**le), Item::from(**re)));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+    use obstacle_geom::Point;
+
+    fn points_tree(pts: &[(f64, f64)], cap: usize) -> RTree {
+        RTree::build(
+            RTreeConfig::tiny(cap),
+            pts.iter()
+                .enumerate()
+                .map(|(i, &(x, y))| Item::point(Point::new(x, y), i as u64)),
+        )
+    }
+
+    fn brute_join(a: &[(f64, f64)], b: &[(f64, f64)], e: f64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for (i, &(ax, ay)) in a.iter().enumerate() {
+            for (j, &(bx, by)) in b.iter().enumerate() {
+                if Point::new(ax, ay).dist(Point::new(bx, by)) <= e {
+                    out.push((i as u64, j as u64));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn matches_brute_force_on_grids() {
+        let a: Vec<(f64, f64)> = (0..40)
+            .map(|i| ((i % 8) as f64, (i / 8) as f64))
+            .collect();
+        let b: Vec<(f64, f64)> = (0..30)
+            .map(|i| ((i % 6) as f64 + 0.4, (i / 6) as f64 + 0.3))
+            .collect();
+        let ta = points_tree(&a, 4);
+        let tb = points_tree(&b, 3);
+        for e in [0.0, 0.5, 0.71, 1.5, 10.0] {
+            let mut got: Vec<(u64, u64)> = distance_join(&ta, &tb, e)
+                .into_iter()
+                .map(|(s, t)| (s.id, t.id))
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, brute_join(&a, &b, e), "e = {e}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_heights() {
+        // Left tree much larger than right → unequal heights exercise the
+        // fix-one-side descent paths.
+        let a: Vec<(f64, f64)> = (0..300)
+            .map(|i| ((i % 20) as f64 * 0.1, (i / 20) as f64 * 0.1))
+            .collect();
+        let b = vec![(0.55, 0.55), (1.0, 1.4)];
+        let ta = points_tree(&a, 4);
+        let tb = points_tree(&b, 4);
+        assert!(ta.height() > tb.height());
+        let mut got: Vec<(u64, u64)> = distance_join(&ta, &tb, 0.25)
+            .into_iter()
+            .map(|(s, t)| (s.id, t.id))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, brute_join(&a, &b, 0.25));
+    }
+
+    #[test]
+    fn zero_distance_is_intersection_join() {
+        let a = vec![(1.0, 1.0), (2.0, 2.0)];
+        let b = vec![(1.0, 1.0), (3.0, 3.0)];
+        let got = distance_join(&points_tree(&a, 4), &points_tree(&b, 4), 0.0);
+        assert_eq!(got.len(), 1);
+        assert_eq!((got[0].0.id, got[0].1.id), (0, 0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let empty = RTree::new(RTreeConfig::tiny(4));
+        let t = points_tree(&[(0.0, 0.0)], 4);
+        assert!(distance_join(&empty, &t, 1.0).is_empty());
+        assert!(distance_join(&t, &empty, 1.0).is_empty());
+    }
+
+    #[test]
+    fn self_join_includes_self_pairs() {
+        let a = vec![(0.0, 0.0), (5.0, 5.0)];
+        let t = points_tree(&a, 4);
+        let got = distance_join(&t, &t, 1.0);
+        assert_eq!(got.len(), 2); // (0,0) and (1,1)
+    }
+}

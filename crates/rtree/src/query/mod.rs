@@ -1,0 +1,5 @@
+//! Query algorithms beyond plain range search.
+
+pub mod closest_pairs;
+pub mod join;
+pub mod nn;

@@ -1,0 +1,158 @@
+//! Structural tree statistics.
+//!
+//! Quantifies tree quality — node occupancy, per-level page counts, MBR
+//! area and overlap — so construction strategies (R\* insertion vs STR vs
+//! Hilbert bulk loading) can be compared beyond raw query timings. Used
+//! by the `loading strategies` ablation bench and handy when debugging
+//! degenerate splits.
+
+use crate::entry::PageId;
+use crate::tree::RTree;
+
+/// Statistics of one tree level (0 = leaves).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LevelStats {
+    /// Nodes at this level.
+    pub nodes: usize,
+    /// Total entries across the level's nodes.
+    pub entries: usize,
+    /// Sum of node-MBR areas.
+    pub area: f64,
+    /// Sum of pairwise MBR intersection areas between sibling nodes of
+    /// this level (the R\*-tree's overlap criterion; smaller is better).
+    pub overlap: f64,
+}
+
+impl LevelStats {
+    /// Mean entries per node, as a fraction of `capacity`.
+    pub fn occupancy(&self, capacity: usize) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.entries as f64 / (self.nodes * capacity) as f64
+        }
+    }
+}
+
+/// Whole-tree structural statistics; see [`RTree::stats`].
+#[derive(Clone, Debug, Default)]
+pub struct TreeStats {
+    /// Per-level stats, index 0 = leaf level.
+    pub levels: Vec<LevelStats>,
+}
+
+impl TreeStats {
+    /// Total number of nodes (pages).
+    pub fn total_nodes(&self) -> usize {
+        self.levels.iter().map(|l| l.nodes).sum()
+    }
+
+    /// Leaf-level statistics.
+    pub fn leaves(&self) -> LevelStats {
+        self.levels.first().copied().unwrap_or_default()
+    }
+}
+
+impl RTree {
+    /// Computes structural statistics (no I/O accounting: this walks the
+    /// raw pages, it is an offline diagnostic).
+    pub fn stats(&self) -> TreeStats {
+        let mut stats = TreeStats {
+            levels: vec![LevelStats::default(); self.height as usize],
+        };
+        // Collect per-level node MBR lists for the overlap metric.
+        let mut mbrs_per_level: Vec<Vec<obstacle_geom::Rect>> =
+            vec![Vec::new(); self.height as usize];
+        let mut stack: Vec<PageId> = vec![self.root];
+        while let Some(page) = stack.pop() {
+            let node = self.store.node(page);
+            let lvl = node.level as usize;
+            stats.levels[lvl].nodes += 1;
+            stats.levels[lvl].entries += node.len();
+            let mbr = node.mbr();
+            stats.levels[lvl].area += mbr.area();
+            mbrs_per_level[lvl].push(mbr);
+            if !node.is_leaf() {
+                stack.extend(node.entries.iter().map(|e| e.child()));
+            }
+        }
+        for (lvl, mbrs) in mbrs_per_level.iter().enumerate() {
+            let mut overlap = 0.0;
+            for i in 0..mbrs.len() {
+                for j in (i + 1)..mbrs.len() {
+                    overlap += mbrs[i].intersection_area(&mbrs[j]);
+                }
+            }
+            stats.levels[lvl].overlap = overlap;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RTreeConfig;
+    use crate::entry::Item;
+    use obstacle_geom::Point;
+
+    fn grid_items(n: usize) -> Vec<Item> {
+        (0..n)
+            .map(|i| {
+                Item::point(
+                    Point::new((i % 50) as f64 / 50.0, (i / 50) as f64 / 50.0),
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn counts_match_tree_shape() {
+        let t = RTree::build(RTreeConfig::tiny(8), grid_items(500));
+        let s = t.stats();
+        assert_eq!(s.levels.len(), t.height() as usize);
+        assert_eq!(s.total_nodes(), t.pages());
+        assert_eq!(s.leaves().entries, 500);
+        // Every non-leaf level's entries equal the node count below it.
+        for lvl in 1..s.levels.len() {
+            assert_eq!(s.levels[lvl].entries, s.levels[lvl - 1].nodes);
+        }
+    }
+
+    #[test]
+    fn str_packs_tighter_than_insertion() {
+        let items = grid_items(2000);
+        let built = RTree::build(RTreeConfig::tiny(16), items.clone());
+        let bulk = RTree::bulk_load_str(RTreeConfig::tiny(16), items);
+        let cap = 16;
+        let s_built = built.stats();
+        let s_bulk = bulk.stats();
+        assert!(
+            s_bulk.leaves().occupancy(cap) > s_built.leaves().occupancy(cap),
+            "STR occupancy {} should beat insertion {}",
+            s_bulk.leaves().occupancy(cap),
+            s_built.leaves().occupancy(cap)
+        );
+        assert!(s_bulk.total_nodes() <= s_built.total_nodes());
+    }
+
+    #[test]
+    fn overlap_is_zero_for_disjoint_tiles_and_positive_when_forced() {
+        // STR over a uniform grid produces (nearly) disjoint leaf tiles.
+        let bulk = RTree::bulk_load_str(RTreeConfig::tiny(16), grid_items(1000));
+        let s = bulk.stats();
+        // Overlap exists but should be tiny relative to covered area.
+        let leaves = s.leaves();
+        assert!(leaves.overlap <= leaves.area * 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single_node_trees() {
+        let t = RTree::new(RTreeConfig::tiny(4));
+        let s = t.stats();
+        assert_eq!(s.total_nodes(), 1);
+        assert_eq!(s.leaves().entries, 0);
+        assert_eq!(s.leaves().occupancy(4), 0.0);
+    }
+}

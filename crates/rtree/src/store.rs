@@ -1,0 +1,260 @@
+//! Simulated paged storage with I/O accounting.
+
+use crate::buffer::LruBuffer;
+use crate::entry::PageId;
+use crate::node::Node;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative I/O counters of one tree.
+///
+/// `reads` is the paper's "page accesses" metric: the number of page
+/// fetches that missed the LRU buffer. `buffer_hits` counts the fetches
+/// that were served from the buffer, and `writes` counts page write-backs
+/// (structure modifications).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Buffer misses — the page-access metric reported in the paper.
+    pub reads: u64,
+    /// Buffer hits (free accesses).
+    pub buffer_hits: u64,
+    /// Page writes caused by structural modifications.
+    pub writes: u64,
+}
+
+impl IoStats {
+    /// Total logical page fetches (hits + misses).
+    pub fn fetches(&self) -> u64 {
+        self.reads + self.buffer_hits
+    }
+}
+
+impl std::ops::Sub for IoStats {
+    type Output = IoStats;
+    fn sub(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            reads: self.reads - rhs.reads,
+            buffer_hits: self.buffer_hits - rhs.buffer_hits,
+            writes: self.writes - rhs.writes,
+        }
+    }
+}
+
+/// In-memory page store: node storage, free-list, LRU buffer and counters.
+///
+/// Reads take `&self`; the buffer and counters use interior mutability so
+/// that query iterators holding `&RTree` can account their page accesses.
+/// The buffer sits behind a mutex and the counters are atomic, making the
+/// store (and therefore [`crate::RTree`]) `Sync`: read-only query
+/// workloads may run from multiple threads sharing one tree (they then
+/// also share its LRU buffer, exactly like concurrent clients of one
+/// database buffer pool).
+#[derive(Debug)]
+pub struct PageStore {
+    pages: Vec<Option<Node>>,
+    free: Vec<PageId>,
+    buffer: Mutex<LruBuffer>,
+    reads: AtomicU64,
+    hits: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl PageStore {
+    /// Creates an empty store with the given buffer capacity (pages).
+    pub fn new(buffer_pages: usize) -> Self {
+        PageStore {
+            pages: Vec::new(),
+            free: Vec::new(),
+            buffer: Mutex::new(LruBuffer::new(buffer_pages)),
+            reads: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Rebuilds a store from raw page slots (used when decoding a
+    /// persisted image); `None` slots become free pages.
+    pub(crate) fn from_slots(pages: Vec<Option<Node>>, buffer_pages: usize) -> Self {
+        let free = pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.is_none().then_some(i as PageId))
+            .collect();
+        PageStore {
+            pages,
+            free,
+            buffer: Mutex::new(LruBuffer::new(buffer_pages)),
+            reads: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Raw page slots including freed holes (persistence support).
+    pub(crate) fn slots(&self) -> &[Option<Node>] {
+        &self.pages
+    }
+
+    /// Number of live (allocated, non-freed) pages.
+    pub fn live_pages(&self) -> usize {
+        self.pages.len() - self.free.len()
+    }
+
+    /// Allocates a page for `node` and returns its id.
+    pub fn allocate(&mut self, node: Node) -> PageId {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(id) = self.free.pop() {
+            self.pages[id as usize] = Some(node);
+            id
+        } else {
+            self.pages.push(Some(node));
+            (self.pages.len() - 1) as PageId
+        }
+    }
+
+    /// Frees a page (node merged away).
+    pub fn release(&mut self, id: PageId) {
+        assert!(
+            self.pages[id as usize].take().is_some(),
+            "double free of page {id}"
+        );
+        self.buffer.lock().invalidate(id);
+        self.free.push(id);
+    }
+
+    /// Fetches a page for reading, going through the LRU buffer and
+    /// counting a page access on a miss.
+    pub fn read(&self, id: PageId) -> &Node {
+        if self.buffer.lock().access(id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+        }
+        self.node(id)
+    }
+
+    /// Fetches a page for modification; counts like a read plus a write.
+    pub fn read_mut(&mut self, id: PageId) -> &mut Node {
+        if self.buffer.get_mut().access(id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reads.fetch_add(1, Ordering::Relaxed);
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.pages[id as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("access to freed page {id}"))
+    }
+
+    /// Direct node access without I/O accounting (tree-internal bookkeeping
+    /// such as validation; never used on query paths).
+    pub fn node(&self, id: PageId) -> &Node {
+        self.pages[id as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("access to freed page {id}"))
+    }
+
+    /// Direct mutable access without I/O accounting.
+    pub fn node_mut(&mut self, id: PageId) -> &mut Node {
+        self.pages[id as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("access to freed page {id}"))
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            buffer_hits: self.hits.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the counters (the buffer contents are left untouched, so a
+    /// measured workload starts from a warm or cold buffer as the caller
+    /// arranged).
+    pub fn reset_stats(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+    }
+
+    /// Empties the buffer (cold start) and resizes it to `pages`.
+    pub fn reset_buffer(&self, pages: usize) {
+        let mut b = self.buffer.lock();
+        b.clear();
+        b.resize(pages);
+    }
+
+    /// Current buffer capacity in pages.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer.lock().capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf() -> Node {
+        Node::new(0)
+    }
+
+    #[test]
+    fn allocate_read_counts_misses_and_hits() {
+        let mut s = PageStore::new(1);
+        let a = s.allocate(leaf());
+        let b = s.allocate(leaf());
+        s.reset_stats();
+        s.read(a); // miss
+        s.read(a); // hit
+        s.read(b); // miss (evicts a)
+        s.read(a); // miss
+        let st = s.stats();
+        assert_eq!(st.reads, 3);
+        assert_eq!(st.buffer_hits, 1);
+        assert_eq!(st.fetches(), 4);
+    }
+
+    #[test]
+    fn release_and_reuse() {
+        let mut s = PageStore::new(4);
+        let a = s.allocate(leaf());
+        assert_eq!(s.live_pages(), 1);
+        s.release(a);
+        assert_eq!(s.live_pages(), 0);
+        let b = s.allocate(leaf());
+        assert_eq!(b, a, "freed page id is reused");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut s = PageStore::new(4);
+        let a = s.allocate(leaf());
+        s.release(a);
+        s.release(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "freed page")]
+    fn read_after_free_panics() {
+        let mut s = PageStore::new(4);
+        let a = s.allocate(leaf());
+        s.release(a);
+        s.read(a);
+    }
+
+    #[test]
+    fn stats_subtraction_gives_deltas() {
+        let mut s = PageStore::new(0);
+        let a = s.allocate(leaf());
+        s.reset_stats();
+        s.read(a);
+        let before = s.stats();
+        s.read(a);
+        s.read(a);
+        let delta = s.stats() - before;
+        assert_eq!(delta.reads, 2);
+    }
+}

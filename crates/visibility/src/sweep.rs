@@ -1,0 +1,446 @@
+//! Rotational plane-sweep visibility \[SS84\].
+//!
+//! Computes, for one *pivot* point, the set of visible points among all
+//! obstacle vertices and a set of free points, in O(n log n) for points in
+//! general position: the points are processed in angular order around the
+//! pivot while a *status* structure maintains the obstacle edges currently
+//! crossed by the sweep ray, ordered by crossing distance.
+//!
+//! Point *classifications* (strictly-inside flags and boundary
+//! attachments, the inputs of the interior-cone blocking tests) are
+//! independent of the pivot, so callers that sweep from many pivots over
+//! one scene — the visibility graph — compute them once via [`classify`]
+//! and pass them to [`visible_set_prepared`]. The convenience wrapper
+//! [`visible_set`] classifies internally.
+//!
+//! Correctness notes (matching [`Polygon::blocks_segment`] semantics —
+//! obstacle interiors block, boundaries do not):
+//!
+//! * Edges only enter the status when *properly* crossed by the ray; edges
+//!   collinear with the ray never block (walking along a wall is free).
+//! * Interior passage through a polygon **vertex** or through a boundary
+//!   point (e.g. the diagonal of a rectangle between opposite corners, or
+//!   an entity standing on a wall) is not a proper edge crossing; it is
+//!   caught by *interior-cone* tests derived from the point's boundary
+//!   attachments — at the pivot, at the target, and, for chains of
+//!   collinear events, at intermediate points.
+//! * Points strictly inside an obstacle are never visible (and block the
+//!   rest of their ray).
+//! * Events on a common ray are processed near-to-far; once a point of
+//!   the ray is blocked, every farther point is blocked too.
+
+use obstacle_geom::{
+    angular_cmp, orient2d, BoundaryAttachment, Orientation, Point, PointLocation, Polygon,
+};
+
+/// Result of a sweep: visibility flags for every obstacle vertex (outer
+/// index = obstacle position in the input slice, inner = vertex index) and
+/// every free point.
+#[derive(Clone, Debug)]
+pub struct VisibleSet {
+    /// `vertices[o][v]` — whether vertex `v` of obstacle `o` is visible.
+    pub vertices: Vec<Vec<bool>>,
+    /// `free[i]` — whether free point `i` is visible.
+    pub free: Vec<bool>,
+}
+
+/// Pivot-independent classification of a point against a scene: whether
+/// it lies strictly inside some obstacle, and the boundary attachments
+/// (obstacle index + vertex/edge location) it participates in.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PointClass {
+    /// Strictly inside some obstacle: never visible, blocks its ray.
+    pub inside: bool,
+    /// Obstacles whose boundary passes through this point.
+    pub attachments: Vec<(usize, BoundaryAttachment)>,
+}
+
+/// Classifies `p` against every obstacle (bbox-prefiltered scan).
+pub fn classify(obstacles: &[&Polygon], p: Point) -> PointClass {
+    let mut class = PointClass::default();
+    for (oi, poly) in obstacles.iter().enumerate() {
+        if !poly.bbox().contains_point(p) {
+            continue;
+        }
+        if let Some(at) = poly.boundary_attachment(p) {
+            class.attachments.push((oi, at));
+        } else if poly.locate(p) == PointLocation::Inside {
+            class.inside = true;
+            return class;
+        }
+    }
+    class
+}
+
+/// Updates an existing classification for one newly added obstacle
+/// (`oi` = its index in the scene).
+pub fn classify_incremental(class: &mut PointClass, oi: usize, poly: &Polygon, p: Point) {
+    if class.inside || !poly.bbox().contains_point(p) {
+        return;
+    }
+    if let Some(at) = poly.boundary_attachment(p) {
+        class.attachments.push((oi, at));
+    } else if poly.locate(p) == PointLocation::Inside {
+        class.inside = true;
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    a: Point,
+    b: Point,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum EventKind {
+    /// Vertex `vertex` of `obstacles[obstacle]`.
+    Vertex { obstacle: usize, vertex: usize },
+    /// Free point with index into `free_points`.
+    Free(usize),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    pos: Point,
+    kind: EventKind,
+}
+
+/// Whether a segment from a point with the given attachments towards
+/// `toward` immediately enters the interior of an attached obstacle.
+fn enters_interior(
+    obstacles: &[&Polygon],
+    attachments: &[(usize, BoundaryAttachment)],
+    toward: Point,
+) -> bool {
+    attachments
+        .iter()
+        .any(|&(oi, at)| obstacles[oi].enters_interior_at_boundary(at, toward))
+}
+
+/// Convenience wrapper around [`visible_set_prepared`] that classifies
+/// the pivot, every obstacle vertex and every free point on the fly.
+///
+/// `pivot_vertex`, when given as `(obstacle, vertex)`, marks the pivot as
+/// that obstacle vertex (its own event is skipped). Free points may lie
+/// anywhere, including on obstacle boundaries or inside obstacles. Points
+/// coincident with the pivot are reported visible (zero-length sight
+/// line).
+pub fn visible_set(
+    obstacles: &[&Polygon],
+    pivot: Point,
+    pivot_vertex: Option<(usize, usize)>,
+    free_points: &[Point],
+) -> VisibleSet {
+    let mut pivot_class = classify(obstacles, pivot);
+    if let Some((po, pv)) = pivot_vertex {
+        if !pivot_class
+            .attachments
+            .contains(&(po, BoundaryAttachment::Vertex(pv)))
+        {
+            pivot_class
+                .attachments
+                .push((po, BoundaryAttachment::Vertex(pv)));
+        }
+    }
+    let vertex_class: Vec<Vec<PointClass>> = obstacles
+        .iter()
+        .map(|poly| {
+            poly.vertices()
+                .iter()
+                .map(|&v| classify(obstacles, v))
+                .collect()
+        })
+        .collect();
+    let vertex_class_refs: Vec<&[PointClass]> =
+        vertex_class.iter().map(|v| v.as_slice()).collect();
+    let free_class: Vec<PointClass> = free_points
+        .iter()
+        .map(|&p| classify(obstacles, p))
+        .collect();
+    let free_class_refs: Vec<&PointClass> = free_class.iter().collect();
+    visible_set_prepared(
+        obstacles,
+        pivot,
+        &pivot_class,
+        pivot_vertex,
+        free_points,
+        &free_class_refs,
+        &vertex_class_refs,
+    )
+}
+
+/// Computes the visible set from `pivot` using pre-computed point
+/// classifications (see [`classify`]): `vertex_class[o][v]` classifies
+/// vertex `v` of `obstacles[o]`, `free_class[i]` classifies
+/// `free_points[i]`.
+#[allow(clippy::too_many_arguments)]
+pub fn visible_set_prepared(
+    obstacles: &[&Polygon],
+    pivot: Point,
+    pivot_class: &PointClass,
+    pivot_vertex: Option<(usize, usize)>,
+    free_points: &[Point],
+    free_class: &[&PointClass],
+    vertex_class: &[&[PointClass]],
+) -> VisibleSet {
+    debug_assert_eq!(free_points.len(), free_class.len());
+    debug_assert_eq!(obstacles.len(), vertex_class.len());
+    let mut result = VisibleSet {
+        vertices: obstacles.iter().map(|p| vec![false; p.len()]).collect(),
+        free: vec![false; free_points.len()],
+    };
+
+    // ---- Events.
+    let mut events: Vec<Event> = Vec::new();
+    for (oi, poly) in obstacles.iter().enumerate() {
+        for (vi, &v) in poly.vertices().iter().enumerate() {
+            if Some((oi, vi)) == pivot_vertex {
+                continue; // the pivot itself
+            }
+            if v == pivot {
+                // Coincident with the pivot: visible by definition.
+                result.vertices[oi][vi] = true;
+                continue;
+            }
+            events.push(Event {
+                pos: v,
+                kind: EventKind::Vertex {
+                    obstacle: oi,
+                    vertex: vi,
+                },
+            });
+        }
+    }
+    for (fi, &p) in free_points.iter().enumerate() {
+        if p == pivot {
+            result.free[fi] = true;
+            continue;
+        }
+        events.push(Event {
+            pos: p,
+            kind: EventKind::Free(fi),
+        });
+    }
+    if events.is_empty() || pivot_class.inside {
+        // A pivot strictly inside an obstacle sees nothing (only
+        // coincident points, already marked).
+        return result;
+    }
+    events.sort_by(|x, y| angular_cmp(pivot, x.pos, y.pos));
+
+    let class_of = |kind: EventKind| -> &PointClass {
+        match kind {
+            EventKind::Vertex { obstacle, vertex } => &vertex_class[obstacle][vertex],
+            EventKind::Free(fi) => free_class[fi],
+        }
+    };
+
+    // ---- Edge table (skip edges incident to the pivot: they only touch
+    // sight lines at the pivot and cannot block; the pivot's interior
+    // cones handle blocking there).
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut incident: Vec<Vec<Vec<usize>>> =
+        obstacles.iter().map(|p| vec![Vec::new(); p.len()]).collect();
+    for (oi, poly) in obstacles.iter().enumerate() {
+        let n = poly.len();
+        for vi in 0..n {
+            let s = poly.edge(vi);
+            if s.a == pivot || s.b == pivot {
+                continue;
+            }
+            let idx = edges.len();
+            edges.push(Edge { a: s.a, b: s.b });
+            incident[oi][vi].push(idx);
+            incident[oi][(vi + 1) % n].push(idx);
+        }
+    }
+
+    // ---- Initial status: edges properly crossing the ray from the pivot
+    // in +x direction. The sidedness test against a horizontal line is
+    // exact (pure comparisons).
+    let mut status: Vec<usize> = Vec::new();
+    for (ei, e) in edges.iter().enumerate() {
+        let sa = e.a.y - pivot.y;
+        let sb = e.b.y - pivot.y;
+        if (sa > 0.0 && sb < 0.0) || (sa < 0.0 && sb > 0.0) {
+            let t = e.a.x + (pivot.y - e.a.y) * (e.b.x - e.a.x) / (e.b.y - e.a.y) - pivot.x;
+            if t > 0.0 {
+                status.push(ei);
+            }
+        }
+    }
+    let init_dir = Point::new(pivot.x + 1.0, pivot.y);
+    status.sort_by(|&x, &y| {
+        ray_t(pivot, init_dir, &edges[x])
+            .partial_cmp(&ray_t(pivot, init_dir, &edges[y]))
+            .unwrap()
+    });
+
+    // ---- Sweep.
+    let mut gi = 0usize;
+    while gi < events.len() {
+        // Group = maximal run of events on the same ray (near to far).
+        let mut gj = gi + 1;
+        while gj < events.len() && same_ray(pivot, events[gi].pos, events[gj].pos) {
+            gj += 1;
+        }
+        let group = &events[gi..gj];
+        let ray_target = group[0].pos; // defines the current ray direction
+
+        // Phase A: remove edges that end at this ray (their other endpoint
+        // lies clockwise of the ray).
+        for ev in group {
+            if let EventKind::Vertex { obstacle, vertex } = ev.kind {
+                for &ei in &incident[obstacle][vertex] {
+                    let other = other_endpoint(&edges[ei], ev.pos);
+                    if orient2d(pivot, ev.pos, other) == Orientation::Clockwise {
+                        if let Some(p) = status.iter().position(|&s| s == ei) {
+                            status.remove(p);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase B: visibility, near to far along the ray.
+        let mut chain_blocked = false;
+        let mut prev_pos = pivot;
+        let mut prev_visible = true;
+        let mut prev_attachments: &[(usize, BoundaryAttachment)] = &[];
+        for ev in group {
+            let dw = pivot.dist(ev.pos);
+            let class = class_of(ev.kind);
+            let visible;
+            if ev.pos == prev_pos {
+                // Coincident with the previous event point.
+                visible = prev_visible;
+            } else {
+                // Does the sight line continue into an interior at the
+                // previous event point?
+                if !chain_blocked && enters_interior(obstacles, prev_attachments, ev.pos) {
+                    chain_blocked = true;
+                }
+                let mut blocked = chain_blocked || class.inside;
+                // Closest properly-crossing edge on the ray.
+                if !blocked {
+                    if let Some(&front) = status.first() {
+                        let t = ray_t(pivot, ray_target, &edges[front]);
+                        if t < dw - 1e-9 * (1.0 + dw) {
+                            blocked = true;
+                        }
+                    }
+                }
+                // Interior cones at the pivot and at the target.
+                if !blocked && enters_interior(obstacles, &pivot_class.attachments, ev.pos) {
+                    blocked = true;
+                }
+                if !blocked && enters_interior(obstacles, &class.attachments, pivot) {
+                    blocked = true;
+                }
+                visible = !blocked;
+                if blocked {
+                    // Anything farther on this ray is blocked too: either
+                    // the blocker sits strictly between pivot and `ev`, or
+                    // the line enters an interior at/through `ev`.
+                    chain_blocked = true;
+                }
+                prev_pos = ev.pos;
+                prev_visible = visible;
+                prev_attachments = &class.attachments;
+            }
+            match ev.kind {
+                EventKind::Vertex { obstacle, vertex } => {
+                    result.vertices[obstacle][vertex] = visible;
+                }
+                EventKind::Free(fi) => result.free[fi] = visible,
+            }
+        }
+
+        // Phase C: insert edges that begin at this ray (other endpoint
+        // counter-clockwise of the ray).
+        for ev in group {
+            if let EventKind::Vertex { obstacle, vertex } = ev.kind {
+                for &ei in &incident[obstacle][vertex] {
+                    let other = other_endpoint(&edges[ei], ev.pos);
+                    if orient2d(pivot, ev.pos, other) == Orientation::CounterClockwise {
+                        insert_into_status(&mut status, &edges, pivot, ray_target, ei, ev.pos);
+                    }
+                }
+            }
+        }
+
+        gi = gj;
+    }
+
+    result
+}
+
+/// Whether `a` and `b` lie on the same ray from `pivot` (same direction).
+fn same_ray(pivot: Point, a: Point, b: Point) -> bool {
+    if orient2d(pivot, a, b) != Orientation::Collinear {
+        return false;
+    }
+    // Same side: the dot product of the two directions is positive.
+    (a - pivot).dot(b - pivot) > 0.0
+}
+
+fn other_endpoint(e: &Edge, p: Point) -> Point {
+    if e.a == p {
+        e.b
+    } else {
+        e.a
+    }
+}
+
+/// Euclidean distance from `pivot` to the crossing of the ray
+/// `pivot → through` with `e`; +inf when the edge is parallel to the ray.
+fn ray_t(pivot: Point, through: Point, e: &Edge) -> f64 {
+    let d = through - pivot;
+    let s = e.b - e.a;
+    let denom = d.cross(s);
+    if denom == 0.0 {
+        return f64::INFINITY;
+    }
+    let t = (e.a - pivot).cross(s) / denom; // parameter along d
+    t * d.norm()
+}
+
+/// Inserts edge `ei` (incident to the event point `w` on the current ray)
+/// into the status, keeping it sorted by crossing distance. Ties at the
+/// same crossing point (sibling edges fanning out of `w`) are broken by
+/// which edge the rotating ray will cross closer *after* leaving the
+/// current angle: the edge making the larger CCW angle with the ray dives
+/// toward the pivot faster.
+fn insert_into_status(
+    status: &mut Vec<usize>,
+    edges: &[Edge],
+    pivot: Point,
+    through: Point,
+    ei: usize,
+    w: Point,
+) {
+    let dw = pivot.dist(w);
+    let eps = 1e-9 * (1.0 + dw);
+    let mut lo = status.partition_point(|&s| ray_t(pivot, through, &edges[s]) < dw - eps);
+    // Walk over near-ties and order by the rotation rule.
+    while lo < status.len() {
+        let t = ray_t(pivot, through, &edges[status[lo]]);
+        if t > dw + eps {
+            break;
+        }
+        let sib = &edges[status[lo]];
+        // Only meaningful when the tied edge also emanates from w.
+        if sib.a == w || sib.b == w {
+            let x_new = other_endpoint(&edges[ei], w);
+            let x_sib = other_endpoint(sib, w);
+            // New edge goes first iff its far end is clockwise of the
+            // sibling's (larger CCW angle from the ray ⇒ crosses closer
+            // after rotation).
+            if orient2d(w, x_new, x_sib) == Orientation::Clockwise {
+                break;
+            }
+        }
+        lo += 1;
+    }
+    status.insert(lo, ei);
+}

@@ -1,0 +1,224 @@
+//! The rotational plane sweep must produce exactly the same visibility
+//! graph as the naive oracle, including on adversarial configurations
+//! (collinear vertices, diagonals through corners, entities on walls).
+
+use obstacle_geom::{Point, Polygon, Rect};
+use obstacle_visibility::{EdgeBuilder, VisibilityGraph};
+use proptest::prelude::*;
+
+/// Builds both graphs over the same scene and asserts edge-set equality
+/// (via each graph's semantic validator plus direct comparison).
+fn assert_equivalent(obstacles: &[Rect], waypoints: &[Point]) {
+    let obs = |_: ()| {
+        obstacles
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (Polygon::from_rect(*r), i as u64))
+    };
+    let wps = || waypoints.iter().enumerate().map(|(i, &p)| (p, i as u64));
+    let (naive, _) = VisibilityGraph::build(EdgeBuilder::Naive, obs(()), wps());
+    let (sweep, _) = VisibilityGraph::build(EdgeBuilder::RotationalSweep, obs(()), wps());
+
+    naive.validate(true).expect("naive graph is its own oracle");
+    sweep
+        .validate(true)
+        .unwrap_or_else(|e| panic!("sweep disagrees with oracle: {e}\nobstacles: {obstacles:?}\nwaypoints: {waypoints:?}"));
+
+    assert_eq!(naive.node_count(), sweep.node_count());
+    assert_eq!(
+        naive.edge_count(),
+        sweep.edge_count(),
+        "edge counts differ\nobstacles: {obstacles:?}\nwaypoints: {waypoints:?}"
+    );
+}
+
+/// Disjoint rectangles on a jittered grid: deterministic, parameterised by
+/// seed, never overlapping (cell-confined).
+fn grid_rects(seed: u64, cells: usize, keep: usize) -> Vec<Rect> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut out = Vec::new();
+    for cy in 0..cells {
+        for cx in 0..cells {
+            if out.len() >= keep {
+                return out;
+            }
+            let cell = 1.0 / cells as f64;
+            let x0 = cx as f64 * cell;
+            let y0 = cy as f64 * cell;
+            // Inset rectangle strictly inside the cell.
+            let w = cell * (0.2 + 0.55 * next());
+            let h = cell * (0.2 + 0.55 * next());
+            let ox = cell * 0.1 * (1.0 + next());
+            let oy = cell * 0.1 * (1.0 + next());
+            out.push(Rect::from_coords(x0 + ox, y0 + oy, x0 + ox + w, y0 + oy + h));
+        }
+    }
+    out
+}
+
+#[test]
+fn empty_scene_connects_all_waypoints() {
+    let wps = [
+        Point::new(0.1, 0.1),
+        Point::new(0.9, 0.2),
+        Point::new(0.5, 0.8),
+    ];
+    assert_equivalent(&[], &wps);
+}
+
+#[test]
+fn single_square_basic() {
+    assert_equivalent(
+        &[Rect::from_coords(0.4, 0.4, 0.6, 0.6)],
+        &[Point::new(0.1, 0.5), Point::new(0.9, 0.5), Point::new(0.5, 0.1)],
+    );
+}
+
+#[test]
+fn two_squares_aligned_corners() {
+    // Diagonally aligned corners: the segment between the inner corners
+    // grazes both squares — visible (boundary contact only).
+    assert_equivalent(
+        &[
+            Rect::from_coords(0.1, 0.1, 0.3, 0.3),
+            Rect::from_coords(0.3, 0.3, 0.5, 0.5),
+        ],
+        &[Point::new(0.05, 0.05), Point::new(0.6, 0.6)],
+    );
+}
+
+#[test]
+fn collinear_corners_on_one_ray() {
+    // Three rectangles whose corners are exactly collinear with the
+    // waypoint at the origin: the classic same-ray event chain.
+    assert_equivalent(
+        &[
+            Rect::from_coords(0.1, 0.1, 0.2, 0.2),
+            Rect::from_coords(0.3, 0.3, 0.4, 0.4),
+            Rect::from_coords(0.5, 0.5, 0.6, 0.6),
+        ],
+        &[Point::new(0.0, 0.0), Point::new(0.75, 0.75), Point::new(0.25, 0.25)],
+    );
+}
+
+#[test]
+fn waypoint_horizontally_aligned_with_corners() {
+    // Events exactly on the initial (+x) ray of the sweep.
+    assert_equivalent(
+        &[Rect::from_coords(0.4, 0.2, 0.6, 0.5)],
+        &[
+            Point::new(0.1, 0.5),  // same y as the top edge
+            Point::new(0.9, 0.5),
+            Point::new(0.1, 0.2),  // same y as the bottom edge
+            Point::new(0.9, 0.2),
+        ],
+    );
+}
+
+#[test]
+fn aligned_rectangle_walls() {
+    // Rectangles sharing wall lines (same x extents): edges collinear
+    // with sight lines along the walls.
+    assert_equivalent(
+        &[
+            Rect::from_coords(0.2, 0.1, 0.4, 0.3),
+            Rect::from_coords(0.2, 0.5, 0.4, 0.7),
+            Rect::from_coords(0.2, 0.8, 0.4, 0.9),
+        ],
+        &[
+            Point::new(0.2, 0.0),  // on the shared wall line x = 0.2
+            Point::new(0.2, 0.95),
+            Point::new(0.3, 0.4),
+        ],
+    );
+}
+
+#[test]
+fn dense_random_scenes() {
+    for seed in 0..20u64 {
+        let rects = grid_rects(seed, 4, 12);
+        let wps = [
+            Point::new(0.01, 0.01),
+            Point::new(0.99, 0.99),
+            Point::new(0.5, 0.02),
+            Point::new(0.02, 0.55),
+        ];
+        assert_equivalent(&rects, &wps);
+    }
+}
+
+#[test]
+fn waypoints_on_obstacle_boundaries() {
+    // Entities placed exactly on obstacle walls (the paper allows
+    // entities on boundaries).
+    let r = Rect::from_coords(0.3, 0.3, 0.7, 0.7);
+    assert_equivalent(
+        &[r, Rect::from_coords(0.1, 0.1, 0.2, 0.2)],
+        &[
+            Point::new(0.5, 0.3),  // mid bottom wall
+            Point::new(0.7, 0.5),  // mid right wall
+            Point::new(0.3, 0.3),  // exactly at a corner
+            Point::new(0.9, 0.9),
+        ],
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sweep_equals_naive_on_random_scenes(
+        seed in 0u64..10_000,
+        cells in 2usize..5,
+        keep in 1usize..14,
+        wx in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..6),
+    ) {
+        let rects = grid_rects(seed, cells, keep);
+        let wps: Vec<Point> = wx.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        // Skip waypoints that fall strictly inside an obstacle: they are
+        // allowed but make the check trivial (no edges either way).
+        assert_equivalent(&rects, &wps);
+    }
+
+    #[test]
+    fn dynamic_ops_match_bulk_build(
+        seed in 0u64..10_000,
+        keep in 1usize..8,
+        wx in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..5),
+    ) {
+        let rects = grid_rects(seed, 3, keep);
+        let wps: Vec<Point> = wx.iter().map(|&(x, y)| Point::new(x, y)).collect();
+
+        // Incremental: add obstacles one by one, then waypoints one by one.
+        let mut inc = VisibilityGraph::new(EdgeBuilder::RotationalSweep);
+        for (i, r) in rects.iter().enumerate() {
+            inc.add_obstacle(Polygon::from_rect(*r), i as u64);
+        }
+        let mut ids = Vec::new();
+        for (i, &p) in wps.iter().enumerate() {
+            ids.push(inc.add_waypoint(p, i as u64));
+        }
+        prop_assert!(inc.validate(true).is_ok(), "{:?}", inc.validate(true));
+
+        // Bulk build must agree on edge count.
+        let (bulk, _) = VisibilityGraph::build(
+            EdgeBuilder::RotationalSweep,
+            rects.iter().enumerate().map(|(i, r)| (Polygon::from_rect(*r), i as u64)),
+            wps.iter().enumerate().map(|(i, &p)| (p, i as u64)),
+        );
+        prop_assert_eq!(inc.edge_count(), bulk.edge_count());
+
+        // Deleting all waypoints leaves a pure obstacle graph that still
+        // validates semantically.
+        for id in ids {
+            inc.remove_waypoint(id);
+        }
+        prop_assert!(inc.validate(true).is_ok());
+    }
+}

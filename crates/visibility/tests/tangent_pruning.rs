@@ -1,0 +1,139 @@
+//! The tangent visibility graph \[PV95\] must preserve all
+//! waypoint-to-waypoint shortest distances while removing edges.
+
+use obstacle_geom::{Point, Polygon, Rect};
+use obstacle_visibility::{dijkstra_distance, EdgeBuilder, VisibilityGraph};
+use proptest::prelude::*;
+
+fn grid_rects(seed: u64, cells: usize, keep: usize) -> Vec<Rect> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut out = Vec::new();
+    for cy in 0..cells {
+        for cx in 0..cells {
+            if out.len() >= keep {
+                return out;
+            }
+            let cell = 1.0 / cells as f64;
+            let (x0, y0) = (cx as f64 * cell, cy as f64 * cell);
+            let w = cell * (0.2 + 0.5 * next());
+            let h = cell * (0.2 + 0.5 * next());
+            let ox = cell * 0.1 * (1.0 + next());
+            let oy = cell * 0.1 * (1.0 + next());
+            out.push(Rect::from_coords(x0 + ox, y0 + oy, x0 + ox + w, y0 + oy + h));
+        }
+    }
+    out
+}
+
+fn check_preserves_waypoint_distances(obstacles: Vec<Polygon>, waypoints: Vec<Point>) {
+    let (mut g, ids) = VisibilityGraph::build(
+        EdgeBuilder::RotationalSweep,
+        obstacles.into_iter().enumerate().map(|(i, p)| (p, i as u64)),
+        waypoints.iter().enumerate().map(|(i, &p)| (p, i as u64)),
+    );
+    let before_edges = g.edge_count();
+    let mut before = Vec::new();
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            before.push(dijkstra_distance(&g, ids[i], ids[j]));
+        }
+    }
+    let removed = g.prune_non_tangent();
+    assert_eq!(g.edge_count() + removed, before_edges);
+    let mut idx = 0;
+    for i in 0..ids.len() {
+        for j in (i + 1)..ids.len() {
+            let after = dijkstra_distance(&g, ids[i], ids[j]);
+            match (before[idx], after) {
+                (Some(a), Some(b)) => {
+                    assert!((a - b).abs() < 1e-9, "pair {i},{j}: {a} vs {b}")
+                }
+                (a, b) => assert_eq!(a.is_some(), b.is_some()),
+            }
+            idx += 1;
+        }
+    }
+}
+
+#[test]
+fn single_square_prunes_nothing_essential() {
+    let square = Polygon::from_rect(Rect::from_coords(0.4, 0.4, 0.6, 0.6));
+    check_preserves_waypoint_distances(
+        vec![square],
+        vec![
+            Point::new(0.1, 0.5),
+            Point::new(0.9, 0.5),
+            Point::new(0.5, 0.1),
+            Point::new(0.5, 0.9),
+        ],
+    );
+}
+
+#[test]
+fn pruning_removes_edges_on_dense_scenes() {
+    let rects = grid_rects(3, 4, 12);
+    let (mut g, _) = VisibilityGraph::build(
+        EdgeBuilder::RotationalSweep,
+        rects
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (Polygon::from_rect(*r), i as u64)),
+        [(Point::new(0.02, 0.02), 0u64), (Point::new(0.98, 0.98), 1)],
+    );
+    let before = g.edge_count();
+    let removed = g.prune_non_tangent();
+    assert!(removed > 0, "dense scenes must contain non-tangent edges");
+    assert!(g.edge_count() < before);
+    // The structural invariants still hold (semantics intentionally not:
+    // pruned edges were visible).
+    assert!(g.validate(false).is_ok());
+}
+
+#[test]
+fn concave_obstacles_are_supported() {
+    // L-shaped obstacle: turning happens at its convex corners; the
+    // reflex corner cannot carry taut paths.
+    let l = Polygon::new(vec![
+        Point::new(0.3, 0.3),
+        Point::new(0.7, 0.3),
+        Point::new(0.7, 0.45),
+        Point::new(0.45, 0.45),
+        Point::new(0.45, 0.7),
+        Point::new(0.3, 0.7),
+    ])
+    .unwrap();
+    check_preserves_waypoint_distances(
+        vec![l],
+        vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.9, 0.9),
+            Point::new(0.9, 0.1),
+            Point::new(0.1, 0.9),
+            Point::new(0.5, 0.5), // in the notch
+        ],
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pruning_preserves_distances_on_random_scenes(
+        seed in 0u64..5_000,
+        keep in 1usize..10,
+        wps in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..6),
+    ) {
+        let rects = grid_rects(seed, 3, keep);
+        let waypoints: Vec<Point> = wps.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        check_preserves_waypoint_distances(
+            rects.into_iter().map(Polygon::from_rect).collect(),
+            waypoints,
+        );
+    }
+}

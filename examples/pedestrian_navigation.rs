@@ -1,0 +1,66 @@
+//! The paper's Fig. 1 scenario at city scale: a pedestrian looking for
+//! the closest restaurant, where buildings make the Euclidean nearest
+//! neighbour the wrong answer.
+//!
+//! ```sh
+//! cargo run --release --example pedestrian_navigation
+//! ```
+
+use obstacle_suite::datagen::{query_workload, sample_entities, City, CityConfig};
+use obstacle_suite::queries::{
+    compute_obstructed_distance, EntityIndex, LocalGraph, ObstacleIndex, QueryEngine,
+};
+use obstacle_suite::rtree::RTreeConfig;
+use obstacle_suite::visibility::{shortest_path, EdgeBuilder};
+
+fn main() {
+    // A small city with 2,000 buildings and 500 restaurants.
+    let city = City::generate(CityConfig::new(2_000, 7));
+    let restaurants = sample_entities(&city, 500, 1);
+    let entities = EntityIndex::bulk_load(RTreeConfig::default(), restaurants);
+    let obstacles = ObstacleIndex::bulk_load(RTreeConfig::default(), city.obstacles.clone());
+    let engine = QueryEngine::new(&entities, &obstacles);
+
+    let pedestrians = query_workload(&city, 5, 99);
+    let mut disagreements = 0;
+    for (i, q) in pedestrians.iter().enumerate() {
+        // Euclidean nearest restaurant (what a naive app would return).
+        let (euclid_item, euclid_d) = entities.tree().nearest(*q).next().unwrap();
+        // Obstructed nearest restaurant (the paper's answer).
+        let onn = engine.nearest(*q, 1);
+        let (best_id, best_d) = onn.neighbors[0];
+
+        println!("pedestrian {i} at {q}:");
+        println!(
+            "  Euclidean NN : restaurant {:<4} straight-line {:.4}",
+            euclid_item.id, euclid_d
+        );
+        println!(
+            "  obstructed NN: restaurant {:<4} walking dist  {:.4}",
+            best_id, best_d
+        );
+        if euclid_item.id != best_id {
+            disagreements += 1;
+            println!("  -> the straight-line answer is wrong on foot!");
+        }
+
+        // Reconstruct and print the walking route to the true NN.
+        let mut lg = LocalGraph::new(EdgeBuilder::RotationalSweep);
+        let from = lg.add_waypoint(*q, u64::MAX);
+        let to = lg.add_waypoint(entities.position(best_id), best_id);
+        let d = compute_obstructed_distance(&mut lg, to, from, &obstacles)
+            .expect("restaurant is reachable");
+        assert!((d - best_d).abs() < 1e-9);
+        let path = shortest_path(&lg.graph, from, to).expect("path exists");
+        let corners = path.points.len().saturating_sub(2);
+        println!(
+            "  route: {} segment(s), {corners} corner(s) turned, length {:.4}\n",
+            path.points.len() - 1,
+            path.distance
+        );
+    }
+    println!(
+        "{disagreements}/{} pedestrians would be misdirected by Euclidean distance",
+        pedestrians.len()
+    );
+}

@@ -1,0 +1,78 @@
+//! Quickstart: index a hand-made scene and run all four obstacle query
+//! types.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use obstacle_suite::geom::{Point, Polygon, Rect};
+use obstacle_suite::queries::{
+    closest_pairs, distance_join, EngineOptions, EntityIndex, ObstacleIndex, QueryEngine,
+};
+use obstacle_suite::rtree::RTreeConfig;
+
+fn main() {
+    // Two buildings (obstacles) and a handful of cafés (entities).
+    let obstacles = ObstacleIndex::build(
+        RTreeConfig::default(),
+        vec![
+            Polygon::from_rect(Rect::from_coords(2.0, 1.0, 4.0, 3.0)), // block A
+            Polygon::from_rect(Rect::from_coords(5.0, 2.0, 6.0, 6.0)), // block B
+        ],
+    );
+    let cafes = vec![
+        Point::new(4.5, 2.0), // 0: tucked between the blocks
+        Point::new(1.0, 4.0), // 1: north-west, open approach
+        Point::new(7.0, 4.0), // 2: east of block B
+        Point::new(3.0, 0.5), // 3: south of block A
+    ];
+    let entities = EntityIndex::build(RTreeConfig::default(), cafes.clone());
+    let engine = QueryEngine::new(&entities, &obstacles);
+
+    let me = Point::new(1.0, 2.0);
+    println!("standing at {me}, cafés at:");
+    for (i, c) in cafes.iter().enumerate() {
+        println!("  café {i}: {c}  (Euclidean {:.2})", me.dist(*c));
+    }
+
+    // 1. Obstructed nearest neighbour: who is actually closest on foot?
+    let nn = engine.nearest(me, 2);
+    println!("\nobstructed 2-NN:");
+    for (id, d) in &nn.neighbors {
+        println!("  café {id} at walking distance {d:.2}");
+    }
+    println!(
+        "  ({} Euclidean candidates examined, {} false hits)",
+        nn.stats.candidates, nn.stats.false_hits
+    );
+
+    // 2. Obstructed range: everything within 4 units of walking.
+    let range = engine.range(me, 4.0);
+    println!("\ncafés within walking distance 4.0:");
+    for (id, d) in &range.hits {
+        println!("  café {id} at {d:.2}");
+    }
+
+    // 3. e-distance join: café pairs within walking distance 3 of each
+    //    other (self join — skip mirror and self pairs).
+    let joined = distance_join(&entities, &entities, &obstacles, 3.0, EngineOptions::default());
+    println!("\ncafé pairs within walking distance 3.0:");
+    for (a, b, d) in joined.pairs.iter().filter(|(a, b, _)| a < b) {
+        println!("  café {a} and café {b}: {d:.2}");
+    }
+
+    // 4. Closest pair between the cafés and two kiosks.
+    let kiosks = EntityIndex::build(
+        RTreeConfig::default(),
+        vec![Point::new(6.5, 1.0), Point::new(0.5, 6.0)],
+    );
+    let cp = closest_pairs(&entities, &kiosks, &obstacles, 1, EngineOptions::default());
+    let (c, k, d) = cp.pairs[0];
+    println!("\nclosest café/kiosk pair: café {c} and kiosk {k}, distance {d:.2}");
+
+    // The disk cost model is visible on every query.
+    println!(
+        "\nlast query cost: {} entity-tree + {} obstacle-tree page accesses, {:?} CPU",
+        cp.stats.entity_reads, cp.stats.obstacle_reads, cp.stats.cpu
+    );
+}

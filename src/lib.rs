@@ -1,0 +1,17 @@
+//! Facade crate for the obstacle spatial-query reproduction
+//! (Zhang, Papadias, Mouratidis, Zhu — EDBT 2004).
+//!
+//! Re-exports the member crates under stable module names so examples,
+//! integration tests and downstream users can depend on one crate:
+//!
+//! * [`geom`] — geometry kernel (robust predicates, polygons, Hilbert curve),
+//! * [`rtree`] — disk-model R*-tree with page-access accounting,
+//! * [`visibility`] — dynamic local visibility graphs + shortest paths,
+//! * [`queries`] — the paper's query processors (OR, ONN, ODJ, OCP, iOCP),
+//! * [`datagen`] — synthetic city datasets and workloads.
+
+pub use obstacle_core as queries;
+pub use obstacle_datagen as datagen;
+pub use obstacle_geom as geom;
+pub use obstacle_rtree as rtree;
+pub use obstacle_visibility as visibility;

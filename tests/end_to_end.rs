@@ -1,0 +1,184 @@
+//! Cross-crate end-to-end tests through the `obstacle-suite` facade:
+//! generated city → R*-trees → queries, plus persistence and failure
+//! injection.
+
+use obstacle_suite::datagen::{query_workload, sample_entities, City, CityConfig};
+use obstacle_suite::geom::{Point, PointLocation, Polygon, Rect};
+use obstacle_suite::queries::{BruteForce, EntityIndex, ObstacleIndex, QueryEngine};
+use obstacle_suite::rtree::{Item, RTree, RTreeConfig};
+
+#[test]
+fn full_pipeline_on_generated_city() {
+    let city = City::generate(CityConfig::new(60, 77));
+    let pts = sample_entities(&city, 80, 1);
+    let entities = EntityIndex::build(RTreeConfig::tiny(8), pts.clone());
+    let obstacles = ObstacleIndex::build(RTreeConfig::tiny(8), city.obstacles.clone());
+    let engine = QueryEngine::new(&entities, &obstacles);
+    let oracle = BruteForce::new(city.obstacles.clone());
+
+    for q in query_workload(&city, 4, 9) {
+        let r = engine.range(q, 0.2);
+        let expect = oracle.range(&pts, q, 0.2);
+        assert_eq!(r.hits.len(), expect.len());
+        let nn = engine.nearest(q, 5);
+        let expect_nn = oracle.nearest(&pts, q, 5);
+        for (g, x) in nn.neighbors.iter().zip(expect_nn.iter()) {
+            assert!((g.1 - x.1).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn persisted_trees_answer_identically() {
+    let city = City::generate(CityConfig::new(80, 5));
+    let pts = sample_entities(&city, 300, 2);
+    let tree = RTree::build(
+        RTreeConfig::tiny(16),
+        pts.iter()
+            .enumerate()
+            .map(|(i, &p)| Item::point(p, i as u64)),
+    );
+    let dir = std::env::temp_dir().join("obstacle_suite_e2e.ortr");
+    tree.save_to_file(&dir).unwrap();
+    let loaded = RTree::load_from_file(&dir).unwrap();
+    std::fs::remove_file(&dir).ok();
+
+    loaded.validate(true).unwrap();
+    let q = Point::new(0.4, 0.4);
+    let a: Vec<u64> = tree.k_nearest(q, 25).iter().map(|(i, _)| i.id).collect();
+    let b: Vec<u64> = loaded.k_nearest(q, 25).iter().map(|(i, _)| i.id).collect();
+    assert_eq!(a, b);
+    let wa: Vec<u64> = tree
+        .range_circle(q, 0.2)
+        .iter()
+        .map(|i| i.id)
+        .collect();
+    let wb: Vec<u64> = loaded
+        .range_circle(q, 0.2)
+        .iter()
+        .map(|i| i.id)
+        .collect();
+    assert_eq!(wa, wb);
+}
+
+#[test]
+fn failure_injection_minimal_buffer_and_capacity() {
+    // Capacity-3 nodes and a single-page buffer: correctness must not
+    // depend on the cost model.
+    let city = City::generate(CityConfig::new(30, 3));
+    let pts = sample_entities(&city, 50, 4);
+    let config = RTreeConfig {
+        capacity_override: Some(3),
+        buffer_ratio: 0.0, // forced to min_buffer_pages
+        min_buffer_pages: 1,
+        ..RTreeConfig::default()
+    };
+    let entities = EntityIndex::build(config, pts.clone());
+    let obstacles = ObstacleIndex::build(config, city.obstacles.clone());
+    entities.tree().reset_buffer();
+    obstacles.tree().reset_buffer();
+    assert_eq!(entities.tree().buffer_capacity(), 1);
+
+    let engine = QueryEngine::new(&entities, &obstacles);
+    let oracle = BruteForce::new(city.obstacles.clone());
+    let q = query_workload(&city, 1, 5)[0];
+    let got = engine.nearest(q, 7);
+    let expect = oracle.nearest(&pts, q, 7);
+    assert_eq!(got.neighbors.len(), expect.len());
+    for (g, x) in got.neighbors.iter().zip(expect.iter()) {
+        assert!((g.1 - x.1).abs() < 1e-9);
+    }
+    // The tiny buffer must show in the I/O accounting (no free rides).
+    assert!(got.stats.entity_reads + got.stats.obstacle_reads > 0);
+}
+
+#[test]
+fn degenerate_scene_entities_on_corners_and_walls() {
+    // Entities placed exactly on obstacle corners and edges; queries from
+    // wall positions. Distances must match the oracle exactly.
+    let obstacles_vec = vec![
+        Polygon::from_rect(Rect::from_coords(0.3, 0.3, 0.5, 0.5)),
+        Polygon::from_rect(Rect::from_coords(0.6, 0.3, 0.8, 0.7)),
+    ];
+    let pts = vec![
+        Point::new(0.3, 0.3), // corner of obstacle 0
+        Point::new(0.4, 0.5), // mid top wall of obstacle 0
+        Point::new(0.6, 0.5), // left wall of obstacle 1
+        Point::new(0.55, 0.4), // in the corridor between them
+    ];
+    let entities = EntityIndex::build(RTreeConfig::tiny(4), pts.clone());
+    let obstacles = ObstacleIndex::build(RTreeConfig::tiny(4), obstacles_vec.clone());
+    let engine = QueryEngine::new(&entities, &obstacles);
+    let oracle = BruteForce::new(obstacles_vec);
+
+    for q in [
+        Point::new(0.2, 0.2),
+        Point::new(0.5, 0.3), // on a corner itself
+        Point::new(0.55, 0.6),
+    ] {
+        let got = engine.nearest(q, 4);
+        let expect = oracle.nearest(&pts, q, 4);
+        assert_eq!(got.neighbors.len(), expect.len(), "q = {q}");
+        for (g, x) in got.neighbors.iter().zip(expect.iter()) {
+            assert!((g.1 - x.1).abs() < 1e-9, "q = {q}: {got:?} vs {expect:?}",
+                got = got.neighbors, expect = expect);
+        }
+    }
+}
+
+#[test]
+fn query_surrounded_by_obstacles_sees_detours() {
+    // Query point in a courtyard with a single gap; every neighbour is
+    // reached through the gap.
+    let walls = vec![
+        Polygon::from_rect(Rect::from_coords(0.2, 0.2, 0.8, 0.25)), // south
+        Polygon::from_rect(Rect::from_coords(0.2, 0.75, 0.8, 0.8)), // north
+        Polygon::from_rect(Rect::from_coords(0.2, 0.25, 0.25, 0.75)), // west
+        // east wall with a gap between y = 0.45 and 0.55
+        Polygon::from_rect(Rect::from_coords(0.75, 0.25, 0.8, 0.45)),
+        Polygon::from_rect(Rect::from_coords(0.75, 0.55, 0.8, 0.75)),
+    ];
+    let outside = vec![
+        Point::new(0.95, 0.5),  // straight through the gap
+        Point::new(0.05, 0.5),  // must round the whole courtyard
+    ];
+    let entities = EntityIndex::build(RTreeConfig::tiny(4), outside.clone());
+    let obstacles = ObstacleIndex::build(RTreeConfig::tiny(4), walls.clone());
+    let engine = QueryEngine::new(&entities, &obstacles);
+    let oracle = BruteForce::new(walls);
+
+    let q = Point::new(0.5, 0.5); // inside the courtyard
+    let got = engine.nearest(q, 2);
+    let expect = oracle.nearest(&outside, q, 2);
+    assert_eq!(got.neighbors[0].0, 0, "gap-side entity must win");
+    for (g, x) in got.neighbors.iter().zip(expect.iter()) {
+        assert!((g.1 - x.1).abs() < 1e-9);
+    }
+    // The west entity's path must detour (through the gap, or along the
+    // walkable seam where two wall rectangles touch — boundaries are
+    // traversable, so courtyards of disjoint rectangles always leak at
+    // their joints): strictly longer than the Euclidean distance.
+    let west = got.neighbors.iter().find(|(id, _)| *id == 1).unwrap();
+    assert!(west.1 > q.dist(outside[1]) + 0.1, "west detour {}", west.1);
+}
+
+#[test]
+fn boundary_semantics_entity_on_wall_is_reachable() {
+    // An entity exactly on a wall is at finite obstructed distance; an
+    // entity strictly inside is unreachable and silently skipped.
+    let wall = Polygon::from_rect(Rect::from_coords(0.4, 0.4, 0.6, 0.6));
+    assert_eq!(wall.locate(Point::new(0.5, 0.4)), PointLocation::Boundary);
+    let pts = vec![
+        Point::new(0.5, 0.4),  // on the south wall
+        Point::new(0.5, 0.5),  // strictly inside: unreachable
+        Point::new(0.9, 0.9),  // free
+    ];
+    let entities = EntityIndex::build(RTreeConfig::tiny(4), pts);
+    let obstacles = ObstacleIndex::build(RTreeConfig::tiny(4), vec![wall]);
+    let engine = QueryEngine::new(&entities, &obstacles);
+    let got = engine.nearest(Point::new(0.5, 0.2), 3);
+    let ids: Vec<u64> = got.neighbors.iter().map(|(id, _)| *id).collect();
+    assert!(ids.contains(&0));
+    assert!(ids.contains(&2));
+    assert!(!ids.contains(&1), "interior entity must be unreachable");
+}
