@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate, fully offline: build every target in release mode, run the
+# whole test suite, and verify formatting. Any failure fails the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release --all-targets (offline) =="
+cargo build --release --all-targets --offline
+
+echo "== cargo test -q (offline) =="
+cargo test -q --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "ci.sh: all gates green"

@@ -26,7 +26,10 @@ use std::time::Instant;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("== Ablations (|O| = {}, {} queries) ==\n", scale.obstacles, scale.queries);
+    println!(
+        "== Ablations (|O| = {}, {} queries) ==\n",
+        scale.obstacles, scale.queries
+    );
     let w = Workbench::new(scale);
 
     odj_hilbert_and_seed_side(&w);
@@ -41,7 +44,9 @@ fn main() {
 fn ellipse_vs_disk(w: &Workbench) {
     let entities = w.entity_index(w.scale.entity_count(0.1), 208);
     let k = grid::DEFAULT_K;
-    println!("-- Fig. 8 search region: disk around q (paper) vs p/q ellipse (k = {k}, sparse |P|) --");
+    println!(
+        "-- Fig. 8 search region: disk around q (paper) vs p/q ellipse (k = {k}, sparse |P|) --"
+    );
     println!(
         "  {:<34}{:>14}{:>14}{:>12}",
         "region", "obst. reads", "graph nodes", "CPU (ms)"
@@ -321,10 +326,7 @@ fn iocp_vs_ocp(w: &Workbench) {
     }
     println!(
         "  {:<34}{:>12.2}\n  {:<34}{:>12.2}\n",
-        "OCP (batch, known k)",
-        batch_ms,
-        "iOCP (incremental, take k)",
-        inc_ms
+        "OCP (batch, known k)", batch_ms, "iOCP (incremental, take k)", inc_ms
     );
 }
 

@@ -1,10 +1,12 @@
-//! Criterion micro-benchmarks for the substrates.
+//! Micro-benchmarks for the substrates.
 //!
 //! Covers the hot kernels behind the paper's cost model: visibility-graph
 //! construction (the O(n² log n) term dominating OR/ONN CPU), obstructed
 //! distance computation, Dijkstra, and the R-tree query operations.
+//! Runs on the in-tree [`obstacle_bench::harness`] (the offline
+//! replacement for `criterion`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use obstacle_bench::harness::{BenchmarkId, Criterion};
 use obstacle_core::{compute_obstructed_distance, EntityIndex, LocalGraph, ObstacleIndex};
 use obstacle_datagen::{sample_entities, City, CityConfig};
 use obstacle_geom::Point;
@@ -111,9 +113,7 @@ fn bench_rtree_ops(c: &mut Criterion) {
     let entities2 = EntityIndex::bulk_load(RTreeConfig::paper(), pts[5_000..10_000].to_vec());
     c.bench_function("rtree_distance_join_5k_x_5k", |b| {
         b.iter(|| {
-            black_box(
-                obstacle_rtree::distance_join(entities.tree(), entities2.tree(), 0.001).len(),
-            )
+            black_box(obstacle_rtree::distance_join(entities.tree(), entities2.tree(), 0.001).len())
         })
     });
 }
@@ -134,10 +134,11 @@ fn bench_insertion(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_graph_construction, bench_dijkstra, bench_obstructed_distance,
-              bench_rtree_ops, bench_insertion
+fn main() {
+    let mut c = Criterion::default().sample_size(10);
+    bench_graph_construction(&mut c);
+    bench_dijkstra(&mut c);
+    bench_obstructed_distance(&mut c);
+    bench_rtree_ops(&mut c);
+    bench_insertion(&mut c);
 }
-criterion_main!(benches);

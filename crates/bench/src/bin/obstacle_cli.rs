@@ -247,16 +247,35 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| usage(&format!("missing value for {what}")))
         };
         match flag.as_str() {
-            "--obstacles" => out.obstacles = value("--obstacles").parse().unwrap_or_else(|_| usage("bad --obstacles")),
-            "--seed" => out.seed = value("--seed").parse().unwrap_or_else(|_| usage("bad --seed")),
-            "--entities" => out.entities = value("--entities").parse().unwrap_or_else(|_| usage("bad --entities")),
+            "--obstacles" => {
+                out.obstacles = value("--obstacles")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --obstacles"))
+            }
+            "--seed" => {
+                out.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--entities" => {
+                out.entities = value("--entities")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --entities"))
+            }
             "--s" => out.s_count = value("--s").parse().unwrap_or_else(|_| usage("bad --s")),
             "--t" => out.t_count = value("--t").parse().unwrap_or_else(|_| usage("bad --t")),
             "--k" => out.k = value("--k").parse().unwrap_or_else(|_| usage("bad --k")),
             "--e" => out.e = value("--e").parse().unwrap_or_else(|_| usage("bad --e")),
-            "--at" => out.at = Some(parse_point(&value("--at")).unwrap_or_else(|| usage("bad --at"))),
-            "--from" => out.from = Some(parse_point(&value("--from")).unwrap_or_else(|| usage("bad --from"))),
-            "--to" => out.to = Some(parse_point(&value("--to")).unwrap_or_else(|| usage("bad --to"))),
+            "--at" => {
+                out.at = Some(parse_point(&value("--at")).unwrap_or_else(|| usage("bad --at")))
+            }
+            "--from" => {
+                out.from =
+                    Some(parse_point(&value("--from")).unwrap_or_else(|| usage("bad --from")))
+            }
+            "--to" => {
+                out.to = Some(parse_point(&value("--to")).unwrap_or_else(|| usage("bad --to")))
+            }
             "--paths" => out.paths = true,
             other => usage(&format!("unknown flag '{other}'")),
         }

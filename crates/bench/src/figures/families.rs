@@ -85,11 +85,7 @@ pub fn or_by_range(w: &Workbench) -> Vec<SeriesPoint> {
         .iter()
         .map(|&frac| {
             let agg = run_or(w, &entities, w.range_from_fraction(frac));
-            finish(
-                format!("{}%", frac * 100.0),
-                agg,
-                w.scale.queries as f64,
-            )
+            finish(format!("{}%", frac * 100.0), agg, w.scale.queries as f64)
         })
         .collect()
 }
@@ -164,7 +160,13 @@ pub fn ocp_by_ratio(w: &Workbench) -> Vec<SeriesPoint> {
         .map(|(i, &ratio)| {
             let s = w.entity_index(w.scale.entity_count(ratio), 90 + i as u64);
             w.reset_io(&[&s, &t]);
-            let r = closest_pairs(&s, &t, &w.obstacles, grid::DEFAULT_K, EngineOptions::default());
+            let r = closest_pairs(
+                &s,
+                &t,
+                &w.obstacles,
+                grid::DEFAULT_K,
+                EngineOptions::default(),
+            );
             finish(format!("{ratio}"), r.stats, 1.0)
         })
         .collect()

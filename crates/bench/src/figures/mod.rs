@@ -26,7 +26,9 @@ impl FigureId {
     /// All figures in paper order.
     pub fn all() -> [FigureId; 10] {
         use FigureId::*;
-        [Fig13, Fig14, Fig15, Fig16, Fig17, Fig18, Fig19, Fig20, Fig21, Fig22]
+        [
+            Fig13, Fig14, Fig15, Fig16, Fig17, Fig18, Fig19, Fig20, Fig21, Fig22,
+        ]
     }
 
     /// Parses `"fig13"` … `"fig22"` (case-insensitive, `fig` optional).
@@ -63,7 +65,11 @@ fn io_table(title: &str, x_label: &str, points: &[SeriesPoint]) -> Table {
 }
 
 fn cpu_table(title: &str, x_label: &str, points: &[SeriesPoint], in_seconds: bool) -> Table {
-    let unit = if in_seconds { "CPU (sec)" } else { "CPU (msec)" };
+    let unit = if in_seconds {
+        "CPU (sec)"
+    } else {
+        "CPU (msec)"
+    };
     let mut t = Table::new(title, x_label, vec![unit.into()]);
     for p in points {
         let v = if in_seconds { p.cpu_ms / 1e3 } else { p.cpu_ms };
@@ -102,11 +108,7 @@ pub fn generate(id: FigureId, w: &Workbench) -> Vec<Table> {
         FigureId::Fig14 => {
             let pts = families::or_by_range(w);
             vec![
-                io_table(
-                    "Fig. 14a — OR page accesses vs e  (|P| = |O|)",
-                    "e",
-                    &pts,
-                ),
+                io_table("Fig. 14a — OR page accesses vs e  (|P| = |O|)", "e", &pts),
                 cpu_table("Fig. 14b — OR CPU vs e  (|P| = |O|)", "e", &pts, false),
             ]
         }
@@ -282,14 +284,22 @@ pub fn generate_all(w: &Workbench) -> Vec<Table> {
             &onn_ratio,
             false,
         ),
-        io_table("Fig. 17a — ONN page accesses vs k  (|P| = |O|)", "k", &onn_k),
+        io_table(
+            "Fig. 17a — ONN page accesses vs k  (|P| = |O|)",
+            "k",
+            &onn_k,
+        ),
         cpu_table("Fig. 17b — ONN CPU vs k  (|P| = |O|)", "k", &onn_k, false),
         fh_table(
             "Fig. 18a — ONN false-hit ratio vs |P|/|O|  (k = 16)",
             "|P|/|O|",
             &onn_ratio,
         ),
-        fh_table("Fig. 18b — ONN false-hit ratio vs k  (|P| = |O|)", "k", &onn_k),
+        fh_table(
+            "Fig. 18b — ONN false-hit ratio vs k  (|P| = |O|)",
+            "k",
+            &onn_k,
+        ),
         io_table(
             "Fig. 19a — ODJ page accesses vs |S|/|O|  (e = 0.01%, |T| = 0.1|O|)",
             "|S|/|O|",

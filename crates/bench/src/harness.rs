@@ -1,0 +1,163 @@
+//! Minimal wall-clock micro-benchmark harness replacing `criterion`.
+//!
+//! The workspace builds offline, so the `micro` bench target uses this
+//! `std::time::Instant`-based harness instead of the `criterion` crate.
+//! The API mirrors the subset the benches use — [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`] and [`Bencher::iter`] — and prints min/median/mean
+//! per-iteration times. No statistical outlier analysis is performed;
+//! treat the numbers as indicative, not publication-grade.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one measured sample; iteration counts
+/// are calibrated so a sample takes at least this long.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Top-level harness state: configuration plus result printing.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        routine(&mut b);
+        b.report(name);
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (`group/function/parameter` ids).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `routine` against one prepared `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: impl FnMut(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.label);
+        self.criterion.bench_function(&full, |b| routine(b, input));
+    }
+
+    /// Ends the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group by function name + parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Measures a closure handed to it by the benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`: calibrates an iteration count so one sample runs
+    /// at least [`TARGET_SAMPLE`], then records `sample_size` samples of
+    /// mean per-iteration time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibration doubles the batch size until a batch is long enough
+        // to time reliably; it also serves as warm-up.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                break;
+            }
+            // Jump straight near the target once we have any signal.
+            let grow = if elapsed.is_zero() {
+                16
+            } else {
+                (TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+            };
+            iters = iters.saturating_mul(grow.clamp(2, 16));
+        }
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples_ns
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    fn report(mut self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let min = self.samples_ns[0];
+        let median = self.samples_ns[self.samples_ns.len() / 2];
+        let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;
+        println!(
+            "{name:<44} min {:>10}  median {:>10}  mean {:>10}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod harness;
 pub mod scale;
 pub mod setup;
 pub mod table;

@@ -172,8 +172,7 @@ impl Iterator for IncrementalClosestPairs<'_> {
                         &self.options,
                         &mut self.peak_graph_nodes,
                     ) {
-                        self.pending
-                            .push(Reverse((OrdF64::new(d_o), si.id, ti.id)));
+                        self.pending.push(Reverse((OrdF64::new(d_o), si.id, ti.id)));
                     }
                 }
                 None => self.exhausted = true,
@@ -267,8 +266,10 @@ mod tests {
         let empty = EntityIndex::build(RTreeConfig::tiny(4), vec![]);
         let r = closest_pairs(&s, &empty, &o, 3, EngineOptions::default());
         assert!(r.pairs.is_empty());
-        assert!(incremental_closest_pairs(&empty, &t, &o, EngineOptions::default())
-            .next()
-            .is_none());
+        assert!(
+            incremental_closest_pairs(&empty, &t, &o, EngineOptions::default())
+                .next()
+                .is_none()
+        );
     }
 }

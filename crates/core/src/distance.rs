@@ -64,11 +64,7 @@ impl LocalGraph {
         self.absorb(obstacles, items)
     }
 
-    fn absorb(
-        &mut self,
-        obstacles: &ObstacleIndex,
-        items: Vec<obstacle_rtree::Item>,
-    ) -> usize {
+    fn absorb(&mut self, obstacles: &ObstacleIndex, items: Vec<obstacle_rtree::Item>) -> usize {
         let mut added = 0;
         for item in items {
             if self.present.insert(item.id) {
@@ -195,11 +191,7 @@ mod tests {
         Polygon::from_rect(Rect::from_coords(x0, y0, x1, y1))
     }
 
-    fn dist_through(
-        obstacles: Vec<Polygon>,
-        a: Point,
-        b: Point,
-    ) -> Option<f64> {
+    fn dist_through(obstacles: Vec<Polygon>, a: Point, b: Point) -> Option<f64> {
         let idx = ObstacleIndex::build(RTreeConfig::tiny(8), obstacles);
         let mut g = LocalGraph::new(EdgeBuilder::RotationalSweep);
         let pa = g.add_waypoint(a, 0);

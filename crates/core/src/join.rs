@@ -79,11 +79,8 @@ pub fn distance_join(
             relevant
                 .iter()
                 .map(|item| (obstacles.polygon(item.id).clone(), item.id)),
-            std::iter::once((q_pos, QUERY_TAG)).chain(
-                partners
-                    .iter()
-                    .map(|&pid| (partner_set.position(pid), pid)),
-            ),
+            std::iter::once((q_pos, QUERY_TAG))
+                .chain(partners.iter().map(|&pid| (partner_set.position(pid), pid))),
         );
         peak_graph_nodes = peak_graph_nodes.max(graph.node_count());
         if options.tangent_filter {

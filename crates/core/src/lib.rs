@@ -67,9 +67,7 @@ mod stats;
 
 pub use brute::BruteForce;
 pub use closest_pair::{closest_pairs, incremental_closest_pairs, IncrementalClosestPairs};
-pub use distance::{
-    compute_obstructed_distance, compute_obstructed_distance_pruned, LocalGraph,
-};
+pub use distance::{compute_obstructed_distance, compute_obstructed_distance_pruned, LocalGraph};
 pub use engine::{EngineOptions, EntityIndex, ObstacleIndex, QueryEngine};
 pub use join::distance_join;
 pub use nn::IncrementalNearest;

@@ -39,11 +39,8 @@ impl QueryEngine<'_> {
                 relevant
                     .iter()
                     .map(|item| (self.obstacles.polygon(item.id).clone(), item.id)),
-                std::iter::once((q, QUERY_TAG)).chain(
-                    candidates
-                        .iter()
-                        .map(|item| (item.mbr.min, item.id)),
-                ),
+                std::iter::once((q, QUERY_TAG))
+                    .chain(candidates.iter().map(|item| (item.mbr.min, item.id))),
             );
             peak_graph_nodes = graph.node_count();
             if self.options.tangent_filter {

@@ -124,7 +124,13 @@ mod tests {
     #[test]
     fn both_strategies_agree() {
         let (s, t, o) = scene();
-        let a = semi_join(&s, &t, &o, SemiJoinStrategy::PerObjectNn, EngineOptions::default());
+        let a = semi_join(
+            &s,
+            &t,
+            &o,
+            SemiJoinStrategy::PerObjectNn,
+            EngineOptions::default(),
+        );
         let b = semi_join(
             &s,
             &t,
@@ -142,7 +148,13 @@ mod tests {
     #[test]
     fn obstruction_changes_the_assigned_neighbour() {
         let (s, t, o) = scene();
-        let r = semi_join(&s, &t, &o, SemiJoinStrategy::PerObjectNn, EngineOptions::default());
+        let r = semi_join(
+            &s,
+            &t,
+            &o,
+            SemiJoinStrategy::PerObjectNn,
+            EngineOptions::default(),
+        );
         // s0 at (0,0): Euclidean NN is t0 at distance 2, but the wall
         // forces a 2.9 detour; t1 at (2,3) costs √13 ≈ 3.61 — so t0 still
         // wins, but with the obstructed distance recorded.
@@ -173,7 +185,10 @@ mod tests {
     fn empty_s_or_t() {
         let (s, t, o) = scene();
         let empty = EntityIndex::build(RTreeConfig::tiny(4), vec![]);
-        for strat in [SemiJoinStrategy::PerObjectNn, SemiJoinStrategy::IncrementalClosestPairs] {
+        for strat in [
+            SemiJoinStrategy::PerObjectNn,
+            SemiJoinStrategy::IncrementalClosestPairs,
+        ] {
             assert!(semi_join(&empty, &t, &o, strat, EngineOptions::default())
                 .pairs
                 .is_empty());

@@ -100,7 +100,11 @@ fn duplicate_entities_all_reported() {
 
 #[test]
 fn join_with_itself_and_binary_symmetric_stats() {
-    let pts = vec![Point::new(0.1, 0.1), Point::new(0.2, 0.1), Point::new(0.9, 0.9)];
+    let pts = vec![
+        Point::new(0.1, 0.1),
+        Point::new(0.2, 0.1),
+        Point::new(0.9, 0.9),
+    ];
     let s = EntityIndex::build(RTreeConfig::tiny(4), pts);
     let obstacles = no_obstacles();
     let r = distance_join(&s, &s, &obstacles, 0.15, EngineOptions::default());

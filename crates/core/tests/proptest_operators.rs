@@ -1,16 +1,18 @@
 //! Property-based end-to-end tests: random cities, random parameters,
-//! every operator against the brute-force oracle.
+//! every operator against the brute-force oracle. Runs on the in-tree
+//! deterministic harness ([`obstacle_geom::check`]).
 
 use obstacle_core::{
     closest_pairs, distance_join, BruteForce, EngineOptions, EntityIndex, ObstacleIndex,
     QueryEngine,
 };
 use obstacle_datagen::{sample_entities, City, CityConfig, ObstacleShape};
+use obstacle_geom::check;
 use obstacle_geom::Point;
 use obstacle_rtree::RTreeConfig;
-use proptest::prelude::*;
 
 const TOL: f64 = 1e-9;
+const CASES: u32 = 10;
 
 fn build_world(
     obstacle_count: usize,
@@ -35,63 +37,71 @@ fn build_world(
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
-
-    #[test]
-    fn random_range_queries_match_oracle(
-        seed in 0u64..500,
-        obstacle_count in 5usize..25,
-        entity_count in 5usize..30,
-        qx in 0.05f64..0.95,
-        qy in 0.05f64..0.95,
-        e in 0.02f64..0.4,
-        convex in any::<bool>(),
-    ) {
+#[test]
+fn random_range_queries_match_oracle() {
+    check::cases(CASES, |g| {
+        let seed = g.u64(0, 500);
+        let obstacle_count = g.usize(5, 25);
+        let entity_count = g.usize(5, 30);
+        let q = Point::new(g.f64(0.05, 0.95), g.f64(0.05, 0.95));
+        let e = g.f64(0.02, 0.4);
+        let convex = g.bool();
         let (pts, entities, obstacles, oracle) =
             build_world(obstacle_count, entity_count, seed, convex);
         let engine = QueryEngine::new(&entities, &obstacles);
-        let q = Point::new(qx, qy);
         let got = engine.range(q, e);
         let expect = oracle.range(&pts, q, e);
-        prop_assert_eq!(got.hits.len(), expect.len(),
-            "q {} e {}: {:?} vs {:?}", q, e, got.hits, expect);
-        for (g, x) in got.hits.iter().zip(expect.iter()) {
-            prop_assert!((g.1 - x.1).abs() < TOL);
+        assert_eq!(
+            got.hits.len(),
+            expect.len(),
+            "q {} e {}: {:?} vs {:?}",
+            q,
+            e,
+            got.hits,
+            expect
+        );
+        for (got_hit, expect_hit) in got.hits.iter().zip(expect.iter()) {
+            assert!((got_hit.1 - expect_hit.1).abs() < TOL);
         }
-    }
+    });
+}
 
-    #[test]
-    fn random_nn_queries_match_oracle(
-        seed in 500u64..1000,
-        obstacle_count in 5usize..25,
-        entity_count in 5usize..30,
-        qx in 0.05f64..0.95,
-        qy in 0.05f64..0.95,
-        k in 1usize..8,
-        convex in any::<bool>(),
-    ) {
+#[test]
+fn random_nn_queries_match_oracle() {
+    check::cases(CASES, |g| {
+        let seed = g.u64(500, 1000);
+        let obstacle_count = g.usize(5, 25);
+        let entity_count = g.usize(5, 30);
+        let q = Point::new(g.f64(0.05, 0.95), g.f64(0.05, 0.95));
+        let k = g.usize(1, 8);
+        let convex = g.bool();
         let (pts, entities, obstacles, oracle) =
             build_world(obstacle_count, entity_count, seed, convex);
         let engine = QueryEngine::new(&entities, &obstacles);
-        let q = Point::new(qx, qy);
         let got = engine.nearest(q, k);
         let expect = oracle.nearest(&pts, q, k);
-        prop_assert_eq!(got.neighbors.len(), expect.len());
-        for (g, x) in got.neighbors.iter().zip(expect.iter()) {
-            prop_assert!((g.1 - x.1).abs() < TOL,
-                "q {} k {}: {:?} vs {:?}", q, k, got.neighbors, expect);
+        assert_eq!(got.neighbors.len(), expect.len());
+        for (got_nn, expect_nn) in got.neighbors.iter().zip(expect.iter()) {
+            assert!(
+                (got_nn.1 - expect_nn.1).abs() < TOL,
+                "q {} k {}: {:?} vs {:?}",
+                q,
+                k,
+                got.neighbors,
+                expect
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn random_joins_match_oracle(
-        seed in 1000u64..1500,
-        obstacle_count in 5usize..20,
-        s_count in 4usize..15,
-        t_count in 4usize..15,
-        e in 0.02f64..0.25,
-    ) {
+#[test]
+fn random_joins_match_oracle() {
+    check::cases(CASES, |g| {
+        let seed = g.u64(1000, 1500);
+        let obstacle_count = g.usize(5, 20);
+        let s_count = g.usize(4, 15);
+        let t_count = g.usize(4, 15);
+        let e = g.f64(0.02, 0.25);
         let city = City::generate(CityConfig::new(obstacle_count, seed));
         let s_pts = sample_entities(&city, s_count, seed + 10);
         let t_pts = sample_entities(&city, t_count, seed + 20);
@@ -101,21 +111,22 @@ proptest! {
         let oracle = BruteForce::new(city.obstacles);
         let got = distance_join(&s, &t, &o, e, EngineOptions::default());
         let expect = oracle.join(&s_pts, &t_pts, e);
-        let mut g: Vec<(u64, u64)> = got.pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
-        let mut x: Vec<(u64, u64)> = expect.iter().map(|(a, b, _)| (*a, *b)).collect();
-        g.sort_unstable();
-        x.sort_unstable();
-        prop_assert_eq!(g, x);
-    }
+        let mut got_ids: Vec<(u64, u64)> = got.pairs.iter().map(|(a, b, _)| (*a, *b)).collect();
+        let mut expect_ids: Vec<(u64, u64)> = expect.iter().map(|(a, b, _)| (*a, *b)).collect();
+        got_ids.sort_unstable();
+        expect_ids.sort_unstable();
+        assert_eq!(got_ids, expect_ids);
+    });
+}
 
-    #[test]
-    fn random_closest_pairs_match_oracle(
-        seed in 1500u64..2000,
-        obstacle_count in 5usize..18,
-        s_count in 3usize..10,
-        t_count in 3usize..10,
-        k in 1usize..6,
-    ) {
+#[test]
+fn random_closest_pairs_match_oracle() {
+    check::cases(CASES, |g| {
+        let seed = g.u64(1500, 2000);
+        let obstacle_count = g.usize(5, 18);
+        let s_count = g.usize(3, 10);
+        let t_count = g.usize(3, 10);
+        let k = g.usize(1, 6);
         let city = City::generate(CityConfig::new(obstacle_count, seed));
         let s_pts = sample_entities(&city, s_count, seed + 10);
         let t_pts = sample_entities(&city, t_count, seed + 20);
@@ -125,10 +136,15 @@ proptest! {
         let oracle = BruteForce::new(city.obstacles);
         let got = closest_pairs(&s, &t, &o, k, EngineOptions::default());
         let expect = oracle.closest_pairs(&s_pts, &t_pts, k);
-        prop_assert_eq!(got.pairs.len(), expect.len());
-        for (g, x) in got.pairs.iter().zip(expect.iter()) {
-            prop_assert!((g.2 - x.2).abs() < TOL,
-                "k {}: {:?} vs {:?}", k, got.pairs, expect);
+        assert_eq!(got.pairs.len(), expect.len());
+        for (got_pair, expect_pair) in got.pairs.iter().zip(expect.iter()) {
+            assert!(
+                (got_pair.2 - expect_pair.2).abs() < TOL,
+                "k {}: {:?} vs {:?}",
+                k,
+                got.pairs,
+                expect
+            );
         }
-    }
+    });
 }

@@ -107,7 +107,12 @@ fn updates_match_rebuilt_indexes_on_random_city() {
 // Ellipse pruning
 // ---------------------------------------------------------------------
 
-fn distance_with(ellipse: bool, obstacles: &ObstacleIndex, a: Point, b: Point) -> (Option<f64>, usize) {
+fn distance_with(
+    ellipse: bool,
+    obstacles: &ObstacleIndex,
+    a: Point,
+    b: Point,
+) -> (Option<f64>, usize) {
     let mut g = LocalGraph::new(EdgeBuilder::RotationalSweep);
     let na = g.add_waypoint(a, 0);
     let nb = g.add_waypoint(b, u64::MAX);

@@ -1,8 +1,7 @@
 //! City generator: density-weighted BSP blocks with inset street MBRs.
 
+use obstacle_geom::rng::{Rng, SeedableRng, SmallRng};
 use obstacle_geom::{Point, Polygon, Rect};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -328,8 +327,8 @@ mod tests {
         let c = City::generate(CityConfig::new(1000, 5));
         let mut areas: Vec<f64> = c.rects.iter().map(|r| r.area()).collect();
         areas.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let small = areas[areas.len() / 20];       // 5th percentile
-        let large = areas[areas.len() * 19 / 20];  // 95th percentile
+        let small = areas[areas.len() / 20]; // 5th percentile
+        let large = areas[areas.len() * 19 / 20]; // 95th percentile
         assert!(
             large > small * 3.0,
             "expected heavy-tailed areas, got p5 {small} vs p95 {large}"

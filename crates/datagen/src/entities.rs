@@ -1,9 +1,8 @@
 //! Entity datasets following the obstacle distribution.
 
 use crate::city::City;
+use obstacle_geom::rng::{Rng, SeedableRng, SmallRng};
 use obstacle_geom::Point;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Outward displacement applied to boundary-sampled entities so they are
 /// numerically strictly outside every obstacle interior. At unit-square
@@ -90,7 +89,10 @@ mod tests {
                 .iter()
                 .map(|r| r.mindist_point(*p))
                 .fold(f64::INFINITY, f64::min);
-            assert!(nearest < 1e-6, "entity {p} is {nearest} away from all obstacles");
+            assert!(
+                nearest < 1e-6,
+                "entity {p} is {nearest} away from all obstacles"
+            );
         }
     }
 

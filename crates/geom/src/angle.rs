@@ -151,10 +151,7 @@ mod tests {
     #[test]
     fn same_ray_orders_by_distance() {
         let pivot = p(0.0, 0.0);
-        assert_eq!(
-            angular_cmp(pivot, p(1.0, 1.0), p(2.0, 2.0)),
-            Ordering::Less
-        );
+        assert_eq!(angular_cmp(pivot, p(1.0, 1.0), p(2.0, 2.0)), Ordering::Less);
         assert_eq!(
             angular_cmp(pivot, p(2.0, 2.0), p(1.0, 1.0)),
             Ordering::Greater

@@ -21,6 +21,9 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
+pub mod rng;
+
 mod angle;
 mod hilbert;
 mod hull;

@@ -349,11 +349,7 @@ impl Polygon {
     /// half-plane to the left of the (counter-clockwise) edge, so the test
     /// is a single exact orientation; directions along the edge line do
     /// not enter (the continuation is resolved at the next vertex).
-    pub fn enters_interior_at_boundary(
-        &self,
-        attachment: BoundaryAttachment,
-        t: Point,
-    ) -> bool {
+    pub fn enters_interior_at_boundary(&self, attachment: BoundaryAttachment, t: Point) -> bool {
         match attachment {
             BoundaryAttachment::Vertex(i) => self.enters_interior_at_vertex(i, t),
             BoundaryAttachment::Edge(i) => {
@@ -552,7 +548,7 @@ mod tests {
         assert!(!s.blocks_segment(Segment::new(p(-1.0, 0.0), p(2.0, 0.0))));
         // Touching a corner from outside.
         assert!(!s.blocks_segment(Segment::new(p(-1.0, 1.0), p(1.0, -1.0)))); // through (0,0)
-        // Endpoint on boundary, rest outside.
+                                                                              // Endpoint on boundary, rest outside.
         assert!(!s.blocks_segment(Segment::new(p(1.0, 0.5), p(2.0, 0.5))));
         // Entirely outside.
         assert!(!s.blocks_segment(Segment::new(p(2.0, 2.0), p(3.0, 3.0))));
@@ -570,7 +566,7 @@ mod tests {
     #[test]
     fn enters_interior_at_vertex_square() {
         let s = unit_square(); // CCW: (0,0) (1,0) (1,1) (0,1)
-        // From corner (0,0): the interior is the quadrant up-right.
+                               // From corner (0,0): the interior is the quadrant up-right.
         assert!(s.enters_interior_at_vertex(0, p(0.5, 0.5)));
         assert!(!s.enters_interior_at_vertex(0, p(-0.5, -0.5)));
         assert!(!s.enters_interior_at_vertex(0, p(1.0, 0.0))); // along edge

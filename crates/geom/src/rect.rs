@@ -163,8 +163,12 @@ impl Rect {
 
     /// Squared version of [`Rect::mindist_rect`].
     pub fn mindist_rect_sq(&self, other: &Rect) -> f64 {
-        let dx = (other.min.x - self.max.x).max(0.0).max(self.min.x - other.max.x);
-        let dy = (other.min.y - self.max.y).max(0.0).max(self.min.y - other.max.y);
+        let dx = (other.min.x - self.max.x)
+            .max(0.0)
+            .max(self.min.x - other.max.x);
+        let dy = (other.min.y - self.max.y)
+            .max(0.0)
+            .max(self.min.y - other.max.y);
         dx * dx + dy * dy
     }
 

@@ -1,43 +1,59 @@
-//! Property-based tests for the geometry kernel.
+//! Property-based tests for the geometry kernel, running on the in-tree
+//! deterministic harness ([`obstacle_geom::check`]).
 
+use obstacle_geom::check::{self, Gen};
 use obstacle_geom::{
     angular_cmp, hilbert_index, orient2d, orient2d_exact, proper_crossing, segments_intersect,
     Orientation, Point, PointLocation, Polygon, Rect, Segment,
 };
-use proptest::prelude::*;
 
-fn pt() -> impl Strategy<Value = Point> {
-    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+const CASES: u32 = check::DEFAULT_CASES;
+
+fn pt(g: &mut Gen) -> Point {
+    Point::new(g.f64(-100.0, 100.0), g.f64(-100.0, 100.0))
 }
 
-fn unit_pt() -> impl Strategy<Value = Point> {
-    (0.0f64..1.0, 0.0f64..1.0).prop_map(|(x, y)| Point::new(x, y))
+fn unit_pt(g: &mut Gen) -> Point {
+    Point::new(g.f64(0.0, 1.0), g.f64(0.0, 1.0))
 }
 
-fn rect() -> impl Strategy<Value = Rect> {
-    (pt(), pt()).prop_map(|(a, b)| Rect::new(a, b))
+fn rect(g: &mut Gen) -> Rect {
+    let (a, b) = (pt(g), pt(g));
+    Rect::new(a, b)
 }
 
-proptest! {
-    #[test]
-    fn orient2d_filtered_equals_exact(a in pt(), b in pt(), c in pt()) {
-        prop_assert_eq!(orient2d(a, b, c), orient2d_exact(a, b, c));
-    }
+#[test]
+fn orient2d_filtered_equals_exact() {
+    check::cases(CASES, |g| {
+        let (a, b, c) = (pt(g), pt(g), pt(g));
+        assert_eq!(orient2d(a, b, c), orient2d_exact(a, b, c));
+    });
+}
 
-    #[test]
-    fn orient2d_antisymmetric(a in pt(), b in pt(), c in pt()) {
-        prop_assert_eq!(orient2d(a, b, c), orient2d(b, a, c).reversed());
-    }
+#[test]
+fn orient2d_antisymmetric() {
+    check::cases(CASES, |g| {
+        let (a, b, c) = (pt(g), pt(g), pt(g));
+        assert_eq!(orient2d(a, b, c), orient2d(b, a, c).reversed());
+    });
+}
 
-    #[test]
-    fn orient2d_cyclic(a in pt(), b in pt(), c in pt()) {
+#[test]
+fn orient2d_cyclic() {
+    check::cases(CASES, |g| {
+        let (a, b, c) = (pt(g), pt(g), pt(g));
         let o = orient2d(a, b, c);
-        prop_assert_eq!(o, orient2d(b, c, a));
-        prop_assert_eq!(o, orient2d(c, a, b));
-    }
+        assert_eq!(o, orient2d(b, c, a));
+        assert_eq!(o, orient2d(c, a, b));
+    });
+}
 
-    #[test]
-    fn orient2d_nearly_collinear_scaled(base in -1.0e3f64..1.0e3, dx in 1.0f64..50.0, k in 0u32..64) {
+#[test]
+fn orient2d_nearly_collinear_scaled() {
+    check::cases(CASES, |g| {
+        let base = g.f64(-1.0e3, 1.0e3);
+        let dx = g.f64(1.0, 50.0);
+        let k = g.u32(0, 64);
         // c sits on the segment a-b up to an offset of k ulps; the exact
         // predicate must treat every offset consistently with its sign.
         let a = Point::new(base, base);
@@ -54,91 +70,133 @@ proptest! {
             };
         }
         let c = Point::new(mid, y);
-        let expect = if k == 0 { Orientation::Collinear } else { Orientation::CounterClockwise };
-        prop_assert_eq!(orient2d(a, b, c), expect);
-    }
+        let expect = if k == 0 {
+            Orientation::Collinear
+        } else {
+            Orientation::CounterClockwise
+        };
+        assert_eq!(orient2d(a, b, c), expect);
+    });
+}
 
-    #[test]
-    fn segment_intersection_is_symmetric(a in pt(), b in pt(), c in pt(), d in pt()) {
-        let s = Segment::new(a, b);
-        let t = Segment::new(c, d);
-        prop_assert_eq!(segments_intersect(s, t), segments_intersect(t, s));
-        prop_assert_eq!(proper_crossing(s, t), proper_crossing(t, s));
-    }
+#[test]
+fn segment_intersection_is_symmetric() {
+    check::cases(CASES, |g| {
+        let s = Segment::new(pt(g), pt(g));
+        let t = Segment::new(pt(g), pt(g));
+        assert_eq!(segments_intersect(s, t), segments_intersect(t, s));
+        assert_eq!(proper_crossing(s, t), proper_crossing(t, s));
+    });
+}
 
-    #[test]
-    fn proper_crossing_implies_intersection(a in pt(), b in pt(), c in pt(), d in pt()) {
-        let s = Segment::new(a, b);
-        let t = Segment::new(c, d);
+#[test]
+fn proper_crossing_implies_intersection() {
+    check::cases(CASES, |g| {
+        let s = Segment::new(pt(g), pt(g));
+        let t = Segment::new(pt(g), pt(g));
         if proper_crossing(s, t) {
-            prop_assert!(segments_intersect(s, t));
+            assert!(segments_intersect(s, t));
         }
-    }
+    });
+}
 
-    #[test]
-    fn shared_endpoint_always_intersects(a in pt(), b in pt(), c in pt()) {
+#[test]
+fn shared_endpoint_always_intersects() {
+    check::cases(CASES, |g| {
+        let (a, b, c) = (pt(g), pt(g), pt(g));
         let s = Segment::new(a, b);
         let t = Segment::new(a, c);
-        prop_assert!(segments_intersect(s, t));
-        prop_assert!(!proper_crossing(s, t));
-    }
+        assert!(segments_intersect(s, t));
+        assert!(!proper_crossing(s, t));
+    });
+}
 
-    #[test]
-    fn rect_union_contains_operands(a in rect(), b in rect()) {
+#[test]
+fn rect_union_contains_operands() {
+    check::cases(CASES, |g| {
+        let (a, b) = (rect(g), rect(g));
         let u = a.union(&b);
-        prop_assert!(u.contains_rect(&a));
-        prop_assert!(u.contains_rect(&b));
-        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
-    }
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+    });
+}
 
-    #[test]
-    fn rect_mindist_is_lower_bound(a in rect(), p in pt(), q in pt()) {
+#[test]
+fn rect_mindist_is_lower_bound() {
+    check::cases(CASES, |g| {
+        let a = rect(g);
+        let (p, q) = (pt(g), pt(g));
         // mindist(p, R) lower-bounds the distance from p to any point in R.
-        let inside = Point::new(
-            q.x.clamp(a.min.x, a.max.x),
-            q.y.clamp(a.min.y, a.max.y),
-        );
-        prop_assert!(a.mindist_point(p) <= p.dist(inside) + 1e-9);
-        prop_assert!(a.maxdist_point(p) + 1e-9 >= p.dist(inside));
-    }
+        let inside = Point::new(q.x.clamp(a.min.x, a.max.x), q.y.clamp(a.min.y, a.max.y));
+        assert!(a.mindist_point(p) <= p.dist(inside) + 1e-9);
+        assert!(a.maxdist_point(p) + 1e-9 >= p.dist(inside));
+    });
+}
 
-    #[test]
-    fn rect_mindist_rect_zero_iff_intersecting(a in rect(), b in rect()) {
+#[test]
+fn rect_mindist_rect_zero_iff_intersecting() {
+    check::cases(CASES, |g| {
+        let (a, b) = (rect(g), rect(g));
         if a.intersects(&b) {
-            prop_assert_eq!(a.mindist_rect(&b), 0.0);
+            assert_eq!(a.mindist_rect(&b), 0.0);
         } else {
-            prop_assert!(a.mindist_rect(&b) > 0.0);
+            assert!(a.mindist_rect(&b) > 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn angular_sort_is_rotationally_consistent(pivot in pt(), mut pts in prop::collection::vec(pt(), 2..20)) {
+#[test]
+fn angular_sort_is_rotationally_consistent() {
+    check::cases(CASES, |g| {
+        let pivot = pt(g);
+        let mut pts = g.vec(2, 20, pt);
         pts.retain(|p| *p != pivot);
-        prop_assume!(pts.len() >= 2);
+        if pts.len() < 2 {
+            return;
+        }
         pts.sort_by(|a, b| angular_cmp(pivot, *a, *b));
         // Sorted order must be non-decreasing in true angle.
         let angles: Vec<f64> = pts
             .iter()
             .map(|p| {
                 let a = (p.y - pivot.y).atan2(p.x - pivot.x);
-                if a < 0.0 { a + std::f64::consts::TAU } else { a }
+                if a < 0.0 {
+                    a + std::f64::consts::TAU
+                } else {
+                    a
+                }
             })
             .collect();
         for w in angles.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-9, "angles out of order: {} > {}", w[0], w[1]);
+            assert!(
+                w[0] <= w[1] + 1e-9,
+                "angles out of order: {} > {}",
+                w[0],
+                w[1]
+            );
         }
-    }
+    });
+}
 
-    #[test]
-    fn hilbert_preserves_identity(order in 1u32..=10, x in 0u32..1024, y in 0u32..1024) {
+#[test]
+fn hilbert_preserves_identity() {
+    check::cases(CASES, |g| {
+        let order = g.u32_inclusive(1, 10);
+        let (x, y) = (g.u32(0, 1024), g.u32(0, 1024));
         let n = 1u32 << order;
         let (x, y) = (x % n, y % n);
         let d = hilbert_index(order, x, y);
-        prop_assert!(d < (n as u64) * (n as u64));
-    }
+        assert!(d < (n as u64) * (n as u64));
+    });
+}
 
-    #[test]
-    fn polygon_locate_consistent_with_blocking(cx in 0.2f64..0.8, cy in 0.2f64..0.8, w in 0.05f64..0.2, h in 0.05f64..0.2, p in unit_pt(), q in unit_pt()) {
+#[test]
+fn polygon_locate_consistent_with_blocking() {
+    check::cases(CASES, |g| {
+        let (cx, cy) = (g.f64(0.2, 0.8), g.f64(0.2, 0.8));
+        let (w, h) = (g.f64(0.05, 0.2), g.f64(0.05, 0.2));
+        let (p, q) = (unit_pt(g), unit_pt(g));
         let r = Rect::from_coords(cx - w, cy - h, cx + w, cy + h);
         let poly = Polygon::from_rect(r);
         let seg = Segment::new(p, q);
@@ -156,14 +214,19 @@ proptest! {
             }
         }
         if interior_sample {
-            prop_assert!(blocked, "segment has interior samples but was not blocked");
+            assert!(blocked, "segment has interior samples but was not blocked");
         }
-    }
+    });
+}
 
-    #[test]
-    fn polygon_boundary_points_are_on_boundary(cx in 0.2f64..0.8, cy in 0.2f64..0.8, w in 0.05f64..0.2, h in 0.05f64..0.2, t in 0.0f64..1.0) {
+#[test]
+fn polygon_boundary_points_are_on_boundary() {
+    check::cases(CASES, |g| {
+        let (cx, cy) = (g.f64(0.2, 0.8), g.f64(0.2, 0.8));
+        let (w, h) = (g.f64(0.05, 0.2), g.f64(0.05, 0.2));
+        let t = g.f64(0.0, 1.0);
         let poly = Polygon::from_rect(Rect::from_coords(cx - w, cy - h, cx + w, cy + h));
         let p = poly.boundary_point(t);
-        prop_assert_eq!(poly.locate(p), PointLocation::Boundary);
-    }
+        assert_eq!(poly.locate(p), PointLocation::Boundary);
+    });
 }

@@ -1,0 +1,152 @@
+//! Determinism and distribution-sanity tests for the in-tree PRNG
+//! (`obstacle_geom::rng`), the offline replacement for the `rand` crate.
+//! Dataset reproducibility (equal seeds ⇒ identical cities/workloads)
+//! rests entirely on these guarantees.
+
+use obstacle_geom::rng::{Rng, Sample, SeedableRng, SmallRng};
+
+/// The stream is a pure function of the seed — pinned against golden
+/// values so it can never drift silently across refactors or platforms.
+#[test]
+fn stream_is_pinned_to_golden_values() {
+    let mut r = SmallRng::seed_from_u64(0);
+    let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+    // xoshiro256++ over a SplitMix64-expanded zero seed.
+    let again: Vec<u64> = {
+        let mut r = SmallRng::seed_from_u64(0);
+        (0..4).map(|_| r.next_u64()).collect()
+    };
+    assert_eq!(first, again);
+    // Golden prefix recorded at shim introduction; a change here breaks
+    // every persisted seed in datasets and tests.
+    assert_eq!(
+        first,
+        vec![
+            5987356902031041503,
+            7051070477665621255,
+            6633766593972829180,
+            211316841551650330
+        ]
+    );
+}
+
+#[test]
+fn clone_continues_the_same_stream() {
+    let mut a = SmallRng::seed_from_u64(99);
+    for _ in 0..10 {
+        a.next_u64();
+    }
+    let mut b = a.clone();
+    for _ in 0..100 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
+
+#[test]
+fn nearby_seeds_are_uncorrelated() {
+    // SplitMix64 expansion must decorrelate consecutive seeds.
+    let streams: Vec<Vec<u64>> = (0..8)
+        .map(|s| {
+            let mut r = SmallRng::seed_from_u64(s);
+            (0..32).map(|_| r.next_u64()).collect()
+        })
+        .collect();
+    for i in 0..streams.len() {
+        for j in (i + 1)..streams.len() {
+            let collisions = streams[i]
+                .iter()
+                .zip(&streams[j])
+                .filter(|(a, b)| a == b)
+                .count();
+            assert_eq!(collisions, 0, "seeds {i} and {j} produced equal words");
+        }
+    }
+}
+
+#[test]
+fn f64_mean_and_spread_are_sane() {
+    let mut r = SmallRng::seed_from_u64(123);
+    const N: usize = 100_000;
+    let mut sum = 0.0;
+    let mut buckets = [0usize; 10];
+    for _ in 0..N {
+        let x: f64 = r.gen();
+        assert!((0.0..1.0).contains(&x));
+        sum += x;
+        buckets[(x * 10.0) as usize] += 1;
+    }
+    let mean = sum / N as f64;
+    assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    // Each decile of a uniform sample should hold ~10% of the draws.
+    for (i, &count) in buckets.iter().enumerate() {
+        let frac = count as f64 / N as f64;
+        assert!(
+            (0.08..0.12).contains(&frac),
+            "decile {i} holds {frac:.3} of the mass"
+        );
+    }
+}
+
+#[test]
+fn bits_are_balanced() {
+    // Every bit position of next_u64 should be ~50% ones.
+    let mut r = SmallRng::seed_from_u64(7);
+    const N: usize = 20_000;
+    let mut ones = [0u32; 64];
+    for _ in 0..N {
+        let w = r.next_u64();
+        for (bit, count) in ones.iter_mut().enumerate() {
+            *count += ((w >> bit) & 1) as u32;
+        }
+    }
+    for (bit, &count) in ones.iter().enumerate() {
+        let frac = count as f64 / N as f64;
+        assert!(
+            (0.47..0.53).contains(&frac),
+            "bit {bit} is set {frac:.3} of the time"
+        );
+    }
+}
+
+#[test]
+fn gen_bool_tracks_probability() {
+    let mut r = SmallRng::seed_from_u64(11);
+    const N: usize = 50_000;
+    for p in [0.1, 0.5, 0.9] {
+        let hits = (0..N).filter(|_| r.gen_bool(p)).count();
+        let frac = hits as f64 / N as f64;
+        assert!((frac - p).abs() < 0.02, "gen_bool({p}) hit {frac:.3}");
+    }
+    assert_eq!((0..1000).filter(|_| r.gen_bool(0.0)).count(), 0);
+    assert_eq!((0..1000).filter(|_| r.gen_bool(1.0)).count(), 1000);
+}
+
+#[test]
+fn gen_range_covers_all_values() {
+    let mut r = SmallRng::seed_from_u64(21);
+    let mut seen = [false; 7];
+    for _ in 0..10_000 {
+        seen[r.gen_range_u64(0, 7) as usize] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "range sampling missed a value");
+}
+
+#[test]
+fn integer_samples_cover_their_width() {
+    let mut r = SmallRng::seed_from_u64(31);
+    // Small widths: all 256 u8 values should appear quickly.
+    let mut seen = [false; 256];
+    for _ in 0..20_000 {
+        seen[u8::sample(&mut r) as usize] = true;
+    }
+    let covered = seen.iter().filter(|&&s| s).count();
+    assert_eq!(
+        covered, 256,
+        "u8 sampling covered only {covered}/256 values"
+    );
+    // Wide types: top and bottom halves both get hit.
+    let high = (0..1000)
+        .filter(|_| u64::sample(&mut r) > u64::MAX / 2)
+        .count();
+    assert!((400..600).contains(&high));
+}

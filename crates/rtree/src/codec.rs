@@ -1,0 +1,198 @@
+//! Little-endian byte codec — an in-tree replacement for the `bytes`
+//! crate surface used by [`crate::persist`].
+//!
+//! The workspace builds fully offline, so instead of depending on `bytes`
+//! this module provides API-compatible [`Buf`]/[`BufMut`] traits and the
+//! [`Bytes`]/[`BytesMut`] buffer types. Semantics match `bytes` where the
+//! two overlap: `get_*` methods consume from the front and panic on
+//! underflow (callers guard with [`Buf::remaining`]), `put_*` methods
+//! append, and [`BytesMut::freeze`] converts to an immutable [`Bytes`].
+
+/// Read access to a contiguous, front-consumable byte buffer.
+///
+/// Implemented for `&[u8]`: each `get_*` advances the slice itself, so a
+/// `&mut &[u8]` cursor walks an image exactly like a `bytes::Buf`.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns the next `n` bytes.
+    ///
+    /// # Panics
+    /// If fewer than `n` bytes remain.
+    fn take(&mut self, n: usize) -> &[u8];
+
+    /// Copies `dst.len()` bytes into `dst`, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(self.take(dst.len()));
+    }
+
+    /// Consumes one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Consumes a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().unwrap())
+    }
+
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Consumes a little-endian `f32` (bit-exact round trip).
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Consumes a little-endian `f64` (bit-exact round trip).
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            n <= self.len(),
+            "codec underflow: need {n} bytes, {} remain",
+            self.len()
+        );
+        let (head, tail) = self.split_at(n);
+        *self = tail;
+        head
+    }
+}
+
+/// Append access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// A growable byte buffer being written; freeze it into [`Bytes`] when
+/// encoding is complete.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// An immutable byte image; dereferences to `[u8]` for slicing and I/O.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Wraps an owned byte vector.
+    pub fn from_vec(data: Vec<u8>) -> Bytes {
+        Bytes { data }
+    }
+
+    /// Consumes the image, returning the underlying vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data }
+    }
+}

@@ -68,7 +68,8 @@ impl RTreeConfig {
 
     /// Minimum number of entries per non-root node.
     pub fn min_fill(&self) -> usize {
-        ((self.capacity() as f64 * self.min_fill_ratio).floor() as usize).clamp(1, self.capacity() / 2)
+        ((self.capacity() as f64 * self.min_fill_ratio).floor() as usize)
+            .clamp(1, self.capacity() / 2)
     }
 
     /// Number of entries removed by one forced reinsertion.

@@ -53,6 +53,9 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod codec;
+pub mod sync;
+
 mod config;
 mod entry;
 mod float;

@@ -56,8 +56,10 @@ mod tests {
     fn mbr_unions_entries() {
         let mut n = Node::new(0);
         assert!(n.mbr().is_empty());
-        n.entries.push(Entry::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 1));
-        n.entries.push(Entry::new(Rect::from_coords(2.0, 2.0, 3.0, 4.0), 2));
+        n.entries
+            .push(Entry::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), 1));
+        n.entries
+            .push(Entry::new(Rect::from_coords(2.0, 2.0, 3.0, 4.0), 2));
         assert_eq!(n.mbr(), Rect::from_coords(0.0, 0.0, 3.0, 4.0));
         assert!(n.is_leaf());
         assert_eq!(n.len(), 2);

@@ -7,12 +7,12 @@
 //! the simulated disk and is carried in the config, independent of this
 //! on-disk image.
 
+use crate::codec::{Buf, BufMut, Bytes, BytesMut};
 use crate::config::RTreeConfig;
 use crate::entry::Entry;
 use crate::node::Node;
 use crate::store::PageStore;
 use crate::tree::RTree;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use obstacle_geom::Rect;
 use std::path::Path;
 

@@ -93,7 +93,10 @@ impl<'a> ClosestPairs<'a> {
             (Side::Node(_), Side::Object(_)) => true,
             (Side::Object(_), Side::Node(_)) => false,
             (Side::Node(_), Side::Node(_)) => {
-                let (ln, rn) = (self.left.read_page_level(entry.left), self.right.read_page_level(entry.right));
+                let (ln, rn) = (
+                    self.left.read_page_level(entry.left),
+                    self.right.read_page_level(entry.right),
+                );
                 match ln.cmp(&rn) {
                     std::cmp::Ordering::Greater => true,
                     std::cmp::Ordering::Less => false,
@@ -120,8 +123,8 @@ impl<'a> ClosestPairs<'a> {
                     .collect()
             };
             for (side, mbr) in children {
-                let resolved = matches!(side, Side::Object(_))
-                    && matches!(entry.right, Side::Object(_));
+                let resolved =
+                    matches!(side, Side::Object(_)) && matches!(entry.right, Side::Object(_));
                 self.heap.push(PairEntry {
                     dist: Reverse(OrdF64::new(mbr.mindist_rect(&entry.rmbr))),
                     resolved,
@@ -148,8 +151,8 @@ impl<'a> ClosestPairs<'a> {
                     .collect()
             };
             for (side, mbr) in children {
-                let resolved = matches!(side, Side::Object(_))
-                    && matches!(entry.left, Side::Object(_));
+                let resolved =
+                    matches!(side, Side::Object(_)) && matches!(entry.left, Side::Object(_));
                 self.heap.push(PairEntry {
                     dist: Reverse(OrdF64::new(entry.lmbr.mindist_rect(&mbr))),
                     resolved,
@@ -256,8 +259,12 @@ mod tests {
 
     #[test]
     fn non_decreasing_distances() {
-        let a: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 0.37 % 7.0, i as f64 * 0.71 % 5.0)).collect();
-        let b: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 0.53 % 6.0, i as f64 * 0.29 % 4.0)).collect();
+        let a: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64 * 0.37 % 7.0, i as f64 * 0.71 % 5.0))
+            .collect();
+        let b: Vec<(f64, f64)> = (0..50)
+            .map(|i| (i as f64 * 0.53 % 6.0, i as f64 * 0.29 % 4.0))
+            .collect();
         let ta = points_tree(&a, 4);
         let tb = points_tree(&b, 4);
         let mut prev = -1.0;

@@ -19,7 +19,14 @@ pub fn distance_join(left: &RTree, right: &RTree, e: f64) -> Vec<(Item, Item)> {
     if left.is_empty() || right.is_empty() {
         return out;
     }
-    join_pages(left, right, left.root_page(), right.root_page(), e, &mut out);
+    join_pages(
+        left,
+        right,
+        left.root_page(),
+        right.root_page(),
+        e,
+        &mut out,
+    );
     out
 }
 
@@ -151,9 +158,7 @@ mod tests {
 
     #[test]
     fn matches_brute_force_on_grids() {
-        let a: Vec<(f64, f64)> = (0..40)
-            .map(|i| ((i % 8) as f64, (i / 8) as f64))
-            .collect();
+        let a: Vec<(f64, f64)> = (0..40).map(|i| ((i % 8) as f64, (i / 8) as f64)).collect();
         let b: Vec<(f64, f64)> = (0..30)
             .map(|i| ((i % 6) as f64 + 0.4, (i / 6) as f64 + 0.3))
             .collect();

@@ -160,8 +160,8 @@ mod tests {
 
     fn grid_tree(cap: usize) -> RTree {
         // 10×10 grid of points with ids y*10+x.
-        let items = (0..100u64)
-            .map(|i| Item::point(Point::new((i % 10) as f64, (i / 10) as f64), i));
+        let items =
+            (0..100u64).map(|i| Item::point(Point::new((i % 10) as f64, (i / 10) as f64), i));
         RTree::build(RTreeConfig::tiny(cap), items)
     }
 

@@ -3,7 +3,7 @@
 use crate::buffer::LruBuffer;
 use crate::entry::PageId;
 use crate::node::Node;
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cumulative I/O counters of one tree.

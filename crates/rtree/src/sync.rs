@@ -1,0 +1,38 @@
+//! A thin mutex wrapper replacing the `parking_lot` dependency.
+//!
+//! `parking_lot::Mutex::lock` returns the guard directly (no `Result`);
+//! this wrapper gives `std::sync::Mutex` the same ergonomics. Lock
+//! poisoning is ignored: the protected state (the LRU buffer) is a cache
+//! whose worst corruption mode is a wrong hit/miss count, and a panicking
+//! reader thread should not wedge every other reader of a shared tree.
+
+/// Mutual exclusion with `parking_lot`-style (non-poisoning) locking.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wraps `value` in a new mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking the current thread until it is free.
+    /// A poisoned lock is recovered rather than propagated.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Direct access through exclusive ownership — no locking needed.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}

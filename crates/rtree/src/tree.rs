@@ -425,12 +425,7 @@ impl RTree {
         true
     }
 
-    fn find_leaf(
-        &self,
-        page: PageId,
-        item: &Item,
-        path: &mut Vec<PageId>,
-    ) -> Option<Vec<PageId>> {
+    fn find_leaf(&self, page: PageId, item: &Item, path: &mut Vec<PageId>) -> Option<Vec<PageId>> {
         path.push(page);
         let node = self.store.read(page);
         if node.is_leaf() {
@@ -469,22 +464,10 @@ impl RTree {
         let node_count = n.div_ceil(cap);
         let slices = (node_count as f64).sqrt().ceil() as usize;
         let slice_len = slices * cap;
-        entries.sort_by(|a, b| {
-            a.mbr
-                .center()
-                .x
-                .partial_cmp(&b.mbr.center().x)
-                .unwrap()
-        });
+        entries.sort_by(|a, b| a.mbr.center().x.partial_cmp(&b.mbr.center().x).unwrap());
         let mut parents = Vec::with_capacity(node_count);
         for slab in entries.chunks_mut(slice_len.max(1)) {
-            slab.sort_by(|a, b| {
-                a.mbr
-                    .center()
-                    .y
-                    .partial_cmp(&b.mbr.center().y)
-                    .unwrap()
-            });
+            slab.sort_by(|a, b| a.mbr.center().y.partial_cmp(&b.mbr.center().y).unwrap());
             for chunk in slab.chunks(cap) {
                 parents.push(self.pack_node(chunk, level));
             }
@@ -757,7 +740,11 @@ fn rstar_split(entries: Vec<Entry>, min_fill: usize) -> (Vec<Entry>, Vec<Entry>)
         }
         prefix_suffix.push((prefix, suffix));
     }
-    let axis = if axis_margin[0] <= axis_margin[1] { 0 } else { 1 };
+    let axis = if axis_margin[0] <= axis_margin[1] {
+        0
+    } else {
+        1
+    };
 
     // Best distribution on the chosen axis across its two orderings.
     let mut best: Option<(usize, usize)> = None; // (ordering idx, k)

@@ -1,8 +1,8 @@
 //! Structural and semantic tests of the R*-tree.
 
+use obstacle_geom::check;
 use obstacle_geom::{Point, Rect};
 use obstacle_rtree::{Item, RTree, RTreeConfig};
-use proptest::prelude::*;
 
 fn pts(n: usize, seed: u64) -> Vec<Point> {
     // Cheap deterministic pseudo-random points in the unit square.
@@ -32,7 +32,8 @@ fn incremental_build_respects_all_invariants() {
         for (i, it) in items_of(&points).into_iter().enumerate() {
             t.insert(it);
             if i % 97 == 0 {
-                t.validate(true).unwrap_or_else(|e| panic!("cap {cap}: {e}"));
+                t.validate(true)
+                    .unwrap_or_else(|e| panic!("cap {cap}: {e}"));
             }
         }
         t.validate(true).unwrap();
@@ -118,10 +119,7 @@ fn delete_removes_and_preserves_invariants() {
     assert_eq!(t.len(), 400 - 134);
     // Deleted items are gone; others remain findable.
     for (i, it) in items.iter().enumerate() {
-        let found = t
-            .range_rect(&it.mbr)
-            .iter()
-            .any(|f| f.id == it.id);
+        let found = t.range_rect(&it.mbr).iter().any(|f| f.id == it.id);
         assert_eq!(found, i % 3 != 0, "item {i}");
     }
     // Deleting again returns false.
@@ -247,63 +245,68 @@ fn parallel_readers_share_one_tree() {
     assert!(t.io_stats().fetches() >= 16 * 5);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn random_build_query_delete_cycle() {
+    check::cases(24, |g| {
+        let n = g.usize(1, 300);
+        let cap = g.usize(3, 10);
+        let seed = g.u64(0, 1000);
+        let q = Point::new(g.f64(0.0, 1.0), g.f64(0.0, 1.0));
+        let r = g.f64(0.0, 0.5);
 
-    #[test]
-    fn random_build_query_delete_cycle(
-        n in 1usize..300,
-        cap in 3usize..10,
-        seed in 0u64..1000,
-        qx in 0.0f64..1.0,
-        qy in 0.0f64..1.0,
-        r in 0.0f64..0.5,
-    ) {
         let points = pts(n, seed);
         let items = items_of(&points);
         let mut t = RTree::build(RTreeConfig::tiny(cap), items.clone());
-        prop_assert!(t.validate(true).is_ok());
+        assert!(t.validate(true).is_ok());
 
         // Range vs scan.
-        let q = Point::new(qx, qy);
         let mut got: Vec<u64> = t.range_circle(q, r).iter().map(|i| i.id).collect();
         got.sort_unstable();
-        let expect: Vec<u64> = points.iter().enumerate()
+        let expect: Vec<u64> = points
+            .iter()
+            .enumerate()
             .filter(|(_, p)| p.dist(q) <= r)
             .map(|(i, _)| i as u64)
             .collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
 
         // kNN vs scan.
         let k = (n / 3).max(1);
         let knn: Vec<f64> = t.k_nearest(q, k).iter().map(|(_, d)| *d).collect();
         let mut dists: Vec<f64> = points.iter().map(|p| p.dist(q)).collect();
         dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        for (g, e) in knn.iter().zip(dists.iter()) {
-            prop_assert!((g - e).abs() < 1e-12);
+        for (knn_d, scan_d) in knn.iter().zip(dists.iter()) {
+            assert!((knn_d - scan_d).abs() < 1e-12);
         }
 
         // Delete half, re-validate, re-query.
         for it in items.iter().take(n / 2) {
-            prop_assert!(t.delete(it));
+            assert!(t.delete(it));
         }
-        prop_assert!(t.validate(true).is_ok());
+        assert!(t.validate(true).is_ok());
         let mut got: Vec<u64> = t.range_circle(q, r).iter().map(|i| i.id).collect();
         got.sort_unstable();
-        let expect: Vec<u64> = points.iter().enumerate().skip(n / 2)
+        let expect: Vec<u64> = points
+            .iter()
+            .enumerate()
+            .skip(n / 2)
             .filter(|(_, p)| p.dist(q) <= r)
             .map(|(i, _)| i as u64)
             .collect();
-        prop_assert_eq!(got, expect);
-    }
+        assert_eq!(got, expect);
+    });
+}
 
-    #[test]
-    fn str_bulk_load_equals_scan(n in 1usize..2000, seed in 0u64..100) {
+#[test]
+fn str_bulk_load_equals_scan() {
+    check::cases(24, |g| {
+        let n = g.usize(1, 2000);
+        let seed = g.u64(0, 100);
         let points = pts(n, seed);
         let t = RTree::bulk_load_str(RTreeConfig::tiny(8), items_of(&points));
-        prop_assert!(t.validate(false).is_ok());
-        prop_assert_eq!(t.len(), n);
+        assert!(t.validate(false).is_ok());
+        assert_eq!(t.len(), n);
         let all = t.items();
-        prop_assert_eq!(all.len(), n);
-    }
+        assert_eq!(all.len(), n);
+    });
 }

@@ -74,11 +74,7 @@ pub fn dijkstra_distance(graph: &VisibilityGraph, from: NodeId, to: NodeId) -> O
 /// This is the core of the paper's OR algorithm (Fig. 5): one Dijkstra
 /// expansion from the query point, pruned at the range `e`, reporting
 /// entities as they are settled.
-pub fn bounded_expansion(
-    graph: &VisibilityGraph,
-    from: NodeId,
-    radius: f64,
-) -> Vec<(NodeId, f64)> {
+pub fn bounded_expansion(graph: &VisibilityGraph, from: NodeId, radius: f64) -> Vec<(NodeId, f64)> {
     let n = graph.node_slots();
     let mut dist = vec![f64::INFINITY; n];
     let mut settled = Vec::new();

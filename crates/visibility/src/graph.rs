@@ -582,7 +582,10 @@ impl VisibilityGraph {
                 if (w - expect).abs() > 1e-9 {
                     return Err(format!("edge {i}-{} weight {w} != {expect}", j.0));
                 }
-                if !self.adj[j.0 as usize].iter().any(|(k, _)| k.0 as usize == i) {
+                if !self.adj[j.0 as usize]
+                    .iter()
+                    .any(|(k, _)| k.0 as usize == i)
+                {
                     return Err(format!("edge {i}-{} not symmetric", j.0));
                 }
             }

@@ -151,8 +151,7 @@ pub fn visible_set(
                 .collect()
         })
         .collect();
-    let vertex_class_refs: Vec<&[PointClass]> =
-        vertex_class.iter().map(|v| v.as_slice()).collect();
+    let vertex_class_refs: Vec<&[PointClass]> = vertex_class.iter().map(|v| v.as_slice()).collect();
     let free_class: Vec<PointClass> = free_points
         .iter()
         .map(|&p| classify(obstacles, p))
@@ -239,8 +238,10 @@ pub fn visible_set_prepared(
     // sight lines at the pivot and cannot block; the pivot's interior
     // cones handle blocking there).
     let mut edges: Vec<Edge> = Vec::new();
-    let mut incident: Vec<Vec<Vec<usize>>> =
-        obstacles.iter().map(|p| vec![Vec::new(); p.len()]).collect();
+    let mut incident: Vec<Vec<Vec<usize>>> = obstacles
+        .iter()
+        .map(|p| vec![Vec::new(); p.len()])
+        .collect();
     for (oi, poly) in obstacles.iter().enumerate() {
         let n = poly.len();
         for vi in 0..n {

@@ -2,9 +2,9 @@
 //! graph as the naive oracle, including on adversarial configurations
 //! (collinear vertices, diagonals through corners, entities on walls).
 
+use obstacle_geom::check;
 use obstacle_geom::{Point, Polygon, Rect};
 use obstacle_visibility::{EdgeBuilder, VisibilityGraph};
-use proptest::prelude::*;
 
 /// Builds both graphs over the same scene and asserts edge-set equality
 /// (via each graph's semantic validator plus direct comparison).
@@ -20,9 +20,11 @@ fn assert_equivalent(obstacles: &[Rect], waypoints: &[Point]) {
     let (sweep, _) = VisibilityGraph::build(EdgeBuilder::RotationalSweep, obs(()), wps());
 
     naive.validate(true).expect("naive graph is its own oracle");
-    sweep
-        .validate(true)
-        .unwrap_or_else(|e| panic!("sweep disagrees with oracle: {e}\nobstacles: {obstacles:?}\nwaypoints: {waypoints:?}"));
+    sweep.validate(true).unwrap_or_else(|e| {
+        panic!(
+            "sweep disagrees with oracle: {e}\nobstacles: {obstacles:?}\nwaypoints: {waypoints:?}"
+        )
+    });
 
     assert_eq!(naive.node_count(), sweep.node_count());
     assert_eq!(
@@ -56,7 +58,12 @@ fn grid_rects(seed: u64, cells: usize, keep: usize) -> Vec<Rect> {
             let h = cell * (0.2 + 0.55 * next());
             let ox = cell * 0.1 * (1.0 + next());
             let oy = cell * 0.1 * (1.0 + next());
-            out.push(Rect::from_coords(x0 + ox, y0 + oy, x0 + ox + w, y0 + oy + h));
+            out.push(Rect::from_coords(
+                x0 + ox,
+                y0 + oy,
+                x0 + ox + w,
+                y0 + oy + h,
+            ));
         }
     }
     out
@@ -76,7 +83,11 @@ fn empty_scene_connects_all_waypoints() {
 fn single_square_basic() {
     assert_equivalent(
         &[Rect::from_coords(0.4, 0.4, 0.6, 0.6)],
-        &[Point::new(0.1, 0.5), Point::new(0.9, 0.5), Point::new(0.5, 0.1)],
+        &[
+            Point::new(0.1, 0.5),
+            Point::new(0.9, 0.5),
+            Point::new(0.5, 0.1),
+        ],
     );
 }
 
@@ -103,7 +114,11 @@ fn collinear_corners_on_one_ray() {
             Rect::from_coords(0.3, 0.3, 0.4, 0.4),
             Rect::from_coords(0.5, 0.5, 0.6, 0.6),
         ],
-        &[Point::new(0.0, 0.0), Point::new(0.75, 0.75), Point::new(0.25, 0.25)],
+        &[
+            Point::new(0.0, 0.0),
+            Point::new(0.75, 0.75),
+            Point::new(0.25, 0.25),
+        ],
     );
 }
 
@@ -113,9 +128,9 @@ fn waypoint_horizontally_aligned_with_corners() {
     assert_equivalent(
         &[Rect::from_coords(0.4, 0.2, 0.6, 0.5)],
         &[
-            Point::new(0.1, 0.5),  // same y as the top edge
+            Point::new(0.1, 0.5), // same y as the top edge
             Point::new(0.9, 0.5),
-            Point::new(0.1, 0.2),  // same y as the bottom edge
+            Point::new(0.1, 0.2), // same y as the bottom edge
             Point::new(0.9, 0.2),
         ],
     );
@@ -132,7 +147,7 @@ fn aligned_rectangle_walls() {
             Rect::from_coords(0.2, 0.8, 0.4, 0.9),
         ],
         &[
-            Point::new(0.2, 0.0),  // on the shared wall line x = 0.2
+            Point::new(0.2, 0.0), // on the shared wall line x = 0.2
             Point::new(0.2, 0.95),
             Point::new(0.3, 0.4),
         ],
@@ -161,39 +176,35 @@ fn waypoints_on_obstacle_boundaries() {
     assert_equivalent(
         &[r, Rect::from_coords(0.1, 0.1, 0.2, 0.2)],
         &[
-            Point::new(0.5, 0.3),  // mid bottom wall
-            Point::new(0.7, 0.5),  // mid right wall
-            Point::new(0.3, 0.3),  // exactly at a corner
+            Point::new(0.5, 0.3), // mid bottom wall
+            Point::new(0.7, 0.5), // mid right wall
+            Point::new(0.3, 0.3), // exactly at a corner
             Point::new(0.9, 0.9),
         ],
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn sweep_equals_naive_on_random_scenes(
-        seed in 0u64..10_000,
-        cells in 2usize..5,
-        keep in 1usize..14,
-        wx in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..6),
-    ) {
+#[test]
+fn sweep_equals_naive_on_random_scenes() {
+    check::cases(48, |g| {
+        let seed = g.u64(0, 10_000);
+        let cells = g.usize(2, 5);
+        let keep = g.usize(1, 14);
+        let wps = g.vec(1, 6, |g| Point::new(g.f64(0.0, 1.0), g.f64(0.0, 1.0)));
         let rects = grid_rects(seed, cells, keep);
-        let wps: Vec<Point> = wx.iter().map(|&(x, y)| Point::new(x, y)).collect();
-        // Skip waypoints that fall strictly inside an obstacle: they are
-        // allowed but make the check trivial (no edges either way).
+        // Waypoints that fall strictly inside an obstacle are allowed but
+        // make the check trivial (no edges either way).
         assert_equivalent(&rects, &wps);
-    }
+    });
+}
 
-    #[test]
-    fn dynamic_ops_match_bulk_build(
-        seed in 0u64..10_000,
-        keep in 1usize..8,
-        wx in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 1..5),
-    ) {
+#[test]
+fn dynamic_ops_match_bulk_build() {
+    check::cases(48, |g| {
+        let seed = g.u64(0, 10_000);
+        let keep = g.usize(1, 8);
+        let wps = g.vec(1, 5, |g| Point::new(g.f64(0.0, 1.0), g.f64(0.0, 1.0)));
         let rects = grid_rects(seed, 3, keep);
-        let wps: Vec<Point> = wx.iter().map(|&(x, y)| Point::new(x, y)).collect();
 
         // Incremental: add obstacles one by one, then waypoints one by one.
         let mut inc = VisibilityGraph::new(EdgeBuilder::RotationalSweep);
@@ -204,21 +215,24 @@ proptest! {
         for (i, &p) in wps.iter().enumerate() {
             ids.push(inc.add_waypoint(p, i as u64));
         }
-        prop_assert!(inc.validate(true).is_ok(), "{:?}", inc.validate(true));
+        assert!(inc.validate(true).is_ok(), "{:?}", inc.validate(true));
 
         // Bulk build must agree on edge count.
         let (bulk, _) = VisibilityGraph::build(
             EdgeBuilder::RotationalSweep,
-            rects.iter().enumerate().map(|(i, r)| (Polygon::from_rect(*r), i as u64)),
+            rects
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (Polygon::from_rect(*r), i as u64)),
             wps.iter().enumerate().map(|(i, &p)| (p, i as u64)),
         );
-        prop_assert_eq!(inc.edge_count(), bulk.edge_count());
+        assert_eq!(inc.edge_count(), bulk.edge_count());
 
         // Deleting all waypoints leaves a pure obstacle graph that still
         // validates semantically.
         for id in ids {
             inc.remove_waypoint(id);
         }
-        prop_assert!(inc.validate(true).is_ok());
-    }
+        assert!(inc.validate(true).is_ok());
+    });
 }

@@ -1,9 +1,9 @@
 //! The tangent visibility graph \[PV95\] must preserve all
 //! waypoint-to-waypoint shortest distances while removing edges.
 
+use obstacle_geom::check;
 use obstacle_geom::{Point, Polygon, Rect};
 use obstacle_visibility::{dijkstra_distance, EdgeBuilder, VisibilityGraph};
-use proptest::prelude::*;
 
 fn grid_rects(seed: u64, cells: usize, keep: usize) -> Vec<Rect> {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
@@ -25,7 +25,12 @@ fn grid_rects(seed: u64, cells: usize, keep: usize) -> Vec<Rect> {
             let h = cell * (0.2 + 0.5 * next());
             let ox = cell * 0.1 * (1.0 + next());
             let oy = cell * 0.1 * (1.0 + next());
-            out.push(Rect::from_coords(x0 + ox, y0 + oy, x0 + ox + w, y0 + oy + h));
+            out.push(Rect::from_coords(
+                x0 + ox,
+                y0 + oy,
+                x0 + ox + w,
+                y0 + oy + h,
+            ));
         }
     }
     out
@@ -34,7 +39,10 @@ fn grid_rects(seed: u64, cells: usize, keep: usize) -> Vec<Rect> {
 fn check_preserves_waypoint_distances(obstacles: Vec<Polygon>, waypoints: Vec<Point>) {
     let (mut g, ids) = VisibilityGraph::build(
         EdgeBuilder::RotationalSweep,
-        obstacles.into_iter().enumerate().map(|(i, p)| (p, i as u64)),
+        obstacles
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (p, i as u64)),
         waypoints.iter().enumerate().map(|(i, &p)| (p, i as u64)),
     );
     let before_edges = g.edge_count();
@@ -120,20 +128,16 @@ fn concave_obstacles_are_supported() {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn pruning_preserves_distances_on_random_scenes(
-        seed in 0u64..5_000,
-        keep in 1usize..10,
-        wps in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..6),
-    ) {
+#[test]
+fn pruning_preserves_distances_on_random_scenes() {
+    check::cases(32, |g| {
+        let seed = g.u64(0, 5_000);
+        let keep = g.usize(1, 10);
+        let waypoints = g.vec(2, 6, |g| Point::new(g.f64(0.0, 1.0), g.f64(0.0, 1.0)));
         let rects = grid_rects(seed, 3, keep);
-        let waypoints: Vec<Point> = wps.iter().map(|&(x, y)| Point::new(x, y)).collect();
         check_preserves_waypoint_distances(
             rects.into_iter().map(Polygon::from_rect).collect(),
             waypoints,
         );
-    }
+    });
 }

@@ -29,8 +29,7 @@ fn main() {
     // 1. Households with a pharmacy within 0.05 walking distance.
     let e = 0.05;
     let join = distance_join(&hh, &ph, &obstacles, e, EngineOptions::default());
-    let served: std::collections::HashSet<u64> =
-        join.pairs.iter().map(|(h, _, _)| *h).collect();
+    let served: std::collections::HashSet<u64> = join.pairs.iter().map(|(h, _, _)| *h).collect();
     println!(
         "walking-coverage join (e = {e}): {} household-pharmacy pairs, {} of {} households served",
         join.pairs.len(),
@@ -45,15 +44,15 @@ fn main() {
     );
 
     // 2. Best ambulance pairing: closest (station, hospital) pair on foot.
-    let stations = EntityIndex::bulk_load(
-        RTreeConfig::default(),
-        sample_entities(&city, 12, 30),
+    let stations = EntityIndex::bulk_load(RTreeConfig::default(), sample_entities(&city, 12, 30));
+    let hospitals = EntityIndex::bulk_load(RTreeConfig::default(), sample_entities(&city, 6, 40));
+    let cp = closest_pairs(
+        &stations,
+        &hospitals,
+        &obstacles,
+        3,
+        EngineOptions::default(),
     );
-    let hospitals = EntityIndex::bulk_load(
-        RTreeConfig::default(),
-        sample_entities(&city, 6, 40),
-    );
-    let cp = closest_pairs(&stations, &hospitals, &obstacles, 3, EngineOptions::default());
     println!("\ntop-3 station/hospital pairs by walking distance:");
     for (s, h, d) in &cp.pairs {
         let euclid = stations.position(*s).dist(hospitals.position(*h));
@@ -64,8 +63,9 @@ fn main() {
     //    whose station id is even (the paper's "closest city with more
     //    than 1M residents" pattern — the top-1 pair may not qualify, so
     //    a batch OCP with fixed k cannot answer it).
-    let hit = incremental_closest_pairs(&stations, &hospitals, &obstacles, EngineOptions::default())
-        .find(|(s, _, _)| s % 2 == 0);
+    let hit =
+        incremental_closest_pairs(&stations, &hospitals, &obstacles, EngineOptions::default())
+            .find(|(s, _, _)| s % 2 == 0);
     match hit {
         Some((s, h, d)) => println!(
             "\nfirst qualifying pair while browsing: station {s} <-> hospital {h} at {d:.4}"

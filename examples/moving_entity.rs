@@ -60,12 +60,7 @@ fn main() {
     // along the route, e.g. the nearest depot beyond a minimum distance.
     let mid = start.lerp(end, 0.5);
     let min_d = 0.05;
-    if let Some((id, d)) = engine
-        .nearest_incremental(mid)
-        .find(|(_, d)| *d >= min_d)
-    {
-        println!(
-            "first depot at least {min_d} away from the midpoint: depot {id} at {d:.4}"
-        );
+    if let Some((id, d)) = engine.nearest_incremental(mid).find(|(_, d)| *d >= min_d) {
+        println!("first depot at least {min_d} away from the midpoint: depot {id} at {d:.4}");
     }
 }

@@ -55,7 +55,13 @@ fn main() {
 
     // 3. e-distance join: café pairs within walking distance 3 of each
     //    other (self join — skip mirror and self pairs).
-    let joined = distance_join(&entities, &entities, &obstacles, 3.0, EngineOptions::default());
+    let joined = distance_join(
+        &entities,
+        &entities,
+        &obstacles,
+        3.0,
+        EngineOptions::default(),
+    );
     println!("\ncafé pairs within walking distance 3.0:");
     for (a, b, d) in joined.pairs.iter().filter(|(a, b, _)| a < b) {
         println!("  café {a} and café {b}: {d:.2}");

@@ -1,8 +1,10 @@
-//! Facade crate for the obstacle spatial-query reproduction
-//! (Zhang, Papadias, Mouratidis, Zhu — EDBT 2004).
+//! Facade crate (`obstacle_suite`) for the obstacle spatial-query
+//! reproduction (Zhang, Papadias, Mouratidis, Zhu — EDBT 2004).
 //!
 //! Re-exports the member crates under stable module names so examples,
-//! integration tests and downstream users can depend on one crate:
+//! integration tests and downstream users can depend on one crate,
+//! `obstacle_suite` — note the underscore: there is no hyphenated
+//! `obstacle-suite` package:
 //!
 //! * [`geom`] — geometry kernel (robust predicates, polygons, Hilbert curve),
 //! * [`rtree`] — disk-model R*-tree with page-access accounting,

@@ -3,11 +3,11 @@
 //! obstructed distance metric.
 
 use obstacle_suite::datagen::{query_workload, sample_entities, City, CityConfig};
+use obstacle_suite::queries::compute_obstructed_distance;
 use obstacle_suite::queries::{
     closest_pairs, distance_join, incremental_closest_pairs, EngineOptions, EntityIndex,
     LocalGraph, ObstacleIndex, QueryEngine,
 };
-use obstacle_suite::queries::compute_obstructed_distance;
 use obstacle_suite::rtree::RTreeConfig;
 use obstacle_suite::visibility::EdgeBuilder;
 
@@ -29,7 +29,11 @@ fn world(seed: u64) -> World {
     }
 }
 
-fn pair_distance(w: &World, a: obstacle_suite::geom::Point, b: obstacle_suite::geom::Point) -> Option<f64> {
+fn pair_distance(
+    w: &World,
+    a: obstacle_suite::geom::Point,
+    b: obstacle_suite::geom::Point,
+) -> Option<f64> {
     let mut g = LocalGraph::new(EdgeBuilder::RotationalSweep);
     let na = g.add_waypoint(a, 1);
     let nb = g.add_waypoint(b, 2);
@@ -188,7 +192,10 @@ fn semi_join_agrees_with_per_point_nearest() {
         for (sid, tid, d) in &r.pairs {
             let nn = engine.nearest(s.position(*sid), 1);
             // Ties may pick a different id; the distance is unique.
-            assert!((nn.neighbors[0].1 - d).abs() < TOL, "{strategy:?} s{sid} t{tid}");
+            assert!(
+                (nn.neighbors[0].1 - d).abs() < TOL,
+                "{strategy:?} s{sid} t{tid}"
+            );
         }
     }
 }

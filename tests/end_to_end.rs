@@ -1,4 +1,4 @@
-//! Cross-crate end-to-end tests through the `obstacle-suite` facade:
+//! Cross-crate end-to-end tests through the `obstacle_suite` facade:
 //! generated city → R*-trees → queries, plus persistence and failure
 //! injection.
 
@@ -48,16 +48,8 @@ fn persisted_trees_answer_identically() {
     let a: Vec<u64> = tree.k_nearest(q, 25).iter().map(|(i, _)| i.id).collect();
     let b: Vec<u64> = loaded.k_nearest(q, 25).iter().map(|(i, _)| i.id).collect();
     assert_eq!(a, b);
-    let wa: Vec<u64> = tree
-        .range_circle(q, 0.2)
-        .iter()
-        .map(|i| i.id)
-        .collect();
-    let wb: Vec<u64> = loaded
-        .range_circle(q, 0.2)
-        .iter()
-        .map(|i| i.id)
-        .collect();
+    let wa: Vec<u64> = tree.range_circle(q, 0.2).iter().map(|i| i.id).collect();
+    let wb: Vec<u64> = loaded.range_circle(q, 0.2).iter().map(|i| i.id).collect();
     assert_eq!(wa, wb);
 }
 
@@ -101,9 +93,9 @@ fn degenerate_scene_entities_on_corners_and_walls() {
         Polygon::from_rect(Rect::from_coords(0.6, 0.3, 0.8, 0.7)),
     ];
     let pts = vec![
-        Point::new(0.3, 0.3), // corner of obstacle 0
-        Point::new(0.4, 0.5), // mid top wall of obstacle 0
-        Point::new(0.6, 0.5), // left wall of obstacle 1
+        Point::new(0.3, 0.3),  // corner of obstacle 0
+        Point::new(0.4, 0.5),  // mid top wall of obstacle 0
+        Point::new(0.6, 0.5),  // left wall of obstacle 1
         Point::new(0.55, 0.4), // in the corridor between them
     ];
     let entities = EntityIndex::build(RTreeConfig::tiny(4), pts.clone());
@@ -120,8 +112,12 @@ fn degenerate_scene_entities_on_corners_and_walls() {
         let expect = oracle.nearest(&pts, q, 4);
         assert_eq!(got.neighbors.len(), expect.len(), "q = {q}");
         for (g, x) in got.neighbors.iter().zip(expect.iter()) {
-            assert!((g.1 - x.1).abs() < 1e-9, "q = {q}: {got:?} vs {expect:?}",
-                got = got.neighbors, expect = expect);
+            assert!(
+                (g.1 - x.1).abs() < 1e-9,
+                "q = {q}: {got:?} vs {expect:?}",
+                got = got.neighbors,
+                expect = expect
+            );
         }
     }
 }
@@ -139,8 +135,8 @@ fn query_surrounded_by_obstacles_sees_detours() {
         Polygon::from_rect(Rect::from_coords(0.75, 0.55, 0.8, 0.75)),
     ];
     let outside = vec![
-        Point::new(0.95, 0.5),  // straight through the gap
-        Point::new(0.05, 0.5),  // must round the whole courtyard
+        Point::new(0.95, 0.5), // straight through the gap
+        Point::new(0.05, 0.5), // must round the whole courtyard
     ];
     let entities = EntityIndex::build(RTreeConfig::tiny(4), outside.clone());
     let obstacles = ObstacleIndex::build(RTreeConfig::tiny(4), walls.clone());
@@ -169,9 +165,9 @@ fn boundary_semantics_entity_on_wall_is_reachable() {
     let wall = Polygon::from_rect(Rect::from_coords(0.4, 0.4, 0.6, 0.6));
     assert_eq!(wall.locate(Point::new(0.5, 0.4)), PointLocation::Boundary);
     let pts = vec![
-        Point::new(0.5, 0.4),  // on the south wall
-        Point::new(0.5, 0.5),  // strictly inside: unreachable
-        Point::new(0.9, 0.9),  // free
+        Point::new(0.5, 0.4), // on the south wall
+        Point::new(0.5, 0.5), // strictly inside: unreachable
+        Point::new(0.9, 0.9), // free
     ];
     let entities = EntityIndex::build(RTreeConfig::tiny(4), pts);
     let obstacles = ObstacleIndex::build(RTreeConfig::tiny(4), vec![wall]);
