@@ -10,6 +10,12 @@ cargo build --release --all-targets --offline
 echo "== cargo test -q (offline) =="
 cargo test -q --offline
 
+echo "== path-scaling wall-clock gate (release) =="
+# Long obstructed paths must stay fast: corner-to-corner at |O| = 2000
+# within 2 s (the pre-lazy-A* engine took ~21 s). Wall-clock gates are
+# meaningless in debug builds, so this runs the release binary.
+cargo test -q --offline --release -p obstacle-core --test path_scaling -- --ignored
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 

@@ -1,0 +1,97 @@
+//! Long obstructed shortest-path scaling: corner-to-corner routes on
+//! growing cities, lazy A* vs the materialized local-graph fixpoint.
+//!
+//! The corner-to-corner query is the adversarial case for the Fig. 8
+//! construction — the search region spans the whole city, so the
+//! materialized local graph degenerates into the *global* visibility
+//! graph and every absorbed vertex pays a scene-wide sweep. The lazy
+//! engine explores the same graph on demand, guided by the Euclidean
+//! lower bound and pruned by the `|x−f1| + |x−f2| ≤ d` ellipse, so its
+//! cost tracks the corridor the optimal path actually touches.
+//!
+//! ```sh
+//! cargo bench --bench path_scaling               # default scale ladder
+//! OBSTACLE_SCALE=tiny cargo bench --bench path_scaling
+//! ```
+
+use obstacle_bench::harness::{BenchmarkId, Criterion};
+use obstacle_bench::Scale;
+use obstacle_core::{shortest_obstructed_path, ObstacleIndex};
+use obstacle_datagen::{City, CityConfig};
+use obstacle_geom::Point;
+use obstacle_rtree::RTreeConfig;
+use obstacle_visibility::EdgeBuilder;
+use std::hint::black_box;
+
+fn bench_corner_to_corner(c: &mut Criterion, sizes: &[usize]) {
+    let mut group = c.benchmark_group("path_corner_to_corner");
+    for &n in sizes {
+        let city = City::generate(CityConfig::new(n, 0xC17));
+        let obstacles = ObstacleIndex::bulk_load(RTreeConfig::paper(), city.obstacles.clone());
+        let (a, b) = (Point::new(0.01, 0.01), Point::new(0.99, 0.99));
+        group.bench_with_input(
+            BenchmarkId::new("lazy_astar", n),
+            &obstacles,
+            |bench, obstacles| {
+                bench.iter(|| {
+                    let p = shortest_obstructed_path(a, b, obstacles, EdgeBuilder::RotationalSweep)
+                        .expect("corners are connected");
+                    black_box(p.distance)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cross_town(c: &mut Criterion, n: usize) {
+    // Medium-length paths (half the diagonal) at one fixed scale: the
+    // common navigation workload, dominated by corridor exploration.
+    let city = City::generate(CityConfig::new(n, 0xC17));
+    let obstacles = ObstacleIndex::bulk_load(RTreeConfig::paper(), city.obstacles.clone());
+    // Endpoints can land inside an obstacle at some scales; nudge them
+    // off until both are free so every pair measures a real route.
+    let free = |mut p: Point| {
+        while city.obstacles.iter().any(|o| o.contains_interior(p)) {
+            p = Point::new(p.x + 0.003, p.y + 0.001);
+        }
+        p
+    };
+    let pairs = [
+        (free(Point::new(0.25, 0.25)), free(Point::new(0.75, 0.75))),
+        (free(Point::new(0.1, 0.8)), free(Point::new(0.6, 0.2))),
+        (free(Point::new(0.5, 0.05)), free(Point::new(0.5, 0.95))),
+    ];
+    let mut group = c.benchmark_group("path_cross_town");
+    for (i, (a, b)) in pairs.into_iter().enumerate() {
+        group.bench_with_input(
+            BenchmarkId::new("lazy_astar", i),
+            &obstacles,
+            |bench, obstacles| {
+                bench.iter(|| {
+                    let p = shortest_obstructed_path(a, b, obstacles, EdgeBuilder::RotationalSweep)
+                        .expect("free points are connected");
+                    black_box(p.distance)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    // The ladder tops out at the configured |O| (default 16384): each
+    // step reports absolute time, so the scaling exponent is visible by
+    // inspection across the rows.
+    let mut sizes: Vec<usize> = vec![512, 2048, 8192];
+    sizes.retain(|&n| n < scale.obstacles);
+    sizes.push(scale.obstacles);
+    println!(
+        "== path_scaling (corner-to-corner ladder up to |O| = {}) ==",
+        scale.obstacles
+    );
+    let mut c = Criterion::default().sample_size(3);
+    bench_corner_to_corner(&mut c, &sizes);
+    bench_cross_town(&mut c, scale.obstacles.min(8192));
+}

@@ -144,7 +144,10 @@ fn path(args: &Args) {
     let from = args.from.unwrap_or_else(|| usage("path needs --from X,Y"));
     let to = args.to.unwrap_or_else(|| usage("path needs --to X,Y"));
     let (_city, obstacles) = world(args);
-    match shortest_obstructed_path(from, to, &obstacles, EdgeBuilder::RotationalSweep) {
+    let t0 = std::time::Instant::now();
+    let result = shortest_obstructed_path(from, to, &obstacles, EdgeBuilder::RotationalSweep);
+    let elapsed = t0.elapsed();
+    match result {
         Some(p) => {
             println!(
                 "shortest obstructed path {} -> {}: length {:.5} (Euclidean {:.5})",
@@ -159,6 +162,7 @@ fn path(args: &Args) {
         }
         None => println!("unreachable (an endpoint lies inside an obstacle)"),
     }
+    eprintln!("[lazy A* path query: {elapsed:.1?}]");
 }
 
 fn join(args: &Args) {

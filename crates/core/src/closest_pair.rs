@@ -22,7 +22,7 @@ fn pair_distance(
     let na = g.add_waypoint(a, 0);
     let nb = g.add_waypoint(b, QUERY_TAG);
     let d = compute_obstructed_distance_pruned(&mut g, na, nb, obstacles, options.ellipse_pruning);
-    *peak_graph_nodes = (*peak_graph_nodes).max(g.graph.node_count());
+    *peak_graph_nodes = (*peak_graph_nodes).max(g.scene.node_count());
     d
 }
 

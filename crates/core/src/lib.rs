@@ -21,9 +21,13 @@
 //!
 //! 1. the **Euclidean lower bound** (`d_E ≤ d_O`): conventional R-tree
 //!    queries produce candidate supersets which are then refined;
-//! 2. **local visibility graphs** built on-line from only the obstacles
+//! 2. **local visibility scenes** built on-line from only the obstacles
 //!    that can influence the result, grown iteratively by
-//!    [`compute_obstructed_distance`] (Fig. 8) until provably sufficient.
+//!    [`compute_obstructed_distance`] (Fig. 8) until provably sufficient —
+//!    and explored *lazily*: distances come from A\* guided by the
+//!    Euclidean heuristic over an on-demand successor oracle
+//!    ([`obstacle_visibility::LazyScene`]), so only the corridor the
+//!    shortest path actually touches ever pays for visibility sweeps.
 //!
 //! Every query returns a [`QueryStats`] with the paper's cost metrics:
 //! R-tree page accesses split by tree (logical fetches and buffer
@@ -67,11 +71,14 @@ mod stats;
 
 pub use brute::BruteForce;
 pub use closest_pair::{closest_pairs, incremental_closest_pairs, IncrementalClosestPairs};
-pub use distance::{compute_obstructed_distance, compute_obstructed_distance_pruned, LocalGraph};
+pub use distance::{
+    compute_obstructed_distance, compute_obstructed_distance_pruned, compute_obstructed_path,
+    compute_obstructed_path_pruned, LocalGraph,
+};
 pub use engine::{EngineOptions, EntityIndex, ObstacleIndex, QueryEngine};
 pub use join::distance_join;
 pub use nn::IncrementalNearest;
-pub use path::shortest_obstructed_path;
+pub use path::{close_rel, shortest_obstructed_path};
 pub use semi_join::{semi_join, SemiJoinStrategy};
 pub use stats::{ClosestPairsResult, JoinResult, NearestResult, QueryStats, RangeResult};
 

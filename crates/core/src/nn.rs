@@ -67,7 +67,7 @@ impl<'a> QueryEngine<'a> {
                         self.options.ellipse_pruning,
                     );
                     graph.remove_waypoint(p_node);
-                    peak_graph_nodes = peak_graph_nodes.max(graph.graph.node_count());
+                    peak_graph_nodes = peak_graph_nodes.max(graph.scene.node_count());
                     d
                 } else {
                     let mut fresh = LocalGraph::new(self.options.builder);
@@ -80,7 +80,7 @@ impl<'a> QueryEngine<'a> {
                         self.obstacles,
                         self.options.ellipse_pruning,
                     );
-                    peak_graph_nodes = peak_graph_nodes.max(fresh.graph.node_count());
+                    peak_graph_nodes = peak_graph_nodes.max(fresh.scene.node_count());
                     d
                 };
                 if let Some(d_o) = d_o {

@@ -1,0 +1,146 @@
+//! Property tests for the lazy A* path engine, on the deterministic
+//! [`obstacle_geom::check`] harness:
+//!
+//! * every interior waypoint of an optimal path is an obstacle vertex
+//!   (Lozano-Pérez/Wesley: shortest obstacle-avoiding paths only turn at
+//!   obstacle corners);
+//! * path length is symmetric in `(a, b)`;
+//! * every obstacle whose *removal* changes the distance intersects the
+//!   ellipse `|x−a| + |x−b| ≤ d` with `d` the returned distance — the
+//!   region the engine prunes with, so this validates the pruning
+//!   predicate itself.
+
+use obstacle_core::{close_rel, shortest_obstructed_path, ObstacleIndex};
+use obstacle_geom::{check, Point, Polygon, Rect};
+use obstacle_rtree::RTreeConfig;
+use obstacle_visibility::EdgeBuilder;
+
+/// A random scene of disjoint-ish axis-parallel rectangles plus two free
+/// endpoints (rejection keeps the endpoints out of every obstacle).
+fn random_scene(g: &mut check::Gen) -> (Vec<Polygon>, Point, Point) {
+    let n = g.usize(3, 14);
+    let mut rects: Vec<Rect> = Vec::new();
+    while rects.len() < n {
+        let x = g.f64(0.0, 0.9);
+        let y = g.f64(0.0, 0.9);
+        let w = g.f64(0.01, 0.25);
+        let h = g.f64(0.01, 0.25);
+        rects.push(Rect::from_coords(x, y, (x + w).min(1.0), (y + h).min(1.0)));
+    }
+    let free = |g: &mut check::Gen, rects: &[Rect]| loop {
+        let p = Point::new(g.f64(-0.1, 1.1), g.f64(-0.1, 1.1));
+        if rects.iter().all(|r| !r.contains_point(p)) {
+            return p;
+        }
+    };
+    let a = free(g, &rects);
+    let b = free(g, &rects);
+    let polys = rects.into_iter().map(Polygon::from_rect).collect();
+    (polys, a, b)
+}
+
+#[test]
+fn interior_waypoints_are_obstacle_vertices() {
+    check::cases(48, |g| {
+        let (polys, a, b) = random_scene(g);
+        let index = ObstacleIndex::build(RTreeConfig::tiny(8), polys.clone());
+        let Some(path) = shortest_obstructed_path(a, b, &index, EdgeBuilder::RotationalSweep)
+        else {
+            return; // sealed by overlapping rectangles: nothing to check
+        };
+        for w in &path.points[1..path.points.len() - 1] {
+            assert!(
+                polys.iter().any(|p| p.vertices().contains(w)),
+                "case {}: interior waypoint {w} is not an obstacle vertex",
+                g.case
+            );
+        }
+        let seg_sum: f64 = path.points.windows(2).map(|s| s[0].dist(s[1])).sum();
+        assert!(
+            close_rel(seg_sum, path.distance),
+            "case {}: polyline {seg_sum} vs distance {}",
+            g.case,
+            path.distance
+        );
+        assert!(
+            path.distance >= a.dist(b) - 1e-12,
+            "case {}: obstructed below Euclidean",
+            g.case
+        );
+    });
+}
+
+#[test]
+fn distance_is_symmetric() {
+    check::cases(48, |g| {
+        let (polys, a, b) = random_scene(g);
+        let index = ObstacleIndex::build(RTreeConfig::tiny(8), polys);
+        let fwd = shortest_obstructed_path(a, b, &index, EdgeBuilder::RotationalSweep);
+        let rev = shortest_obstructed_path(b, a, &index, EdgeBuilder::RotationalSweep);
+        match (fwd, rev) {
+            (None, None) => {}
+            (Some(f), Some(r)) => {
+                assert!(
+                    close_rel(f.distance, r.distance),
+                    "case {}: d(a,b) = {} but d(b,a) = {}",
+                    g.case,
+                    f.distance,
+                    r.distance
+                );
+                // The reversed polyline is an equally short route.
+                let rev_pts: Vec<Point> = r.points.iter().rev().copied().collect();
+                assert_eq!(rev_pts.first(), Some(&a), "case {}", g.case);
+                assert_eq!(rev_pts.last(), Some(&b), "case {}", g.case);
+            }
+            (f, r) => panic!(
+                "case {}: asymmetric reachability {:?} vs {:?}",
+                g.case,
+                f.map(|p| p.distance),
+                r.map(|p| p.distance)
+            ),
+        }
+    });
+}
+
+#[test]
+fn influential_obstacles_intersect_the_pruning_ellipse() {
+    check::cases(24, |g| {
+        let (polys, a, b) = random_scene(g);
+        let index = ObstacleIndex::build(RTreeConfig::tiny(8), polys.clone());
+        let Some(full) = shortest_obstructed_path(a, b, &index, EdgeBuilder::RotationalSweep)
+        else {
+            return;
+        };
+        let d = full.distance;
+        for skip in 0..polys.len() {
+            let rest: Vec<Polygon> = polys
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, p)| p.clone())
+                .collect();
+            let sub_index = ObstacleIndex::build(RTreeConfig::tiny(8), rest);
+            let sub = shortest_obstructed_path(a, b, &sub_index, EdgeBuilder::RotationalSweep)
+                .expect("removing an obstacle cannot disconnect");
+            // Removal can only shorten.
+            assert!(
+                sub.distance <= d + 1e-9 * d.max(1.0),
+                "case {}: removing obstacle {skip} lengthened the path",
+                g.case
+            );
+            if !close_rel(sub.distance, d) {
+                // The obstacle influenced the distance, so it must
+                // intersect the search ellipse the engine prunes with:
+                // its MBR bound |x−a| + |x−b| is at most d.
+                let r = polys[skip].bbox();
+                let bound = r.mindist_point(a) + r.mindist_point(b);
+                assert!(
+                    bound <= d + 1e-9 * d.max(1.0),
+                    "case {}: influential obstacle {skip} outside the ellipse \
+                     (bound {bound} vs d {d})",
+                    g.case
+                );
+            }
+        }
+    });
+}

@@ -1,0 +1,1132 @@
+//! Lazy A*-guided visibility search.
+//!
+//! [`VisibilityGraph`](crate::VisibilityGraph) *materializes* every
+//! visibility edge: each `add_obstacle` re-checks all existing edges
+//! against the newcomer and sweeps from every new vertex, so growing a
+//! local graph to `n` obstacles costs Θ(n² log n) even when the final
+//! query only ever walks a thin corridor of it. That is the right trade
+//! when many shortest-path expansions reuse one graph (the OR range
+//! query's single-source expansion), but for *point-to-point* distances
+//! most of those edges are never relaxed.
+//!
+//! [`LazyScene`] keeps the opposite end of the trade: obstacles are
+//! registered **without any edge computation** (only the pivot-independent
+//! point classifications of [`sweep::classify`] are maintained), and
+//! successor edges come into existence on demand — when A\* pops a node
+//! from its frontier, *then* one rotational sweep from that node computes
+//! its visible set. Guided by the Euclidean heuristic (admissible and
+//! consistent, since `d_E ≤ d_O` and edge weights are Euclidean lengths),
+//! A\* settles only nodes whose `g + h` does not exceed the obstructed
+//! distance — the nodes inside the ellipse with foci at the endpoints and
+//! major axis `d_O(p, q)` — so the number of sweeps is proportional to the
+//! corridor the path actually explores, not to the scene.
+//!
+//! Two further refinements keep each sweep *local*:
+//!
+//! * sweeps are **windowed and wedge-refined**: a base sweep covers only
+//!   the obstacles within a few mean obstacle diameters of the pivot and
+//!   reports the *horizon arcs* it could not certify as blocked; each
+//!   open arc is then re-swept independently over just the obstacles in
+//!   its angular wedge at geometrically growing radius, until it closes
+//!   or provably faces no farther scene obstacle (sight lines from a
+//!   pivot are radial, so wedge-local blockers are sufficient). A street
+//!   canyon costs a few thin wedge sweeps instead of a scene-wide one;
+//! * successor lists are cached per node and revalidated geometrically
+//!   when the scene grows: a list survives unless a new obstacle entered
+//!   its base window or a refined horizon arc. Repeated searches — the
+//!   fixpoint iterations of Fig. 8, or consecutive candidates of an ONN
+//!   query — therefore pay each sweep once.
+
+use crate::dijkstra::PathResult;
+use crate::graph::{EdgeBuilder, NodeId, NodeKind, ObstacleId};
+use crate::sweep::{self, PointClass};
+use obstacle_geom::{pseudo_angle, Point, Polygon, Rect, Segment};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Totally ordered f64 for the A* frontier (keys are finite, non-NaN).
+#[derive(Clone, Copy, PartialEq)]
+struct D(f64);
+impl Eq for D {}
+impl PartialOrd for D {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for D {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("NaN A* key")
+    }
+}
+
+#[derive(Clone, Debug)]
+struct LazyNode {
+    pos: Point,
+    kind: NodeKind,
+    alive: bool,
+    /// Pivot-independent classification; maintained for waypoints only
+    /// (obstacle-vertex classifications live in `vertex_class` so sweeps
+    /// can borrow them as slices).
+    class: PointClass,
+}
+
+/// Trust metadata for one horizon arc of a cached successor list:
+/// within the CCW arc `(a0, a1)` (pseudo-angle units) the node's
+/// visibility was certified out to distance `r`; `open` marks arcs that
+/// were accepted because no scene obstacle lay beyond (so *any* new
+/// obstacle there invalidates the cache).
+#[derive(Clone, Copy, Debug)]
+struct ArcTrust {
+    a0: f64,
+    a1: f64,
+    r: f64,
+    open: bool,
+}
+
+/// Cached successor list of one node: the obstacle vertices visible from
+/// it, with Euclidean edge weights.
+#[derive(Clone, Debug)]
+struct CacheSlot {
+    /// Obstacle count of the scene when the list was computed
+    /// (`usize::MAX` = never). A list computed against fewer obstacles
+    /// can survive scene growth: it stays valid as long as no later
+    /// obstacle enters the base window or a refined horizon arc.
+    n_obs: usize,
+    /// Base window radius the successors were certified under in every
+    /// direction; `f64::INFINITY` = a full-scene sweep (no window).
+    radius: f64,
+    /// Refined horizon arcs beyond the base radius.
+    arcs: Vec<ArcTrust>,
+    succ: Vec<(NodeId, f64)>,
+}
+
+const NEVER: usize = usize::MAX;
+
+impl Default for CacheSlot {
+    fn default() -> Self {
+        CacheSlot {
+            n_obs: NEVER,
+            radius: 0.0,
+            arcs: Vec::new(),
+            succ: Vec::new(),
+        }
+    }
+}
+
+/// Angular padding (pseudo-angle units) for conservative wedge overlap
+/// tests: a false overlap only grows a window, never breaks soundness.
+const ARC_PAD: f64 = 1e-7;
+
+/// CCW length of an arc, treating a degenerate `(a, a)` arc as the full
+/// circle (a single event group's wrap-around arc spans the whole
+/// rotation).
+fn arc_len(arc: (f64, f64)) -> f64 {
+    let l = (arc.1 - arc.0).rem_euclid(4.0);
+    if l == 0.0 {
+        4.0
+    } else {
+        l
+    }
+}
+
+/// Whether the CCW arc and the CCW span (both in pseudo-angle units)
+/// overlap on the circle (conservatively padded).
+fn arc_overlap(arc: (f64, f64), span: (f64, f64)) -> bool {
+    let len = arc_len(arc);
+    let span_len = span.1 - span.0; // ≥ 0, < 2 by construction
+    let off = (span.0 - arc.0).rem_euclid(4.0);
+    off <= len + ARC_PAD || off + span_len >= 4.0 - ARC_PAD
+}
+
+/// Angular span of `rect` as seen from `pivot`, as a CCW pseudo-angle
+/// interval; `None` means "treat as the full circle" (pivot inside or
+/// touching the rectangle, or a span too wide to bound reliably).
+fn rect_span(pivot: Point, rect: &Rect) -> Option<(f64, f64)> {
+    if rect.contains_point(pivot) {
+        return None;
+    }
+    let corners = rect.corners();
+    let base = pseudo_angle(corners[0].x - pivot.x, corners[0].y - pivot.y);
+    let mut lo = 0.0f64;
+    let mut hi = 0.0f64;
+    for c in &corners[1..] {
+        let a = pseudo_angle(c.x - pivot.x, c.y - pivot.y);
+        let mut d = (a - base).rem_euclid(4.0);
+        if d > 2.0 {
+            d -= 4.0;
+        }
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    if hi - lo >= 2.0 {
+        return None; // ≥ half a turn: pivot effectively enclosed
+    }
+    Some((base + lo, base + hi))
+}
+
+/// A scene of obstacles and waypoints supporting lazy A\* shortest-path
+/// queries (see the module docs for the lazy-vs-materialized trade-off).
+///
+/// Node ids are shared with [`VisibilityGraph`](crate::VisibilityGraph)'s
+/// [`NodeId`] space semantics: obstacle vertices are permanent, waypoints
+/// support add/remove. Unlike the materialized graph there is no
+/// adjacency structure to maintain — `add_obstacle` is O(|scene|) for the
+/// classification updates and nothing else.
+#[derive(Clone, Debug, Default)]
+pub struct LazyScene {
+    builder: EdgeBuilder,
+    polys: Vec<Polygon>,
+    tags: Vec<u64>,
+    /// Obstacle bounding boxes (parallel to `polys`): the window
+    /// selection and cache-invalidation geometry.
+    rects: Vec<Rect>,
+    /// Sum of bbox diagonals — `sum_diag / len` seeds window radii.
+    sum_diag: f64,
+    /// Per-obstacle, per-vertex classifications (parallel to `polys`).
+    vertex_class: Vec<Vec<PointClass>>,
+    /// Node ids of each obstacle's vertices, in polygon order.
+    vertex_nodes: Vec<Vec<NodeId>>,
+    nodes: Vec<LazyNode>,
+    cache: Vec<CacheSlot>,
+    sweeps: usize,
+    /// Packed bbox-tree over obstacle MBRs: window and wedge candidate
+    /// selection without scanning the whole scene.
+    grid: BboxTree,
+}
+
+impl LazyScene {
+    /// Creates an empty scene computing successors with `builder`.
+    pub fn new(builder: EdgeBuilder) -> Self {
+        LazyScene {
+            builder,
+            ..Default::default()
+        }
+    }
+
+    /// The successor builder in use.
+    pub fn builder(&self) -> EdgeBuilder {
+        self.builder
+    }
+
+    /// Number of live nodes (obstacle vertices plus live waypoints).
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Number of obstacles.
+    pub fn obstacle_count(&self) -> usize {
+        self.polys.len()
+    }
+
+    /// Position of a node.
+    pub fn position(&self, id: NodeId) -> Point {
+        self.nodes[id.0 as usize].pos
+    }
+
+    /// Kind of a node.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.0 as usize].kind
+    }
+
+    /// Total visibility computations (sweeps or naive scans) performed so
+    /// far — the dominant cost of lazy search; exposed for benchmarks and
+    /// the laziness regression tests.
+    pub fn sweep_count(&self) -> usize {
+        self.sweeps
+    }
+
+    /// Iterator over obstacles as `(id, tag, polygon)`.
+    pub fn obstacles(&self) -> impl Iterator<Item = (ObstacleId, u64, &Polygon)> {
+        self.polys
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ObstacleId(i as u32), self.tags[i], p))
+    }
+
+    /// Registers an obstacle. O(|scene|) classification bookkeeping, no
+    /// edge computation — the lazy counterpart of
+    /// [`VisibilityGraph::add_obstacle`](crate::VisibilityGraph::add_obstacle).
+    pub fn add_obstacle(&mut self, poly: Polygon, tag: u64) -> ObstacleId {
+        let new_idx = self.polys.len();
+
+        // The newcomer may add boundary attachments (or interior
+        // containment) to every existing classification.
+        for (slot, poly_slot) in self.vertex_class.iter_mut().zip(&self.polys) {
+            for (vi, class) in slot.iter_mut().enumerate() {
+                sweep::classify_incremental(class, new_idx, &poly, poly_slot.vertices()[vi]);
+            }
+        }
+        for node in &mut self.nodes {
+            if node.alive && matches!(node.kind, NodeKind::Waypoint { .. }) {
+                sweep::classify_incremental(&mut node.class, new_idx, &poly, node.pos);
+            }
+        }
+
+        // Classify the new vertices against the complete scene (itself
+        // included) and register their nodes.
+        let ob_id = ObstacleId(new_idx as u32);
+        let scene: Vec<&Polygon> = self.polys.iter().collect();
+        let vertex_class: Vec<PointClass> = poly
+            .vertices()
+            .iter()
+            .map(|&v| {
+                let mut c = sweep::classify(&scene, v);
+                sweep::classify_incremental(&mut c, new_idx, &poly, v);
+                c
+            })
+            .collect();
+        drop(scene);
+        let mut node_ids = Vec::with_capacity(poly.len());
+        for (vi, &v) in poly.vertices().iter().enumerate() {
+            node_ids.push(self.push_raw_node(
+                v,
+                NodeKind::ObstacleVertex {
+                    obstacle: ob_id,
+                    vertex: vi as u32,
+                },
+                PointClass::default(),
+            ));
+        }
+        self.vertex_class.push(vertex_class);
+        self.vertex_nodes.push(node_ids);
+        let bbox = poly.bbox();
+        self.sum_diag += bbox.min.dist(bbox.max);
+        self.rects.push(bbox);
+        self.polys.push(poly);
+        self.tags.push(tag);
+        ob_id
+    }
+
+    /// Adds a free waypoint (query point or entity) and returns its node
+    /// id. O(|scene|) for the classification; no edges are computed.
+    pub fn add_waypoint(&mut self, pos: Point, tag: u64) -> NodeId {
+        let scene: Vec<&Polygon> = self.polys.iter().collect();
+        let class = sweep::classify(&scene, pos);
+        drop(scene);
+        self.push_raw_node(pos, NodeKind::Waypoint { tag }, class)
+    }
+
+    /// Removes a waypoint. Panics if `id` is an obstacle vertex. Cached
+    /// successor lists of other nodes are unaffected (they never contain
+    /// waypoints).
+    pub fn remove_waypoint(&mut self, id: NodeId) {
+        let node = &mut self.nodes[id.0 as usize];
+        assert!(
+            matches!(node.kind, NodeKind::Waypoint { .. }),
+            "remove_waypoint on an obstacle vertex"
+        );
+        node.alive = false;
+        self.cache[id.0 as usize] = CacheSlot::default();
+    }
+
+    /// Whether the straight segment `a`–`b` crosses no obstacle interior
+    /// (the authoritative pairwise test, identical to
+    /// [`VisibilityGraph::visible_naive`](crate::VisibilityGraph::visible_naive)).
+    pub fn visible(&self, a: Point, b: Point) -> bool {
+        if a == b {
+            return true;
+        }
+        let s = Segment::new(a, b);
+        !self.polys.iter().any(|p| p.blocks_segment(s))
+    }
+
+    /// A\* shortest path from `from` to `to` over the current scene, or
+    /// `None` when unreachable.
+    ///
+    /// Unreachability over a *partial* scene is definitive for every
+    /// superset: by \[LW79\] the visibility graph over a scene (all of its
+    /// obstacle vertices present) connects two free points exactly when
+    /// the scene's free space does, and adding obstacles only removes
+    /// free space. Callers growing a scene to the Fig. 8 fixpoint may
+    /// therefore stop at the first failed search.
+    pub fn astar(&mut self, from: NodeId, to: NodeId) -> Option<PathResult> {
+        let fp = self.nodes[from.0 as usize].pos;
+        let tp = self.nodes[to.0 as usize].pos;
+        if from == to {
+            return Some(PathResult {
+                distance: 0.0,
+                points: vec![fp],
+            });
+        }
+
+        // Edges *into* the target. Vertex successor lists only contain
+        // obstacle vertices, so a waypoint target needs its own (cached)
+        // sweep: visibility is symmetric, so the set of nodes that see
+        // `to` is the set `to` sees. A vertex target is already covered.
+        let n = self.nodes.len();
+        let mut to_target = vec![false; n];
+        if matches!(self.nodes[to.0 as usize].kind, NodeKind::Waypoint { .. }) {
+            self.ensure_successors(to);
+            for &(v, _) in &self.cache[to.0 as usize].succ {
+                to_target[v.0 as usize] = true;
+            }
+            if matches!(self.nodes[from.0 as usize].kind, NodeKind::Waypoint { .. }) {
+                // Waypoint-to-waypoint: the one edge no sweep reports.
+                to_target[from.0 as usize] = self.visible(fp, tp);
+            }
+        }
+
+        let mut g = vec![f64::INFINITY; n];
+        let mut pred = vec![u32::MAX; n];
+        let mut closed = vec![false; n];
+        let mut heap: BinaryHeap<Reverse<(D, u32)>> = BinaryHeap::new();
+        g[from.0 as usize] = 0.0;
+        heap.push(Reverse((D(fp.dist(tp)), from.0)));
+
+        while let Some(Reverse((_, u))) = heap.pop() {
+            if closed[u as usize] {
+                continue; // stale frontier entry
+            }
+            closed[u as usize] = true;
+            if u == to.0 {
+                break;
+            }
+            self.ensure_successors(NodeId(u));
+            let gu = g[u as usize];
+            for &(v, w) in &self.cache[u as usize].succ {
+                let vi = v.0 as usize;
+                let nd = gu + w;
+                if nd < g[vi] {
+                    g[vi] = nd;
+                    pred[vi] = u;
+                    heap.push(Reverse((D(nd + self.nodes[vi].pos.dist(tp)), v.0)));
+                }
+            }
+            if to_target[u as usize] {
+                let nd = gu + self.nodes[u as usize].pos.dist(tp);
+                let ti = to.0 as usize;
+                if nd < g[ti] {
+                    g[ti] = nd;
+                    pred[ti] = u;
+                    heap.push(Reverse((D(nd), to.0)));
+                }
+            }
+        }
+
+        if g[to.0 as usize].is_infinite() {
+            return None;
+        }
+        let mut points = vec![tp];
+        let mut cur = to.0;
+        while cur != from.0 {
+            cur = pred[cur as usize];
+            debug_assert_ne!(cur, u32::MAX);
+            points.push(self.nodes[cur as usize].pos);
+        }
+        points.reverse();
+        Some(PathResult {
+            distance: g[to.0 as usize],
+            points,
+        })
+    }
+
+    /// A\* distance only (see [`LazyScene::astar`]).
+    pub fn astar_distance(&mut self, from: NodeId, to: NodeId) -> Option<f64> {
+        self.astar(from, to).map(|p| p.distance)
+    }
+
+    // -----------------------------------------------------------------
+    // Internals
+    // -----------------------------------------------------------------
+
+    fn push_raw_node(&mut self, pos: Point, kind: NodeKind, class: PointClass) -> NodeId {
+        self.nodes.push(LazyNode {
+            pos,
+            kind,
+            alive: true,
+            class,
+        });
+        self.cache.push(CacheSlot::default());
+        NodeId((self.nodes.len() - 1) as u32)
+    }
+
+    /// Fills (or refreshes) the successor cache of `id`.
+    ///
+    /// A stale cache (computed against fewer obstacles) is revalidated
+    /// geometrically before any sweep: it survives if no obstacle added
+    /// since entered the node's base window (it could block or extend a
+    /// trusted edge) nor any refined horizon arc (it could host a newly
+    /// visible far vertex). Otherwise the successors are recomputed via
+    /// `windowed_successors`.
+    fn ensure_successors(&mut self, id: NodeId) {
+        let i = id.0 as usize;
+        let n = self.polys.len();
+        let slot = &self.cache[i];
+        if slot.n_obs == n {
+            return;
+        }
+        if slot.n_obs != NEVER && self.cache_still_valid(i) {
+            self.cache[i].n_obs = n;
+            return;
+        }
+        let slot = match self.builder {
+            EdgeBuilder::Naive => {
+                self.sweeps += 1;
+                CacheSlot {
+                    n_obs: n,
+                    radius: f64::INFINITY,
+                    arcs: Vec::new(),
+                    succ: self.visible_vertices_naive(id),
+                }
+            }
+            EdgeBuilder::RotationalSweep => self.windowed_successors(id),
+        };
+        self.cache[i] = slot;
+    }
+
+    /// Whether the cached (stale-epoch) successor list of node `i` is
+    /// unaffected by the obstacles added after it was computed.
+    fn cache_still_valid(&self, i: usize) -> bool {
+        let slot = &self.cache[i];
+        if !slot.radius.is_finite() {
+            // Full-scene (or naive) snapshot: any growth invalidates.
+            return false;
+        }
+        let pos = self.nodes[i].pos;
+        let pad = slot.radius * (1.0 + 1e-12);
+        self.rects[slot.n_obs..].iter().all(|rect| {
+            if rect.mindist_point(pos) <= pad {
+                return false; // entered the base window
+            }
+            if slot.arcs.is_empty() {
+                return true; // horizon closed at the base radius
+            }
+            let span = rect_span(pos, rect);
+            slot.arcs.iter().all(|arc| {
+                let hit = match span {
+                    Some(span) => arc_overlap((arc.a0, arc.a1), span),
+                    None => true,
+                };
+                !hit || (!arc.open && rect.mindist_point(pos) > arc.r)
+            })
+        })
+    }
+
+    /// Base-plus-wedges successor computation (see `ensure_successors`
+    /// and the module docs).
+    ///
+    /// One rotational sweep over the obstacles within a small base
+    /// radius gives the near successors and the open horizon arcs. Each
+    /// open arc is then *refined independently*: sight lines from the
+    /// pivot are radial, so a wedge's visibility only depends on the
+    /// obstacles inside the wedge — the arc is re-swept (range-restricted)
+    /// at doubling radius over just those obstacles until it closes or
+    /// provably faces no farther scene obstacle. Street canyons thus cost
+    /// a few thin wedge sweeps instead of inflating the whole disk.
+    fn windowed_successors(&mut self, id: NodeId) -> CacheSlot {
+        let i = id.0 as usize;
+        let n = self.polys.len();
+        let pos = self.nodes[i].pos;
+        if n == 0 {
+            return CacheSlot {
+                n_obs: 0,
+                radius: f64::INFINITY,
+                arcs: Vec::new(),
+                succ: Vec::new(),
+            };
+        }
+        self.ensure_grid();
+        let pivot_vertex = match self.nodes[i].kind {
+            NodeKind::ObstacleVertex { obstacle, vertex } => {
+                Some((obstacle.0 as usize, vertex as usize))
+            }
+            NodeKind::Waypoint { .. } => None,
+        };
+        let mean_diag = self.mean_diag();
+        let extent = self.grid.bounds.maxdist_point(pos);
+
+        // ---- Base disk: grow only until it contains some obstacle.
+        let mut r = (6.0 * mean_diag).min(extent).max(1e-12);
+        let mut active: Vec<usize>;
+        loop {
+            active = self.grid.query_disk(&self.rects, pos, r);
+            if !active.is_empty() || r >= extent {
+                break;
+            }
+            r *= 4.0;
+        }
+        let full = active.len() == n;
+        let window = if full { f64::INFINITY } else { r };
+        let wv = sweep::visible_set_windowed(
+            &self.polys,
+            &self.vertex_class,
+            &active,
+            pos,
+            self.pivot_class(id),
+            pivot_vertex,
+            window,
+            None,
+        );
+        self.sweeps += 1;
+        let mut succ: Vec<(NodeId, f64)> = Vec::new();
+        self.collect_successors(id, &active, &wv.vertices, 0.0, window, &mut succ);
+        if full {
+            return CacheSlot {
+                n_obs: n,
+                radius: f64::INFINITY,
+                arcs: Vec::new(),
+                succ,
+            };
+        }
+
+        // ---- Wedge refinement of every open horizon arc. Work items
+        // never wrap past the +x axis (split on creation) so the ranged
+        // sweep can use plain angular order.
+        let mut arcs: Vec<ArcTrust> = Vec::new();
+        let mut work: Vec<(f64, f64, f64, usize)> = Vec::new(); // a0, a1, r, root
+        let push_split =
+            |work: &mut Vec<(f64, f64, f64, usize)>, a0: f64, a1: f64, r: f64, root: usize| {
+                if a0 < a1 {
+                    work.push((a0, a1, r, root));
+                } else if a0 > a1 {
+                    // wraps past the +x axis: split there
+                    work.push((a0, 4.0, r, root));
+                    work.push((0.0, a1, r, root));
+                }
+                // a0 == a1: zero-width arc (e.g. collapsed by clamping
+                // to a sub-range) — nothing to refine. Full-circle arcs
+                // are normalized to (0, 4) before they reach here.
+            };
+        for &(a0, a1) in &wv.open {
+            // An unranged sweep reports a full-circle horizon (single
+            // event group) as the degenerate wrap arc (a, a).
+            let (a0, a1) = if a0 == a1 { (0.0, 4.0) } else { (a0, a1) };
+            let root = arcs.len();
+            arcs.push(ArcTrust {
+                a0,
+                a1,
+                r,
+                open: false,
+            });
+            push_split(&mut work, a0, a1, r, root);
+        }
+        while let Some((a0, a1, r_arc, root)) = work.pop() {
+            // Does any scene obstacle reach beyond r_arc inside the arc?
+            let r_next = (r_arc * 3.0).min(extent * 1.0001);
+            let pad = ARC_PAD * (1.0 + a1 - a0);
+            let range = ((a0 - pad).max(0.0), (a1 + pad).min(4.0));
+            let beyond = self
+                .grid
+                .wedge_reaches_beyond(&self.rects, pos, r_arc, range);
+            if !beyond {
+                // Nothing farther in this wedge: trusted as-is, but any
+                // new obstacle appearing here invalidates the cache.
+                arcs[root].open = true;
+                continue;
+            }
+            let wedge = self.grid.query_wedge(&self.rects, pos, r_next, range);
+            let wv = sweep::visible_set_windowed(
+                &self.polys,
+                &self.vertex_class,
+                &wedge,
+                pos,
+                self.pivot_class(id),
+                pivot_vertex,
+                r_next,
+                Some(range),
+            );
+            self.sweeps += 1;
+            // Trust band (r_arc, r_next]: nearer in-wedge vertices were
+            // already reported by the parent sweep.
+            self.collect_successors(id, &wedge, &wv.vertices, r_arc, r_next, &mut succ);
+            arcs[root].r = arcs[root].r.max(r_next);
+            for &(b0, b1) in &wv.open {
+                if r_next >= extent {
+                    // The wedge already covers the whole scene: an open
+                    // sub-arc faces empty space.
+                    arcs[root].open = true;
+                } else {
+                    push_split(&mut work, b0.max(range.0), b1.min(range.1), r_next, root);
+                }
+            }
+        }
+
+        // Duplicate successors can arise where padded wedges overlap.
+        succ.sort_unstable_by_key(|(nid, _)| nid.0);
+        succ.dedup_by_key(|(nid, _)| nid.0);
+        CacheSlot {
+            n_obs: n,
+            radius: r,
+            arcs,
+            succ,
+        }
+    }
+
+    /// Appends the visible vertices of `active` obstacles whose distance
+    /// falls in `(lo, hi]` (with `lo = 0.0` meaning inclusive of zero) to
+    /// `succ`.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_successors(
+        &self,
+        id: NodeId,
+        active: &[usize],
+        flags: &[Vec<bool>],
+        lo: f64,
+        hi: f64,
+        succ: &mut Vec<(NodeId, f64)>,
+    ) {
+        let pos = self.nodes[id.0 as usize].pos;
+        for (ai, flags) in flags.iter().enumerate() {
+            let nodes = &self.vertex_nodes[active[ai]];
+            for (vi, &visible) in flags.iter().enumerate() {
+                if !visible {
+                    continue;
+                }
+                let nid = nodes[vi];
+                if nid == id {
+                    continue;
+                }
+                let d = pos.dist(self.nodes[nid.0 as usize].pos);
+                if d <= hi && (d > lo || lo == 0.0) {
+                    succ.push((nid, d));
+                }
+            }
+        }
+    }
+
+    /// Mean obstacle bbox diagonal — the scene's natural length scale.
+    fn mean_diag(&self) -> f64 {
+        if self.polys.is_empty() {
+            0.0
+        } else {
+            self.sum_diag / self.polys.len() as f64
+        }
+    }
+
+    /// (Re)builds the packed bbox-tree over the obstacle MBRs. Obstacles
+    /// are absorbed in batches between searches, so this runs a handful
+    /// of times per query — O(n log n) each, amortized negligible.
+    fn ensure_grid(&mut self) {
+        if self.grid.built != self.rects.len() {
+            self.grid = BboxTree::build(&self.rects);
+        }
+    }
+
+    fn pivot_class(&self, id: NodeId) -> &PointClass {
+        match self.nodes[id.0 as usize].kind {
+            NodeKind::ObstacleVertex { obstacle, vertex } => {
+                &self.vertex_class[obstacle.0 as usize][vertex as usize]
+            }
+            NodeKind::Waypoint { .. } => &self.nodes[id.0 as usize].class,
+        }
+    }
+
+    fn visible_vertices_naive(&self, id: NodeId) -> Vec<(NodeId, f64)> {
+        let pivot = self.nodes[id.0 as usize].pos;
+        let mut out = Vec::new();
+        for nodes in &self.vertex_nodes {
+            for &nid in nodes {
+                if nid == id {
+                    continue;
+                }
+                let pos = self.nodes[nid.0 as usize].pos;
+                if self.visible(pivot, pos) {
+                    out.push((nid, pivot.dist(pos)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Structural (and, with `check_semantics`, semantic) consistency
+    /// check for tests: classifications match a from-scratch recompute,
+    /// and every *fresh* successor cache equals the naive visibility
+    /// oracle restricted to obstacle vertices.
+    pub fn validate(&self, check_semantics: bool) -> Result<(), String> {
+        let scene: Vec<&Polygon> = self.polys.iter().collect();
+        for (oi, slot) in self.vertex_class.iter().enumerate() {
+            for (vi, class) in slot.iter().enumerate() {
+                let expect = sweep::classify(&scene, self.polys[oi].vertices()[vi]);
+                if *class != expect {
+                    return Err(format!("stale classification for vertex {vi} of {oi}"));
+                }
+            }
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.alive && matches!(node.kind, NodeKind::Waypoint { .. }) {
+                let expect = sweep::classify(&scene, node.pos);
+                if node.class != expect {
+                    return Err(format!("stale classification for waypoint node {i}"));
+                }
+            }
+        }
+        if check_semantics {
+            for (i, slot) in self.cache.iter().enumerate() {
+                if slot.n_obs != self.polys.len() {
+                    continue; // stale or never computed: exempt
+                }
+                let mut expect = self.visible_vertices_naive(NodeId(i as u32));
+                let mut got = slot.succ.clone();
+                expect.sort_by_key(|(n, _)| n.0);
+                got.sort_by_key(|(n, _)| n.0);
+                let expect_ids: Vec<u32> = expect.iter().map(|(n, _)| n.0).collect();
+                let got_ids: Vec<u32> = got.iter().map(|(n, _)| n.0).collect();
+                if expect_ids != got_ids {
+                    return Err(format!(
+                        "successor cache of node {i} disagrees with the naive oracle: \
+                         {got_ids:?} vs {expect_ids:?}"
+                    ));
+                }
+                for ((n, w), (_, we)) in got.iter().zip(expect.iter()) {
+                    if (w - we).abs() > 1e-9 {
+                        return Err(format!("edge {i}-{} weight {w} != {we}", n.0));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Packed STR bbox-tree over the obstacle MBRs: rects are sorted into
+/// vertical slabs by centre (Sort-Tile-Recursive), grouped bottom-up
+/// into fanout-sized runs, and queried with mindist / angular-span
+/// pruning. Rebuilt from scratch when the scene grows — absorption
+/// happens in a handful of batches per query, so rebuilds amortize to
+/// nothing while every lookup stays O(log n + hits).
+#[derive(Clone, Debug)]
+struct BboxTree {
+    /// Obstacle id per leaf slot (STR order).
+    leaf_id: Vec<u32>,
+    /// `levels[0][g]` = MBR of leaves `[g·F, (g+1)·F)`; each higher level
+    /// groups the previous one the same way. The last level is the root.
+    levels: Vec<Vec<Rect>>,
+    /// Union of all rects (query horizon bound).
+    bounds: Rect,
+    /// Number of obstacles indexed (staleness check).
+    built: usize,
+}
+
+impl Default for BboxTree {
+    fn default() -> Self {
+        BboxTree {
+            leaf_id: Vec::new(),
+            levels: Vec::new(),
+            bounds: Rect::empty(),
+            built: 0,
+        }
+    }
+}
+
+const TREE_FAN: usize = 8;
+
+impl BboxTree {
+    fn build(rects: &[Rect]) -> BboxTree {
+        let n = rects.len();
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        if n == 0 {
+            return BboxTree::default();
+        }
+        // STR packing: slabs by centre x, each slab sorted by centre y.
+        let slabs = ((n as f64 / TREE_FAN as f64).sqrt().ceil() as usize).max(1);
+        let per_slab = n.div_ceil(slabs);
+        ids.sort_unstable_by(|&a, &b| {
+            let ca = rects[a as usize].center();
+            let cb = rects[b as usize].center();
+            ca.x.total_cmp(&cb.x)
+        });
+        for chunk in ids.chunks_mut(per_slab) {
+            chunk.sort_unstable_by(|&a, &b| {
+                let ca = rects[a as usize].center();
+                let cb = rects[b as usize].center();
+                ca.y.total_cmp(&cb.y)
+            });
+        }
+        let mut bounds = Rect::empty();
+        for r in rects {
+            bounds = bounds.union(r);
+        }
+        let group = |mbrs: &[Rect]| -> Vec<Rect> {
+            mbrs.chunks(TREE_FAN)
+                .map(|c| c.iter().fold(Rect::empty(), |acc, r| acc.union(r)))
+                .collect()
+        };
+        let leaf_mbrs: Vec<Rect> = ids.iter().map(|&i| rects[i as usize]).collect();
+        let mut levels = vec![group(&leaf_mbrs)];
+        while levels.last().unwrap().len() > 1 {
+            let next = group(levels.last().unwrap());
+            levels.push(next);
+        }
+        BboxTree {
+            leaf_id: ids,
+            levels,
+            bounds,
+            built: n,
+        }
+    }
+
+    /// Visits every obstacle whose MBR passes `prune` (a conservative
+    /// subtree test that must also hold for individual rects), calling
+    /// `leaf` until it returns `true` (early exit).
+    fn visit(
+        &self,
+        rects: &[Rect],
+        prune: impl Fn(&Rect) -> bool,
+        mut leaf: impl FnMut(usize) -> bool,
+    ) -> bool {
+        if self.leaf_id.is_empty() {
+            return false;
+        }
+        let top = self.levels.len() - 1;
+        let mut stack: Vec<(usize, usize)> = (0..self.levels[top].len())
+            .filter(|&g| prune(&self.levels[top][g]))
+            .map(|g| (top, g))
+            .collect();
+        while let Some((level, g)) = stack.pop() {
+            let lo = g * TREE_FAN;
+            if level == 0 {
+                let hi = ((g + 1) * TREE_FAN).min(self.leaf_id.len());
+                for &oi in &self.leaf_id[lo..hi] {
+                    if prune(&rects[oi as usize]) && leaf(oi as usize) {
+                        return true;
+                    }
+                }
+            } else {
+                let below = &self.levels[level - 1];
+                let hi = ((g + 1) * TREE_FAN).min(below.len());
+                for child in lo..hi {
+                    if prune(&below[child]) {
+                        stack.push((level - 1, child));
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Obstacles whose MBR lies within Euclidean distance `r` of `pos`.
+    fn query_disk(&self, rects: &[Rect], pos: Point, r: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(
+            rects,
+            |mbr| mbr.mindist_point_sq(pos) <= r * r,
+            |oi| {
+                out.push(oi);
+                false
+            },
+        );
+        out
+    }
+
+    /// Obstacles whose MBR lies within distance `r` of `pos` with an
+    /// angular span overlapping the CCW pseudo-angle interval `range`.
+    fn query_wedge(&self, rects: &[Rect], pos: Point, r: f64, range: (f64, f64)) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.visit(
+            rects,
+            |mbr| {
+                mbr.mindist_point_sq(pos) <= r * r
+                    && match rect_span(pos, mbr) {
+                        Some(span) => arc_overlap(range, span),
+                        None => true,
+                    }
+            },
+            |oi| {
+                out.push(oi);
+                false
+            },
+        );
+        out
+    }
+
+    /// Whether some obstacle MBR reaches beyond distance `r` of `pos`
+    /// inside the angular interval `range` (early-exit existence query).
+    fn wedge_reaches_beyond(&self, rects: &[Rect], pos: Point, r: f64, range: (f64, f64)) -> bool {
+        self.visit(
+            rects,
+            |mbr| {
+                mbr.maxdist_point(pos) > r
+                    && match rect_span(pos, mbr) {
+                        Some(span) => arc_overlap(range, span),
+                        None => true,
+                    }
+            },
+            |_| true,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::VisibilityGraph;
+    use crate::{dijkstra_distance, shortest_path};
+    use obstacle_geom::{Polygon, Rect};
+
+    fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::from_rect(Rect::from_coords(x0, y0, x1, y1))
+    }
+
+    fn lazy_with(
+        builder: EdgeBuilder,
+        obstacles: &[Polygon],
+        a: Point,
+        b: Point,
+    ) -> (LazyScene, NodeId, NodeId) {
+        let mut s = LazyScene::new(builder);
+        for (i, p) in obstacles.iter().enumerate() {
+            s.add_obstacle(p.clone(), i as u64);
+        }
+        let na = s.add_waypoint(a, 0);
+        let nb = s.add_waypoint(b, 1);
+        (s, na, nb)
+    }
+
+    #[test]
+    fn empty_scene_is_euclidean() {
+        let (mut s, a, b) = lazy_with(
+            EdgeBuilder::RotationalSweep,
+            &[],
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 4.0),
+        );
+        let p = s.astar(a, b).unwrap();
+        assert_eq!(p.distance, 5.0);
+        assert_eq!(p.points.len(), 2);
+    }
+
+    #[test]
+    fn detour_matches_materialized_graph() {
+        let obstacles = vec![square(1.0, -1.0, 2.0, 1.0), square(4.0, -2.0, 5.0, 0.5)];
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(6.0, 0.0);
+        for builder in [EdgeBuilder::RotationalSweep, EdgeBuilder::Naive] {
+            let (mut s, na, nb) = lazy_with(builder, &obstacles, a, b);
+            let lazy = s.astar(na, nb).unwrap();
+            let (full, wps) = VisibilityGraph::build(
+                EdgeBuilder::Naive,
+                obstacles.iter().cloned().zip(0u64..),
+                [(a, 0), (b, 1)],
+            );
+            let exact = shortest_path(&full, wps[0], wps[1]).unwrap();
+            assert!(
+                (lazy.distance - exact.distance).abs() < 1e-12,
+                "{} vs {}",
+                lazy.distance,
+                exact.distance
+            );
+            assert_eq!(lazy.points, exact.points);
+            assert!(s.validate(true).is_ok());
+        }
+    }
+
+    #[test]
+    fn waypoint_inside_obstacle_is_unreachable() {
+        let (mut s, a, b) = lazy_with(
+            EdgeBuilder::RotationalSweep,
+            &[square(0.0, 0.0, 1.0, 1.0)],
+            Point::new(0.5, 0.5),
+            Point::new(2.0, 2.0),
+        );
+        assert!(s.astar(a, b).is_none());
+        assert!(s.astar(b, a).is_none());
+    }
+
+    #[test]
+    fn waypoint_churn_keeps_vertex_caches_valid() {
+        let obstacles = vec![square(1.0, -1.0, 2.0, 1.0)];
+        let mut s = LazyScene::new(EdgeBuilder::RotationalSweep);
+        s.add_obstacle(obstacles[0].clone(), 0);
+        let q = s.add_waypoint(Point::new(0.0, 0.0), 0);
+
+        let p1 = s.add_waypoint(Point::new(3.0, 0.0), 1);
+        let d1 = s.astar_distance(p1, q).unwrap();
+        let sweeps_after_first = s.sweep_count();
+        s.remove_waypoint(p1);
+
+        let p2 = s.add_waypoint(Point::new(3.0, 0.0), 2);
+        let d2 = s.astar_distance(p2, q).unwrap();
+        s.remove_waypoint(p2);
+
+        assert!((d1 - d2).abs() < 1e-12);
+        // Second run re-sweeps only the fresh waypoint p2: vertex and
+        // target caches survive waypoint churn.
+        assert_eq!(s.sweep_count(), sweeps_after_first + 1);
+        assert!(s.validate(true).is_ok());
+    }
+
+    #[test]
+    fn obstacle_insertion_invalidates_caches() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(6.0, 0.0);
+        let mut s = LazyScene::new(EdgeBuilder::RotationalSweep);
+        s.add_obstacle(square(1.0, -1.0, 2.0, 1.0), 0);
+        let na = s.add_waypoint(a, 0);
+        let nb = s.add_waypoint(b, 1);
+        let d1 = s.astar_distance(na, nb).unwrap();
+
+        s.add_obstacle(square(4.0, -2.0, 5.0, 2.0), 1);
+        let d2 = s.astar_distance(na, nb).unwrap();
+        assert!(d2 > d1, "new wall must lengthen the path: {d1} vs {d2}");
+
+        let (full, wps) = VisibilityGraph::build(
+            EdgeBuilder::Naive,
+            [
+                (square(1.0, -1.0, 2.0, 1.0), 0u64),
+                (square(4.0, -2.0, 5.0, 2.0), 1),
+            ],
+            [(a, 0), (b, 1)],
+        );
+        let exact = dijkstra_distance(&full, wps[0], wps[1]).unwrap();
+        assert!((d2 - exact).abs() < 1e-12);
+        assert!(s.validate(true).is_ok());
+    }
+
+    #[test]
+    fn vertex_endpoints_are_supported() {
+        // Source and target as obstacle vertices (not waypoints).
+        let mut s = LazyScene::new(EdgeBuilder::RotationalSweep);
+        s.add_obstacle(square(0.0, 0.0, 1.0, 1.0), 0);
+        s.add_obstacle(square(3.0, 0.0, 4.0, 1.0), 1);
+        let from = s.vertex_nodes[0][0]; // (0, 0) corner? polygon order
+        let to = s.vertex_nodes[1][2];
+        let p = s.astar(from, to).unwrap();
+        let (full, _) = VisibilityGraph::build(
+            EdgeBuilder::Naive,
+            [
+                (square(0.0, 0.0, 1.0, 1.0), 0u64),
+                (square(3.0, 0.0, 4.0, 1.0), 1),
+            ],
+            std::iter::empty::<(Point, u64)>(),
+        );
+        // Locate the same positions in the full graph by brute force.
+        let mut ids = (None, None);
+        for i in 0..full.node_slots() {
+            let pos = full.position(NodeId(i as u32));
+            if pos == s.position(from) {
+                ids.0 = Some(NodeId(i as u32));
+            }
+            if pos == s.position(to) {
+                ids.1 = Some(NodeId(i as u32));
+            }
+        }
+        let exact = dijkstra_distance(&full, ids.0.unwrap(), ids.1.unwrap()).unwrap();
+        assert!((p.distance - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laziness_settles_a_corridor_not_the_scene() {
+        // A long row of separated blocks: the shortest path hugs the row,
+        // and A* must not sweep from the far side of every block.
+        let mut obstacles = Vec::new();
+        for i in 0..40 {
+            let x = i as f64;
+            obstacles.push(square(x + 0.2, 0.2, x + 0.8, 5.0));
+        }
+        let (mut s, a, b) = lazy_with(
+            EdgeBuilder::RotationalSweep,
+            &obstacles,
+            Point::new(0.0, 0.0),
+            Point::new(40.0, 0.0),
+        );
+        let p = s.astar(a, b).unwrap();
+        assert!(p.distance >= 40.0);
+        // 160 vertices in the scene; the corridor along y≈0 touches the
+        // two bottom corners of each block plus the endpoints.
+        assert!(
+            s.sweep_count() <= 110,
+            "expected lazy exploration, swept {} times",
+            s.sweep_count()
+        );
+    }
+}

@@ -19,6 +19,30 @@
 //! * [`dijkstra`] — shortest-path computation on the graph \[D59\]: point
 //!   to point, bounded-radius expansion (for obstructed range queries) and
 //!   path reconstruction.
+//! * [`LazyScene`] — the **lazy** alternative for point-to-point queries:
+//!   no edges are ever materialized; A\* guided by the Euclidean lower
+//!   bound runs one rotational sweep per *settled* node, on demand.
+//!
+//! # Lazy vs. materialized
+//!
+//! The two representations answer the same queries with the same results;
+//! they trade where the visibility work happens:
+//!
+//! * **[`VisibilityGraph`] (materialized)** pays O(n log n) per node *up
+//!   front* (plus an edge re-check per obstacle insertion) and then
+//!   answers any number of graph searches at pure Dijkstra cost. Right
+//!   for one-source-many-targets workloads — the OR range query's single
+//!   bounded expansion (Fig. 5), or repeated queries over a static local
+//!   graph.
+//! * **[`LazyScene`] (lazy)** registers obstacles with only O(n)
+//!   classification bookkeeping and defers every visibility computation
+//!   until A\* actually pops the node. Settled nodes are confined to the
+//!   ellipse `|x−p| + |x−q| ≤ d_O(p, q)`, so long point-to-point paths
+//!   touch a corridor, not the scene — this is what makes
+//!   corner-to-corner shortest paths over 10⁴⁺ obstacles feasible (see
+//!   `obstacle_core::compute_obstructed_path`). Successor caches are
+//!   epoch-invalidated on obstacle insertion, so a growing scene re-pays
+//!   sweeps only for nodes it re-settles.
 //!
 //! Visibility semantics: obstacle **interiors** block sight; boundaries do
 //! not. Paths may slide along obstacle edges and pass through touching
@@ -44,12 +68,15 @@
 
 #![warn(missing_docs)]
 
+pub mod astar;
 pub mod dijkstra;
 mod graph;
 mod sweep;
 
+pub use astar::LazyScene;
 pub use dijkstra::{bounded_expansion, dijkstra_distance, shortest_path, PathResult};
 pub use graph::{EdgeBuilder, NodeId, NodeKind, ObstacleId, VisibilityGraph};
 pub use sweep::{
-    classify, classify_incremental, visible_set, visible_set_prepared, PointClass, VisibleSet,
+    classify, classify_incremental, visible_set, visible_set_prepared, visible_set_windowed,
+    PointClass, VisibleSet, WindowedVisibility,
 };

@@ -30,7 +30,8 @@
 //!   the ray is blocked, every farther point is blocked too.
 
 use obstacle_geom::{
-    angular_cmp, orient2d, BoundaryAttachment, Orientation, Point, PointLocation, Polygon,
+    angular_cmp, orient2d, pseudo_angle, BoundaryAttachment, Orientation, Point, PointLocation,
+    Polygon,
 };
 
 /// Result of a sweep: visibility flags for every obstacle vertex (outer
@@ -404,6 +405,358 @@ fn ray_t(pivot: Point, through: Point, e: &Edge) -> f64 {
     }
     let t = (e.a - pivot).cross(s) / denom; // parameter along d
     t * d.norm()
+}
+
+/// Result of a [`visible_set_windowed`] sweep over the *active* subset of
+/// a scene.
+#[derive(Clone, Debug)]
+pub struct WindowedVisibility {
+    /// `vertices[i][v]` — whether vertex `v` of obstacle `active[i]` is
+    /// visible **w.r.t. the active subset**. Trustworthy for targets
+    /// within `radius` of the pivot (see the function docs); farther
+    /// flags may ignore blockers outside the window.
+    pub vertices: Vec<Vec<bool>>,
+    /// Angular arcs (CCW, in [`pseudo_angle`] units modulo 4) where the
+    /// sweep could **not** certify a blocking edge within `radius`: a
+    /// point farther than `radius` from the pivot may only be visible if
+    /// its direction falls inside one of these arcs. Empty means the
+    /// pivot's horizon is closed — nothing beyond `radius` is visible.
+    /// `(a, a)` (or `(0.0, 4.0)`) denotes the full circle.
+    pub open: Vec<(f64, f64)>,
+}
+
+/// Rotational sweep restricted to a *window*: only the obstacles listed
+/// in `active` (indices into `polys`) contribute events and blocking
+/// edges, and openness is judged against `radius`. With `range =
+/// Some((a0, a1))` (a CCW pseudo-angle interval with `a0 <= a1`, i.e.
+/// not wrapping past the +x axis) the sweep is further restricted to
+/// that angular wedge: only events whose direction falls inside the
+/// interval are processed, and the status is initialised on the ray at
+/// `a0` instead of the +x axis.
+///
+/// Soundness contract (the lazy A\* successor oracle relies on it):
+///
+/// * if every obstacle of the scene whose MBR lies within Euclidean
+///   distance `radius` of `pivot` — intersecting the wedge, when ranged —
+///   is in `active`, then the visibility flag of every vertex within
+///   `radius` (and inside the wedge) is **exact for the full scene**:
+///   sight lines from the pivot are radial, so any blocker of a segment
+///   of length ≤ `radius` lies inside the disk of that radius and on the
+///   target's own ray, hence inside the wedge;
+/// * any point farther than `radius` whose direction falls in no `open`
+///   arc is **invisible for the full scene** — some active edge properly
+///   crosses its ray nearer than `radius`, and active edges block
+///   regardless of what the window misses.
+///
+/// Openness is evaluated at event-group boundaries only: between two
+/// consecutive groups the status is constant and the front edge's
+/// crossing distance is unimodal along the rotating ray, so its maximum
+/// over the arc is attained at the endpoints. A ray through a vertex
+/// (no *proper* crossing) yields an infinite front distance and
+/// therefore marks its arcs open — conservative, never unsound.
+///
+/// Classifications (`vertex_class`) are indexed by the **full** scene, so
+/// boundary attachments may reference non-active obstacles; their
+/// interior-cone tests then use the full polygon list, which only makes
+/// blocking more accurate.
+#[allow(clippy::too_many_arguments)]
+pub fn visible_set_windowed(
+    polys: &[Polygon],
+    vertex_class: &[Vec<PointClass>],
+    active: &[usize],
+    pivot: Point,
+    pivot_class: &PointClass,
+    pivot_vertex: Option<(usize, usize)>,
+    radius: f64,
+    range: Option<(f64, f64)>,
+) -> WindowedVisibility {
+    let mut result = WindowedVisibility {
+        vertices: active
+            .iter()
+            .map(|&oi| vec![false; polys[oi].len()])
+            .collect(),
+        open: Vec::new(),
+    };
+    let enters = |attachments: &[(usize, BoundaryAttachment)], toward: Point| -> bool {
+        attachments
+            .iter()
+            .any(|&(oi, at)| polys[oi].enters_interior_at_boundary(at, toward))
+    };
+
+    // ---- Events (active obstacle vertices, restricted to the range).
+    let mut events: Vec<Event> = Vec::new();
+    for (ai, &oi) in active.iter().enumerate() {
+        for (vi, &v) in polys[oi].vertices().iter().enumerate() {
+            if Some((oi, vi)) == pivot_vertex {
+                continue; // the pivot itself
+            }
+            if v == pivot {
+                result.vertices[ai][vi] = true;
+                continue;
+            }
+            if let Some((a0, a1)) = range {
+                let key = pseudo_angle(v.x - pivot.x, v.y - pivot.y);
+                if key < a0 || key > a1 {
+                    continue;
+                }
+            }
+            events.push(Event {
+                pos: v,
+                kind: EventKind::Vertex {
+                    obstacle: ai,
+                    vertex: vi,
+                },
+            });
+        }
+    }
+    if pivot_class.inside {
+        // A pivot strictly inside an obstacle sees nothing and its rays
+        // are all blocked at the surrounding boundary: horizon closed.
+        return result;
+    }
+    if events.is_empty() {
+        result.open.push(range.unwrap_or((0.0, 4.0)));
+        return result;
+    }
+    // Near-sort by the cheap pseudo-angle key, then restore the *exact*
+    // order (angular, near-to-far on a ray) with one insertion pass —
+    // the float key can only misorder near-identical directions, so the
+    // pass is O(n) amortized while the result matches `angular_cmp`
+    // everywhere (within a non-wrapping range, absolute angular order is
+    // the sweep order).
+    events.sort_by_cached_key(|e| pseudo_angle(e.pos.x - pivot.x, e.pos.y - pivot.y).to_bits());
+    for i in 1..events.len() {
+        let mut j = i;
+        while j > 0
+            && angular_cmp(pivot, events[j - 1].pos, events[j].pos) == std::cmp::Ordering::Greater
+        {
+            events.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+
+    // ---- Edge table from active obstacles (skip edges incident to the
+    // pivot, as in the full sweep).
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut incident: Vec<Vec<Vec<usize>>> = active
+        .iter()
+        .map(|&oi| vec![Vec::new(); polys[oi].len()])
+        .collect();
+    for (ai, &oi) in active.iter().enumerate() {
+        let poly = &polys[oi];
+        let n = poly.len();
+        for vi in 0..n {
+            let s = poly.edge(vi);
+            if s.a == pivot || s.b == pivot {
+                continue;
+            }
+            let idx = edges.len();
+            edges.push(Edge { a: s.a, b: s.b });
+            incident[ai][vi].push(idx);
+            incident[ai][(vi + 1) % n].push(idx);
+        }
+    }
+
+    // ---- Initial status: edges properly crossing the sweep's start ray
+    // (the +x axis, or the ray at `a0` when ranged).
+    let init_dir = match range {
+        None => Point::new(pivot.x + 1.0, pivot.y),
+        Some((a0, _)) => {
+            let d = pseudo_dir(a0);
+            Point::new(pivot.x + d.x, pivot.y + d.y)
+        }
+    };
+    let mut status: Vec<usize> = Vec::new();
+    match range {
+        None => {
+            // Exact horizontal-line sidedness (pure comparisons).
+            for (ei, e) in edges.iter().enumerate() {
+                let sa = e.a.y - pivot.y;
+                let sb = e.b.y - pivot.y;
+                if (sa > 0.0 && sb < 0.0) || (sa < 0.0 && sb > 0.0) {
+                    let t = e.a.x + (pivot.y - e.a.y) * (e.b.x - e.a.x) / (e.b.y - e.a.y) - pivot.x;
+                    if t > 0.0 {
+                        status.push(ei);
+                    }
+                }
+            }
+        }
+        Some(_) => {
+            // Robust sidedness against an arbitrary start ray.
+            for (ei, e) in edges.iter().enumerate() {
+                let oa = orient2d(pivot, init_dir, e.a);
+                let ob = orient2d(pivot, init_dir, e.b);
+                let proper = matches!(
+                    (oa, ob),
+                    (Orientation::CounterClockwise, Orientation::Clockwise)
+                        | (Orientation::Clockwise, Orientation::CounterClockwise)
+                );
+                if proper {
+                    let t = ray_t(pivot, init_dir, e);
+                    if t > 0.0 && t.is_finite() {
+                        status.push(ei);
+                    }
+                }
+            }
+        }
+    }
+    status.sort_by(|&x, &y| {
+        ray_t(pivot, init_dir, &edges[x])
+            .partial_cmp(&ray_t(pivot, init_dir, &edges[y]))
+            .unwrap()
+    });
+
+    // Openness test: is the nearest properly-crossing edge along the ray
+    // through `target` certifiably within the window radius?
+    let edges_ref = &edges;
+    let front_open = |status: &[usize], target: Point| -> bool {
+        match status.first() {
+            Some(&front) => {
+                ray_t(pivot, target, &edges_ref[front]) >= radius - 1e-9 * (1.0 + radius)
+            }
+            None => true,
+        }
+    };
+
+    // ---- Sweep.
+    let mut first_boundary: Option<(f64, bool)> = None; // (pseudo-angle, arrive-open)
+    let mut prev_boundary: Option<(f64, bool)> = None; // (pseudo-angle, leave-open)
+    if let Some((a0, _)) = range {
+        // The range start is a boundary of the first arc.
+        let open = front_open(&status, init_dir);
+        prev_boundary = Some((a0, open));
+    }
+    let mut gi = 0usize;
+    while gi < events.len() {
+        let mut gj = gi + 1;
+        while gj < events.len() && same_ray(pivot, events[gi].pos, events[gj].pos) {
+            gj += 1;
+        }
+        let group = &events[gi..gj];
+        let ray_target = group[0].pos;
+        let theta = pseudo_angle(ray_target.x - pivot.x, ray_target.y - pivot.y);
+
+        // Openness of the arc ending at this ray.
+        let arrive_open = front_open(&status, ray_target);
+        match prev_boundary {
+            Some((prev_theta, leave_open)) => {
+                if leave_open || arrive_open {
+                    result.open.push((prev_theta, theta));
+                }
+            }
+            None => first_boundary = Some((theta, arrive_open)),
+        }
+
+        // Phase A: remove edges ending at this ray.
+        for ev in group {
+            if let EventKind::Vertex { obstacle, vertex } = ev.kind {
+                for &ei in &incident[obstacle][vertex] {
+                    let other = other_endpoint(&edges[ei], ev.pos);
+                    if orient2d(pivot, ev.pos, other) == Orientation::Clockwise {
+                        if let Some(p) = status.iter().position(|&s| s == ei) {
+                            status.remove(p);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase B: visibility, near to far along the ray.
+        let mut chain_blocked = false;
+        let mut prev_pos = pivot;
+        let mut prev_visible = true;
+        let mut prev_attachments: &[(usize, BoundaryAttachment)] = &[];
+        for ev in group {
+            let dw = pivot.dist(ev.pos);
+            let EventKind::Vertex { obstacle, vertex } = ev.kind else {
+                unreachable!("windowed sweeps have no free events");
+            };
+            let class = &vertex_class[active[obstacle]][vertex];
+            let visible;
+            if ev.pos == prev_pos {
+                visible = prev_visible;
+            } else {
+                if !chain_blocked && enters(prev_attachments, ev.pos) {
+                    chain_blocked = true;
+                }
+                let mut blocked = chain_blocked || class.inside;
+                if !blocked {
+                    if let Some(&front) = status.first() {
+                        let t = ray_t(pivot, ray_target, &edges[front]);
+                        if t < dw - 1e-9 * (1.0 + dw) {
+                            blocked = true;
+                        }
+                    }
+                }
+                if !blocked && enters(&pivot_class.attachments, ev.pos) {
+                    blocked = true;
+                }
+                if !blocked && enters(&class.attachments, pivot) {
+                    blocked = true;
+                }
+                visible = !blocked;
+                if blocked {
+                    chain_blocked = true;
+                }
+                prev_pos = ev.pos;
+                prev_visible = visible;
+                prev_attachments = &class.attachments;
+            }
+            result.vertices[obstacle][vertex] = visible;
+        }
+
+        // Phase C: insert edges beginning at this ray.
+        for ev in group {
+            if let EventKind::Vertex { obstacle, vertex } = ev.kind {
+                for &ei in &incident[obstacle][vertex] {
+                    let other = other_endpoint(&edges[ei], ev.pos);
+                    if orient2d(pivot, ev.pos, other) == Orientation::CounterClockwise {
+                        insert_into_status(&mut status, &edges, pivot, ray_target, ei, ev.pos);
+                    }
+                }
+            }
+        }
+
+        prev_boundary = Some((theta, front_open(&status, ray_target)));
+        gi = gj;
+    }
+
+    match range {
+        None => {
+            // Wrap-around arc from the last group back to the first.
+            if let (Some((last_theta, leave_open)), Some((first_theta, arrive_open))) =
+                (prev_boundary, first_boundary)
+            {
+                if leave_open || arrive_open {
+                    result.open.push((last_theta, first_theta));
+                }
+            }
+        }
+        Some((_, a1)) => {
+            // The range end is the final arc boundary.
+            let d = pseudo_dir(a1);
+            let end_dir = Point::new(pivot.x + d.x, pivot.y + d.y);
+            let end_open = front_open(&status, end_dir);
+            if let Some((last_theta, leave_open)) = prev_boundary {
+                if leave_open || end_open {
+                    result.open.push((last_theta, a1));
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Direction (L1-unit vector) for a [`pseudo_angle`] key in `[0, 4]` —
+/// the exact inverse of `pseudo_angle` up to scale.
+fn pseudo_dir(key: f64) -> Point {
+    if key < 2.0 {
+        let p = 1.0 - key;
+        Point::new(p, 1.0 - p.abs())
+    } else {
+        let p = key - 3.0;
+        Point::new(p, -(1.0 - p.abs()))
+    }
 }
 
 /// Inserts edge `ei` (incident to the event point `w` on the current ray)

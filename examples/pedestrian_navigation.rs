@@ -8,10 +8,10 @@
 
 use obstacle_suite::datagen::{query_workload, sample_entities, City, CityConfig};
 use obstacle_suite::queries::{
-    compute_obstructed_distance, EntityIndex, LocalGraph, ObstacleIndex, QueryEngine,
+    close_rel, compute_obstructed_path, EntityIndex, LocalGraph, ObstacleIndex, QueryEngine,
 };
 use obstacle_suite::rtree::RTreeConfig;
-use obstacle_suite::visibility::{shortest_path, EdgeBuilder};
+use obstacle_suite::visibility::EdgeBuilder;
 
 fn main() {
     // A small city with 2,000 buildings and 500 restaurants.
@@ -48,10 +48,9 @@ fn main() {
         let mut lg = LocalGraph::new(EdgeBuilder::RotationalSweep);
         let from = lg.add_waypoint(*q, u64::MAX);
         let to = lg.add_waypoint(entities.position(best_id), best_id);
-        let d = compute_obstructed_distance(&mut lg, to, from, &obstacles)
+        let path = compute_obstructed_path(&mut lg, from, to, &obstacles)
             .expect("restaurant is reachable");
-        assert!((d - best_d).abs() < 1e-9);
-        let path = shortest_path(&lg.graph, from, to).expect("path exists");
+        assert!(close_rel(path.distance, best_d));
         let corners = path.points.len().saturating_sub(2);
         println!(
             "  route: {} segment(s), {corners} corner(s) turned, length {:.4}\n",
