@@ -16,6 +16,13 @@ echo "== path-scaling wall-clock gate (release) =="
 # meaningless in debug builds, so this runs the release binary.
 cargo test -q --offline --release -p obstacle-core --test path_scaling -- --ignored
 
+echo "== batch-throughput smoke gate (release) =="
+# The concurrent batch engine must produce results identical to the
+# sequential loop at every thread count, and an 8-thread batch must beat
+# 1 thread by >= 2x wherever >= 4 cores are available (the assertion
+# degrades gracefully on core-starved CI runners — see the test header).
+cargo test -q --offline --release -p obstacle-core --test batch_scaling -- --ignored --nocapture
+
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 

@@ -1,0 +1,74 @@
+//! Batch query throughput vs. worker-thread count.
+//!
+//! Builds the benchmark city (default |O| = 16384, seed 0xC17 — the same
+//! world as `obstacle_cli`), a 4096-entity dataset, and a deterministic
+//! mixed point-query workload, then executes the identical batch at
+//! 1..=8 threads through [`QueryEngine::run_batch`], verifying that every
+//! thread count returns bit-identical results. Reported: wall-clock,
+//! queries/sec, and speedup over the 1-thread run.
+//!
+//! Run in release mode — the numbers are meaningless otherwise:
+//!
+//! ```sh
+//! cargo bench --bench throughput
+//! OBSTACLE_BATCH_OBSTACLES=2048 OBSTACLE_BATCH_QUERIES=64 cargo bench --bench throughput
+//! ```
+//!
+//! On machines pinned to a single core the sweep degenerates to parity —
+//! the determinism verification still runs; the scaling claim is only
+//! observable with real hardware parallelism (the harness prints the
+//! detected core count so logs are interpretable).
+
+use obstacle_bench::batch::{thread_sweep, to_core_query};
+use obstacle_core::{EntityIndex, ObstacleIndex, Query, QueryEngine};
+use obstacle_datagen::{batch_workload, sample_entities, BatchMix, City, CityConfig};
+use obstacle_rtree::RTreeConfig;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let obstacle_count = env_usize("OBSTACLE_BATCH_OBSTACLES", 16_384);
+    let entity_count = env_usize("OBSTACLE_BATCH_ENTITIES", 4_096);
+    let query_count = env_usize("OBSTACLE_BATCH_QUERIES", 256);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let city = City::generate(CityConfig::new(obstacle_count, 0xC17));
+    let obstacles = ObstacleIndex::bulk_load(RTreeConfig::paper(), city.obstacles.clone());
+    let entities = EntityIndex::bulk_load(
+        RTreeConfig::paper(),
+        sample_entities(&city, entity_count, 0xC18),
+    );
+    let engine = QueryEngine::new(&entities, &obstacles);
+    let queries: Vec<Query> = batch_workload(&city, query_count, 0xC19, BatchMix::point_queries())
+        .iter()
+        .map(to_core_query)
+        .collect();
+
+    println!(
+        "batch throughput: |O| = {obstacle_count}, |P| = {entity_count}, \
+         {query_count} mixed point queries, {cores} core(s) available"
+    );
+
+    // Warm-up: populate LRU buffers and lazy-scene-independent caches so
+    // the 1-thread baseline is not penalised by cold buffers.
+    let _ = engine.run_batch(&queries[..queries.len().min(16)], 1);
+
+    let counts = [1usize, 2, 4, 8];
+    let (points, _answers) = thread_sweep(&engine, &queries, &counts, true);
+    let base = points[0];
+    for p in &points {
+        println!(
+            "  threads {:>2}: {:>10.2?}  {:>8.1} q/s  speedup {:>5.2}x",
+            p.threads,
+            p.elapsed,
+            p.qps,
+            p.speedup_over(&base)
+        );
+    }
+    println!("  (all thread counts verified result-identical to sequential)");
+}

@@ -11,13 +11,15 @@
 //! obstacle_cli path   --from X,Y --to X,Y
 //! obstacle_cli join   --e E [--s N] [--t N]
 //! obstacle_cli cp     [--k K] [--s N] [--t N]
+//! obstacle_cli batch  [--queries N] [--threads T] [--verify]
 //! ```
 
+use obstacle_bench::batch::{thread_sweep, to_core_query};
 use obstacle_core::{
     closest_pairs, distance_join, shortest_obstructed_path, EngineOptions, EntityIndex,
-    ObstacleIndex, QueryEngine,
+    ObstacleIndex, QueryEngine, QueryStats,
 };
-use obstacle_datagen::{sample_entities, City, CityConfig};
+use obstacle_datagen::{batch_workload, sample_entities, BatchMix, City, CityConfig};
 use obstacle_geom::Point;
 use obstacle_rtree::RTreeConfig;
 use obstacle_visibility::EdgeBuilder;
@@ -35,6 +37,9 @@ struct Args {
     from: Option<Point>,
     to: Option<Point>,
     paths: bool,
+    queries: usize,
+    threads: usize,
+    verify: bool,
 }
 
 fn main() {
@@ -46,6 +51,7 @@ fn main() {
         "path" => path(&args),
         "join" => join(&args),
         "cp" => cp(&args),
+        "batch" => batch(&args),
         other => usage(&format!("unknown command '{other}'")),
     }
 }
@@ -206,6 +212,70 @@ fn cp(args: &Args) {
     print_stats(&r.stats);
 }
 
+fn batch(args: &Args) {
+    let (city, obstacles) = world(args);
+    let entities = entity_index(&city, args.entities, args.seed + 1);
+    let engine = QueryEngine::new(&entities, &obstacles);
+    let queries: Vec<obstacle_core::Query> =
+        batch_workload(&city, args.queries, args.seed + 4, BatchMix::default())
+            .iter()
+            .map(to_core_query)
+            .collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Verification needs a second (sequential) run to compare against;
+    // with one worker thread the run *is* sequential, so there is
+    // nothing to verify and the flag is reported as inapplicable.
+    let verifying = args.verify && args.threads > 1;
+    if args.verify && !verifying {
+        eprintln!("[--verify: nothing to verify with 1 worker thread — the run is sequential]");
+    }
+    println!(
+        "batch of {} mixed queries over {} entities, {} worker thread(s) \
+         ({} core(s) available){}:",
+        queries.len(),
+        entities.len(),
+        args.threads,
+        cores,
+        if verifying {
+            ", verifying against sequential"
+        } else {
+            ""
+        }
+    );
+    let counts: Vec<usize> = if verifying {
+        vec![1, args.threads]
+    } else {
+        vec![args.threads]
+    };
+    let (points, answers) = thread_sweep(&engine, &queries, &counts, verifying);
+    for p in &points {
+        println!(
+            "  threads {:>2}: {:>10.2?} total, {:>8.1} queries/sec",
+            p.threads, p.elapsed, p.qps
+        );
+    }
+    if let [seq, par] = points.as_slice() {
+        println!(
+            "  speedup {:.2}x; results verified identical to sequential",
+            par.speedup_over(seq)
+        );
+    }
+    // Aggregate per-query stats of the last run (attributed via
+    // IoSnapshot windows; the answers come from thread_sweep — no extra
+    // batch execution).
+    let mut agg = QueryStats::default();
+    for a in &answers {
+        if let Some(s) = a.stats() {
+            agg.accumulate(s);
+        }
+    }
+    eprintln!(
+        "[aggregate cost: {} entity + {} obstacle page fetches, \
+         {} candidates, {} results]",
+        agg.entity_fetches, agg.obstacle_fetches, agg.candidates, agg.results
+    );
+}
+
 fn print_stats(stats: &obstacle_core::QueryStats) {
     eprintln!(
         "[cost: {} entity + {} obstacle page fetches ({} + {} buffer misses), \
@@ -239,6 +309,9 @@ fn parse_args() -> Args {
         from: None,
         to: None,
         paths: false,
+        queries: 128,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        verify: false,
     };
     let mut argv = std::env::args().skip(1);
     out.command = argv.next().unwrap_or_else(|| usage("missing command"));
@@ -281,6 +354,17 @@ fn parse_args() -> Args {
                 out.to = Some(parse_point(&value("--to")).unwrap_or_else(|| usage("bad --to")))
             }
             "--paths" => out.paths = true,
+            "--queries" => {
+                out.queries = value("--queries")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --queries"))
+            }
+            "--threads" => {
+                out.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --threads"))
+            }
+            "--verify" => out.verify = true,
             other => usage(&format!("unknown flag '{other}'")),
         }
     }
@@ -300,6 +384,7 @@ fn usage(err: &str) -> ! {
          \x20 path  --from X,Y --to X,Y\n\
          \x20 join  --e E [--s N] [--t N]\n\
          \x20 cp    [--k K] [--s N] [--t N]\n\
+         \x20 batch [--queries N] [--threads T] [--verify]\n\
          common flags: --obstacles N (16384) --seed S --entities N (4096)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

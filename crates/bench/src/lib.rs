@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod figures;
 pub mod harness;
 pub mod scale;

@@ -1,0 +1,377 @@
+//! Concurrent batch query execution.
+//!
+//! The paper's experiments (§7) issue workloads of hundreds of queries,
+//! and downstream consumers — obstructed clustering à la El-Zawawy &
+//! El-Sharkawi, navigation services, the figure harness itself — are
+//! nothing but large batches of range/NN/join probes against one shared
+//! pair of R-trees. All query operators take `&self` and the R-trees are
+//! [`Sync`] (atomic I/O counters, mutex-guarded LRU buffer), so a batch
+//! parallelises embarrassingly: [`QueryEngine::run_batch`] fans a slice
+//! of heterogeneous [`Query`]s out over a scoped worker pool.
+//!
+//! Design points:
+//!
+//! * **No external dependencies** — `std::thread::scope` workers pulling
+//!   from a shared atomic cursor (self-balancing: a worker stuck on an
+//!   expensive join simply claims fewer of the remaining queries).
+//! * **Deterministic output** — every [`Answer`] lands at its query's
+//!   input index, and each operator is a pure function of its inputs, so
+//!   the *results* of `run_batch` are identical for every thread count
+//!   (asserted by the root `consistency` suite). Per-query
+//!   [`QueryStats`] are attributed through thread-local
+//!   [`IoSnapshot`](obstacle_rtree::IoSnapshot) windows and never race;
+//!   their buffer-hit/miss *split* still legitimately varies with
+//!   interleaving, because all threads share one LRU buffer per tree
+//!   (like concurrent clients of one database buffer pool).
+//! * **Binary operators self-join** — a [`QueryEngine`] carries one
+//!   entity dataset, so `DistanceJoin`/`SemiJoin`/`ClosestPairs` run
+//!   `P × P`, the shape obstructed clustering workloads take. Batches
+//!   over two distinct datasets can call [`distance_join`] directly from
+//!   their own threads; everything here is reentrant.
+
+use crate::closest_pair::closest_pairs;
+use crate::engine::{EntityIndex, ObstacleIndex, QueryEngine};
+use crate::join::distance_join;
+use crate::path::shortest_obstructed_path;
+use crate::semi_join::{semi_join, SemiJoinStrategy};
+use crate::stats::{ClosestPairsResult, JoinResult, NearestResult, QueryStats, RangeResult};
+use obstacle_geom::Point;
+use obstacle_visibility::PathResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One query of a heterogeneous batch (see [`QueryEngine::run_batch`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Query {
+    /// Obstacle range query: entities within obstructed distance `e` of `q`.
+    Range {
+        /// Query point.
+        q: Point,
+        /// Obstructed-distance radius.
+        e: f64,
+    },
+    /// Obstacle k-nearest-neighbour query.
+    Nearest {
+        /// Query point.
+        q: Point,
+        /// Number of neighbours.
+        k: usize,
+    },
+    /// Obstacle e-distance self-join over the engine's entity dataset.
+    DistanceJoin {
+        /// Obstructed-distance threshold.
+        e: f64,
+    },
+    /// Obstructed distance semi-join of the entity dataset with itself.
+    SemiJoin {
+        /// Evaluation strategy (see [`SemiJoinStrategy`]).
+        strategy: SemiJoinStrategy,
+    },
+    /// Obstacle k-closest-pairs over the engine's entity dataset.
+    ClosestPairs {
+        /// Number of pairs.
+        k: usize,
+    },
+    /// Exact shortest obstructed path between two free points.
+    Path {
+        /// Start point.
+        from: Point,
+        /// End point.
+        to: Point,
+    },
+}
+
+/// The result of one batch [`Query`], at the same index in the output of
+/// [`QueryEngine::run_batch`] as the query held in the input.
+#[derive(Clone, Debug)]
+pub enum Answer {
+    /// Result of a [`Query::Range`].
+    Range(RangeResult),
+    /// Result of a [`Query::Nearest`].
+    Nearest(NearestResult),
+    /// Result of a [`Query::DistanceJoin`].
+    DistanceJoin(JoinResult),
+    /// Result of a [`Query::SemiJoin`].
+    SemiJoin(JoinResult),
+    /// Result of a [`Query::ClosestPairs`].
+    ClosestPairs(ClosestPairsResult),
+    /// Result of a [`Query::Path`] (`None` when unreachable).
+    Path(Option<PathResult>),
+}
+
+impl Answer {
+    /// The cost metrics of the answer, when the operator produces them
+    /// (`Path` reports none).
+    pub fn stats(&self) -> Option<&QueryStats> {
+        match self {
+            Answer::Range(r) => Some(&r.stats),
+            Answer::Nearest(r) => Some(&r.stats),
+            Answer::DistanceJoin(r) | Answer::SemiJoin(r) => Some(&r.stats),
+            Answer::ClosestPairs(r) => Some(&r.stats),
+            Answer::Path(_) => None,
+        }
+    }
+
+    /// Number of result rows (hits, neighbours, pairs, or path corners).
+    pub fn result_count(&self) -> usize {
+        match self {
+            Answer::Range(r) => r.hits.len(),
+            Answer::Nearest(r) => r.neighbors.len(),
+            Answer::DistanceJoin(r) | Answer::SemiJoin(r) => r.pairs.len(),
+            Answer::ClosestPairs(r) => r.pairs.len(),
+            Answer::Path(p) => p.as_ref().map_or(0, |p| p.points.len()),
+        }
+    }
+
+    /// Whether two answers carry bit-identical *result payloads* (ids,
+    /// distances, polylines). [`QueryStats`] are deliberately excluded:
+    /// CPU time is never reproducible and the buffer-hit/miss split
+    /// depends on how concurrent queries interleaved on the shared LRU
+    /// buffer. This is the equality the determinism guarantee of
+    /// [`QueryEngine::run_batch`] is stated in.
+    pub fn same_results(&self, other: &Answer) -> bool {
+        match (self, other) {
+            (Answer::Range(a), Answer::Range(b)) => a.hits == b.hits,
+            (Answer::Nearest(a), Answer::Nearest(b)) => a.neighbors == b.neighbors,
+            (Answer::DistanceJoin(a), Answer::DistanceJoin(b)) => a.pairs == b.pairs,
+            (Answer::SemiJoin(a), Answer::SemiJoin(b)) => a.pairs == b.pairs,
+            (Answer::ClosestPairs(a), Answer::ClosestPairs(b)) => a.pairs == b.pairs,
+            (Answer::Path(a), Answer::Path(b)) => match (a, b) {
+                (None, None) => true,
+                (Some(a), Some(b)) => a.distance == b.distance && a.points == b.points,
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+// The concurrency contract, checked at compile time: a `QueryEngine` (and
+// everything it borrows) can be shared across the worker pool.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<QueryEngine<'static>>();
+    assert_sync::<EntityIndex>();
+    assert_sync::<ObstacleIndex>();
+    assert_sync::<Query>();
+};
+
+impl QueryEngine<'_> {
+    /// Executes one batch [`Query`] on this engine (the sequential unit
+    /// [`QueryEngine::run_batch`] parallelises over).
+    pub fn execute(&self, query: &Query) -> Answer {
+        match *query {
+            Query::Range { q, e } => Answer::Range(self.range(q, e)),
+            Query::Nearest { q, k } => Answer::Nearest(self.nearest(q, k)),
+            Query::DistanceJoin { e } => Answer::DistanceJoin(distance_join(
+                self.entities,
+                self.entities,
+                self.obstacles,
+                e,
+                self.options,
+            )),
+            Query::SemiJoin { strategy } => Answer::SemiJoin(semi_join(
+                self.entities,
+                self.entities,
+                self.obstacles,
+                strategy,
+                self.options,
+            )),
+            Query::ClosestPairs { k } => Answer::ClosestPairs(closest_pairs(
+                self.entities,
+                self.entities,
+                self.obstacles,
+                k,
+                self.options,
+            )),
+            Query::Path { from, to } => Answer::Path(shortest_obstructed_path(
+                from,
+                to,
+                self.obstacles,
+                self.options.builder,
+            )),
+        }
+    }
+
+    /// Executes `queries` across `threads` workers and returns the
+    /// answers **in input order** (`answers[i]` answers `queries[i]`).
+    ///
+    /// Workers are `std::thread::scope` threads claiming queries from a
+    /// shared atomic cursor — the pool self-balances without any channel
+    /// or queue structure, and heavy queries (joins) simply occupy one
+    /// worker while the others drain the cheap ones. Results are
+    /// guaranteed identical (in the sense of [`Answer::same_results`]) to
+    /// running the same slice sequentially: every operator is a pure
+    /// function of the shared indexes, which no query mutates.
+    ///
+    /// `threads` is clamped to `[1, queries.len()]`; `threads <= 1` runs
+    /// inline on the calling thread with no pool at all.
+    pub fn run_batch(&self, queries: &[Query], threads: usize) -> Vec<Answer> {
+        let threads = threads.clamp(1, queries.len().max(1));
+        if threads == 1 {
+            return queries.iter().map(|q| self.execute(q)).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Answer>> = Vec::new();
+        slots.resize_with(queries.len(), || None);
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut mine: Vec<(usize, Answer)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= queries.len() {
+                                break;
+                            }
+                            mine.push((i, self.execute(&queries[i])));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for worker in workers {
+                for (i, answer) in worker.join().expect("batch worker panicked") {
+                    slots[i] = Some(answer);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|a| a.expect("the cursor visits every query exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obstacle_geom::{Polygon, Rect};
+    use obstacle_rtree::RTreeConfig;
+
+    fn scene() -> (EntityIndex, ObstacleIndex) {
+        let entities = EntityIndex::build(
+            RTreeConfig::tiny(4),
+            vec![
+                Point::new(2.0, 0.0),
+                Point::new(0.0, 2.2),
+                Point::new(-1.5, -0.5),
+                Point::new(3.0, 2.0),
+            ],
+        );
+        let obstacles = ObstacleIndex::build(
+            RTreeConfig::tiny(4),
+            vec![Polygon::from_rect(Rect::from_coords(1.0, -2.0, 1.2, 2.0))],
+        );
+        (entities, obstacles)
+    }
+
+    fn mixed_queries() -> Vec<Query> {
+        vec![
+            Query::Nearest {
+                q: Point::new(0.0, 0.0),
+                k: 2,
+            },
+            Query::Range {
+                q: Point::new(0.0, 0.0),
+                e: 2.5,
+            },
+            Query::DistanceJoin { e: 2.4 },
+            Query::ClosestPairs { k: 3 },
+            Query::SemiJoin {
+                strategy: SemiJoinStrategy::PerObjectNn,
+            },
+            Query::Path {
+                from: Point::new(0.0, 0.0),
+                to: Point::new(2.0, 0.0),
+            },
+            Query::Nearest {
+                q: Point::new(3.0, 3.0),
+                k: 1,
+            },
+            Query::Path {
+                from: Point::new(0.5, 1.1),
+                to: Point::new(0.5, 1.1),
+            },
+        ]
+    }
+
+    #[test]
+    fn batch_matches_sequential_execution() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let queries = mixed_queries();
+        let sequential: Vec<Answer> = queries.iter().map(|q| engine.execute(q)).collect();
+        for threads in [1, 2, 3, 8] {
+            let parallel = engine.run_batch(&queries, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for (i, (p, s)) in parallel.iter().zip(sequential.iter()).enumerate() {
+                assert!(
+                    p.same_results(s),
+                    "threads {threads}, query {i}: {p:?} vs {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn answers_land_at_their_input_index() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        // Distinguishable k values: answer i must hold i+1 neighbours.
+        let queries: Vec<Query> = (0..4)
+            .map(|i| Query::Nearest {
+                q: Point::new(0.0, 0.0),
+                k: i + 1,
+            })
+            .collect();
+        let answers = engine.run_batch(&queries, 4);
+        for (i, a) in answers.iter().enumerate() {
+            match a {
+                Answer::Nearest(r) => assert_eq!(r.neighbors.len(), i + 1),
+                other => panic!("unexpected answer {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn per_query_stats_are_attributed_not_global() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let queries: Vec<Query> = (0..6)
+            .map(|_| Query::Nearest {
+                q: Point::new(0.0, 0.0),
+                k: 2,
+            })
+            .collect();
+        // Identical queries: each answer's logical fetch count must match
+        // the sequential run's per-query count (global-counter diffing
+        // under interleaving would lump several queries' reads together).
+        let solo = engine.execute(&queries[0]);
+        let solo_fetches =
+            solo.stats().unwrap().entity_fetches + solo.stats().unwrap().obstacle_fetches;
+        assert!(solo_fetches > 0, "scene too small to observe fetches");
+        for a in engine.run_batch(&queries, 3) {
+            let s = a.stats().unwrap();
+            assert_eq!(s.entity_fetches + s.obstacle_fetches, solo_fetches);
+        }
+    }
+
+    #[test]
+    fn degenerate_batches() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        assert!(engine.run_batch(&[], 4).is_empty());
+        let one = engine.run_batch(
+            &[Query::Range {
+                q: Point::new(0.0, 0.0),
+                e: 1.0,
+            }],
+            16,
+        );
+        assert_eq!(one.len(), 1);
+        // Zero threads clamps to one.
+        assert_eq!(engine.run_batch(&mixed_queries(), 0).len(), 8);
+    }
+}

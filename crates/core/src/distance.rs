@@ -222,6 +222,32 @@ pub fn compute_obstructed_path_pruned(
     }
 }
 
+/// All nodes within obstructed distance `e` of `q` over the lazy scene —
+/// the engine of the OR range query (Fig. 5), with visibility computed on
+/// demand instead of materializing the local graph.
+///
+/// Unlike the point-to-point fixpoint of
+/// [`compute_obstructed_path_pruned`], the certified region is known up
+/// front: any path of length ≤ `e` from `q` stays inside the disk of
+/// radius `e`, so a single R-tree range absorbs every obstacle that can
+/// influence the result, and one bounded Dijkstra expansion settles nodes
+/// in ascending obstructed distance, sweeping only from nodes it actually
+/// pops (see [`LazyScene::bounded_expansion`]). `targets` are the
+/// candidate entity waypoints; settled targets are reported with their
+/// distances (ascending), unreachable or out-of-range ones are omitted.
+pub fn compute_obstructed_range(
+    graph: &mut LocalGraph,
+    q: NodeId,
+    targets: &[NodeId],
+    obstacles: &ObstacleIndex,
+    e: f64,
+) -> Vec<(NodeId, f64)> {
+    let q_pos = graph.scene.position(q);
+    let items = obstacles.tree().range_circle(q_pos, e);
+    graph.absorb(obstacles, items);
+    graph.scene.bounded_expansion(q, e, targets)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

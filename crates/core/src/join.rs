@@ -29,10 +29,10 @@ pub fn distance_join(
     options: EngineOptions,
 ) -> JoinResult {
     let t0 = Instant::now();
-    let s_io0 = s.tree().io_stats();
-    let t_io0 = t.tree().io_stats();
     let same_tree = std::ptr::eq(s, t);
-    let obstacle_io0 = obstacles.tree().io_stats();
+    let s_io = s.tree().io_snapshot();
+    let t_io = (!same_tree).then(|| t.tree().io_snapshot());
+    let obstacle_io = obstacles.tree().io_snapshot();
 
     // Step 1: Euclidean candidates.
     let candidate_pairs = obstacle_rtree::distance_join(s.tree(), t.tree(), e);
@@ -104,14 +104,14 @@ pub fn distance_join(
         }
     }
 
-    let mut entity_io = s.tree().io_stats() - s_io0;
-    if !same_tree {
-        let t_io = t.tree().io_stats() - t_io0;
+    let mut entity_io = s_io.finish();
+    if let Some(t_io) = t_io {
+        let t_io = t_io.finish();
         entity_io.reads += t_io.reads;
         entity_io.buffer_hits += t_io.buffer_hits;
         entity_io.writes += t_io.writes;
     }
-    let obstacle_io = obstacles.tree().io_stats() - obstacle_io0;
+    let obstacle_io = obstacle_io.finish();
     let stats = QueryStats {
         entity_reads: entity_io.reads,
         obstacle_reads: obstacle_io.reads,

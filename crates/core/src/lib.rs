@@ -16,6 +16,7 @@
 //! | incremental CP | [`incremental_closest_pairs`] | §6, Fig. 12 |
 //! | distance semi-join | [`semi_join`] | §2.1 (both strategies) |
 //! | shortest paths | [`shortest_obstructed_path`] | application layer |
+//! | concurrent batches | [`QueryEngine::run_batch`] | scaling layer (§7 workloads) |
 //!
 //! All algorithms share two ideas:
 //!
@@ -58,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod brute;
 mod closest_pair;
 mod distance;
@@ -69,11 +71,12 @@ mod range;
 mod semi_join;
 mod stats;
 
+pub use batch::{Answer, Query};
 pub use brute::BruteForce;
 pub use closest_pair::{closest_pairs, incremental_closest_pairs, IncrementalClosestPairs};
 pub use distance::{
     compute_obstructed_distance, compute_obstructed_distance_pruned, compute_obstructed_path,
-    compute_obstructed_path_pruned, LocalGraph,
+    compute_obstructed_path_pruned, compute_obstructed_range, LocalGraph,
 };
 pub use engine::{EngineOptions, EntityIndex, ObstacleIndex, QueryEngine};
 pub use join::distance_join;

@@ -24,8 +24,8 @@ impl<'a> QueryEngine<'a> {
     /// distance of the current k-th neighbour (which only shrinks).
     pub fn nearest(&self, q: Point, k: usize) -> NearestResult {
         let t0 = Instant::now();
-        let entity_io0 = self.entities.tree().io_stats();
-        let obstacle_io0 = self.obstacles.tree().io_stats();
+        let entity_io = self.entities.tree().io_snapshot();
+        let obstacle_io = self.obstacles.tree().io_snapshot();
 
         let mut result: Vec<(u64, f64)> = Vec::with_capacity(k + 1);
         let mut euclid_top_k: Vec<u64> = Vec::with_capacity(k);
@@ -96,8 +96,8 @@ impl<'a> QueryEngine<'a> {
             .filter(|id| !result.iter().any(|(rid, _)| rid == *id))
             .count();
 
-        let entity_io = self.entities.tree().io_stats() - entity_io0;
-        let obstacle_io = self.obstacles.tree().io_stats() - obstacle_io0;
+        let entity_io = entity_io.finish();
+        let obstacle_io = obstacle_io.finish();
         let stats = QueryStats {
             entity_reads: entity_io.reads,
             obstacle_reads: obstacle_io.reads,

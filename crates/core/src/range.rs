@@ -1,66 +1,67 @@
 //! Obstacle range query (OR — §3, Fig. 5).
 
+use crate::distance::{compute_obstructed_range, LocalGraph};
 use crate::engine::QueryEngine;
 use crate::stats::{QueryStats, RangeResult};
 use crate::QUERY_TAG;
 use obstacle_geom::Point;
-use obstacle_visibility::{bounded_expansion, NodeKind, VisibilityGraph};
+use obstacle_visibility::{NodeId, NodeKind};
 use std::time::Instant;
 
 impl QueryEngine<'_> {
     /// All entities within **obstructed** distance `e` of `q`, with their
     /// obstructed distances, in ascending distance order.
     ///
-    /// Implements the OR algorithm of Fig. 5:
+    /// Implements the OR algorithm of Fig. 5 over the lazy scene (the
+    /// same engine ONN already uses, instead of the seed's materialized
+    /// local visibility graph):
     ///
     /// 1. Euclidean range queries retrieve the candidate entities `P'`
     ///    and the relevant obstacles `O'` (by the Euclidean lower bound,
     ///    no entity or obstacle outside the disk can participate);
-    /// 2. a local visibility graph over `q ∪ P' ∪ O'` is built with the
-    ///    rotational plane sweep;
-    /// 3. one Dijkstra expansion from `q`, pruned at radius `e`, settles
-    ///    nodes in ascending obstructed distance; settled entities are
-    ///    reported, the rest of `P'` are false hits.
+    /// 2. the obstacles are *registered* with a lazy scene (no edges);
+    /// 3. one multi-target Dijkstra expansion from `q`, pruned at radius
+    ///    `e`, settles nodes in ascending obstructed distance, computing
+    ///    visibility only at the nodes it actually pops
+    ///    ([`compute_obstructed_range`]); settled entities are reported,
+    ///    the rest of `P'` are false hits.
+    ///
+    /// The `tangent_filter` ablation is a no-op here: the lazy engine
+    /// never materializes the non-tangent edges the filter would remove
+    /// (results are identical either way, per the option's contract).
     pub fn range(&self, q: Point, e: f64) -> RangeResult {
         let t0 = Instant::now();
-        let entity_io0 = self.entities.tree().io_stats();
-        let obstacle_io0 = self.obstacles.tree().io_stats();
+        let entity_io = self.entities.tree().io_snapshot();
+        let obstacle_io = self.obstacles.tree().io_snapshot();
 
-        // Step 1: candidates and relevant obstacles.
+        // Step 1: candidate entities by the Euclidean lower bound.
         let candidates = self.entities.tree().range_circle(q, e);
-        let relevant = self.obstacles.tree().range_circle(q, e);
 
         let mut hits = Vec::new();
         let mut peak_graph_nodes = 0;
         if !candidates.is_empty() {
-            // Step 2: local visibility graph.
-            let (mut graph, waypoints) = VisibilityGraph::build(
-                self.options.builder,
-                relevant
-                    .iter()
-                    .map(|item| (self.obstacles.polygon(item.id).clone(), item.id)),
-                std::iter::once((q, QUERY_TAG))
-                    .chain(candidates.iter().map(|item| (item.mbr.min, item.id))),
-            );
-            peak_graph_nodes = graph.node_count();
-            if self.options.tangent_filter {
-                graph.prune_non_tangent();
-            }
-            let q_node = waypoints[0];
-
-            // Step 3: single bounded expansion from q.
-            for (node, d) in bounded_expansion(&graph, q_node, e) {
+            // Steps 2-3: lazy multi-target expansion from q at radius e.
+            let mut graph = LocalGraph::new(self.options.builder);
+            let q_node = graph.add_waypoint(q, QUERY_TAG);
+            let targets: Vec<NodeId> = candidates
+                .iter()
+                .map(|item| graph.add_waypoint(item.mbr.min, item.id))
+                .collect();
+            for (node, d) in
+                compute_obstructed_range(&mut graph, q_node, &targets, self.obstacles, e)
+            {
                 if node == q_node {
                     continue;
                 }
-                if let NodeKind::Waypoint { tag } = graph.kind(node) {
+                if let NodeKind::Waypoint { tag } = graph.scene.kind(node) {
                     hits.push((tag, d));
                 }
             }
+            peak_graph_nodes = graph.scene.node_count();
         }
 
-        let entity_io = self.entities.tree().io_stats() - entity_io0;
-        let obstacle_io = self.obstacles.tree().io_stats() - obstacle_io0;
+        let entity_io = entity_io.finish();
+        let obstacle_io = obstacle_io.finish();
         let stats = QueryStats {
             entity_reads: entity_io.reads,
             obstacle_reads: obstacle_io.reads,

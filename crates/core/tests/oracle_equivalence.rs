@@ -57,6 +57,72 @@ fn range_matches_oracle() {
     }
 }
 
+/// The lazy multi-target range engine against the seed's materialized
+/// formulation (Fig. 5 verbatim: build the full local visibility graph
+/// over `q ∪ P' ∪ O'`, then one bounded Dijkstra expansion) on city
+/// scenes — both rectangle and convex-polygon obstacles, several radii.
+#[test]
+fn lazy_range_matches_materialized_local_graph() {
+    use obstacle_datagen::ObstacleShape;
+    use obstacle_visibility::{bounded_expansion, EdgeBuilder, NodeKind, VisibilityGraph};
+
+    for (shape, seed) in [
+        (ObstacleShape::StreetRect, 0xA1u64),
+        (ObstacleShape::ConvexPolygon { max_vertices: 7 }, 0xA2),
+    ] {
+        let city = City::generate(CityConfig {
+            obstacle_count: 80,
+            seed,
+            shape,
+            ..CityConfig::default()
+        });
+        let entity_points = sample_entities(&city, 120, seed + 1);
+        let entities = EntityIndex::bulk_load(RTreeConfig::tiny(8), entity_points.clone());
+        let obstacles = ObstacleIndex::bulk_load(RTreeConfig::tiny(8), city.obstacles.clone());
+        let engine = QueryEngine::new(&entities, &obstacles);
+        for q in query_workload(&city, 4, seed + 2) {
+            for e in [0.08, 0.2, 0.5] {
+                let lazy = engine.range(q, e);
+
+                // Materialized reference, exactly as the seed computed it.
+                let cand = entities.tree().range_circle(q, e);
+                let relevant = obstacles.tree().range_circle(q, e);
+                let mut expect: Vec<(u64, f64)> = Vec::new();
+                if !cand.is_empty() {
+                    let (graph, waypoints) = VisibilityGraph::build(
+                        EdgeBuilder::Naive,
+                        relevant
+                            .iter()
+                            .map(|item| (obstacles.polygon(item.id).clone(), item.id)),
+                        std::iter::once((q, u64::MAX))
+                            .chain(cand.iter().map(|item| (item.mbr.min, item.id))),
+                    );
+                    for (node, d) in bounded_expansion(&graph, waypoints[0], e) {
+                        if node == waypoints[0] {
+                            continue;
+                        }
+                        if let NodeKind::Waypoint { tag } = graph.kind(node) {
+                            expect.push((tag, d));
+                        }
+                    }
+                }
+
+                assert_eq!(
+                    lazy.hits.len(),
+                    expect.len(),
+                    "seed {seed:#x} q {q} e {e}: {:?} vs {:?}",
+                    lazy.hits,
+                    expect
+                );
+                for (g, x) in lazy.hits.iter().zip(expect.iter()) {
+                    assert_eq!(g.0, x.0, "seed {seed:#x} q {q} e {e}");
+                    assert!((g.1 - x.1).abs() < TOL, "{} vs {}", g.1, x.1);
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn nearest_matches_oracle() {
     for seed in [4u64, 5] {

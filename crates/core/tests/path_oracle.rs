@@ -18,14 +18,15 @@ use obstacle_visibility::{dijkstra_distance, shortest_path, EdgeBuilder, Visibil
 
 const QUERY_TAG: u64 = u64::MAX;
 
-/// Query pair kinds exercised against every scene.
+/// Query pair kinds exercised against every scene: interior (unreachable)
+/// points, boundary points sampled by arc length on **any** edge —
+/// slanted included — obstacle corners, and free points.
 ///
-/// Boundary-touching endpoints must lie *exactly* on a polygon edge —
-/// `boundary_point` on a slanted edge lerps to a point an ulp inside or
-/// outside the polygon, where the exact-predicate classification and the
-/// `blocks_segment` test legitimately disagree about an infinitesimal
-/// interior overlap. Axis-parallel edges keep one coordinate exact, and
-/// vertices are exact by construction, so those are what we sample.
+/// `boundary_point` guarantees its result is never strictly interior
+/// (breakpoints snap to exact vertices; slanted-edge lerps that rounding
+/// pushed an ulp inside are clamped back across the edge line), so the
+/// exact-predicate classification and `blocks_segment` agree on every
+/// sampled endpoint and slanted boundaries are safe to exercise here.
 fn query_pairs(city: &City, rng: &mut SmallRng, count: usize) -> Vec<(Point, Point)> {
     let u = city.universe;
     let pick_free = |rng: &mut SmallRng| {
@@ -44,22 +45,11 @@ fn query_pairs(city: &City, rng: &mut SmallRng, count: usize) -> Vec<(Point, Poi
                 let poly = &city.obstacles[k % city.obstacles.len()];
                 poly.bbox().center()
             }
-            // Point exactly on an axis-parallel obstacle edge (walkable
-            // boundary); falls back to a vertex when no edge of the
-            // polygon is axis-parallel.
+            // Point on the walkable boundary, sampled by arc length over
+            // the whole perimeter — axis-parallel and slanted edges alike.
             1 => {
                 let poly = &city.obstacles[(k * 7) % city.obstacles.len()];
-                let t = rng.gen::<f64>();
-                poly.edges()
-                    .find(|e| e.a.x == e.b.x || e.a.y == e.b.y)
-                    .map(|e| {
-                        if e.a.x == e.b.x {
-                            Point::new(e.a.x, e.a.y + t * (e.b.y - e.a.y))
-                        } else {
-                            Point::new(e.a.x + t * (e.b.x - e.a.x), e.a.y)
-                        }
-                    })
-                    .unwrap_or(poly.vertices()[0])
+                poly.boundary_point(rng.gen::<f64>())
             }
             // An obstacle corner itself.
             2 => {

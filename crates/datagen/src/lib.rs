@@ -22,4 +22,6 @@ mod workload;
 
 pub use city::{City, CityConfig, ObstacleShape};
 pub use entities::{sample_entities, uniform_points, ENTITY_DISPLACEMENT};
-pub use workload::{parameter_grid, query_workload, EntitySets};
+pub use workload::{
+    batch_workload, parameter_grid, query_workload, BatchMix, BatchQuery, EntitySets,
+};

@@ -2,6 +2,7 @@
 
 use crate::city::City;
 use crate::entities::sample_entities;
+use obstacle_geom::rng::{Rng, SeedableRng, SmallRng};
 use obstacle_geom::Point;
 
 /// Query points for range / NN workloads: the paper executes "workloads of
@@ -30,6 +31,181 @@ impl EntitySets {
             t: sample_entities(city, t_count, seed.wrapping_mul(5) ^ 0x7),
         }
     }
+}
+
+/// One operator invocation of a mixed batch workload — the neutral spec
+/// the generator emits. `obstacle_core::batch::Query` mirrors these
+/// variants; the conversion lives downstream (bench harness, CLI, test
+/// suites) so this crate stays independent of the query processors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BatchQuery {
+    /// Obstacle range query at `q` with obstructed radius `e`.
+    Range {
+        /// Query point.
+        q: Point,
+        /// Obstructed-distance radius.
+        e: f64,
+    },
+    /// Obstacle k-NN query at `q`.
+    Nearest {
+        /// Query point.
+        q: Point,
+        /// Number of neighbours.
+        k: usize,
+    },
+    /// Obstacle e-distance self-join over the workload's entity dataset.
+    DistanceJoin {
+        /// Obstructed-distance threshold.
+        e: f64,
+    },
+    /// Obstructed distance semi-join of the entity dataset with itself.
+    SemiJoin,
+    /// Obstacle k-closest-pairs over the entity dataset.
+    ClosestPairs {
+        /// Number of pairs.
+        k: usize,
+    },
+    /// Shortest obstructed path query.
+    Path {
+        /// Start point.
+        from: Point,
+        /// End point.
+        to: Point,
+    },
+}
+
+/// Relative draw weights of the operators in a mixed batch workload.
+///
+/// The default mix is point-query heavy — the shape of the paper's §7
+/// workloads and of clustering front-ends (mostly range/NN probes,
+/// occasional joins, a trickle of navigation paths). A weight of zero
+/// removes the operator entirely.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchMix {
+    /// Weight of [`BatchQuery::Range`].
+    pub range: u32,
+    /// Weight of [`BatchQuery::Nearest`].
+    pub nearest: u32,
+    /// Weight of [`BatchQuery::DistanceJoin`].
+    pub distance_join: u32,
+    /// Weight of [`BatchQuery::SemiJoin`].
+    pub semi_join: u32,
+    /// Weight of [`BatchQuery::ClosestPairs`].
+    pub closest_pairs: u32,
+    /// Weight of [`BatchQuery::Path`].
+    pub path: u32,
+}
+
+impl Default for BatchMix {
+    fn default() -> Self {
+        BatchMix {
+            range: 40,
+            nearest: 40,
+            distance_join: 2,
+            semi_join: 1,
+            closest_pairs: 2,
+            path: 15,
+        }
+    }
+}
+
+impl BatchMix {
+    /// A mix of only the unary point queries (range, NN, path) — every
+    /// query cost is comparable, which makes thread-scaling measurements
+    /// readable.
+    pub fn point_queries() -> Self {
+        BatchMix {
+            range: 40,
+            nearest: 40,
+            distance_join: 0,
+            semi_join: 0,
+            closest_pairs: 0,
+            path: 20,
+        }
+    }
+}
+
+/// Generates a deterministic mixed-operator batch workload of `count`
+/// queries over `city` (see [`BatchMix`] for the operator distribution).
+///
+/// Query points follow the obstacle distribution, like the paper's
+/// workloads (§7). Ranges are drawn around
+/// [`parameter_grid::DEFAULT_RANGE_FRACTION`] (0.5×–2×), `k` from the
+/// paper's grid, join thresholds around
+/// [`parameter_grid::DEFAULT_JOIN_RANGE_FRACTION`]. Path queries connect
+/// a workload point to a second point at most 5 % of the universe side
+/// away — local navigation probes, so one pathological cross-town route
+/// cannot dominate a throughput measurement.
+pub fn batch_workload(city: &City, count: usize, seed: u64, mix: BatchMix) -> Vec<BatchQuery> {
+    let weights = [
+        mix.range,
+        mix.nearest,
+        mix.distance_join,
+        mix.semi_join,
+        mix.closest_pairs,
+        mix.path,
+    ];
+    let total: u32 = weights.iter().sum();
+    assert!(total > 0, "batch mix must have at least one nonzero weight");
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xBA7C4);
+    // One obstacle-distribution point per query plus spares for paths.
+    let points = sample_entities(city, 2 * count.max(1), seed ^ 0xBA7C5);
+    let side = city.universe.width().max(city.universe.height());
+    let mut next_point = 0usize;
+    let mut point = || {
+        let p = points[next_point % points.len()];
+        next_point += 1;
+        p
+    };
+
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut roll = rng.gen_range_u64(0, total as u64) as u32;
+        let op = weights
+            .iter()
+            .position(|&w| {
+                if roll < w {
+                    true
+                } else {
+                    roll -= w;
+                    false
+                }
+            })
+            .expect("roll < total");
+        let scale = 0.5 + 1.5 * rng.gen::<f64>(); // 0.5×–2× of the default
+        out.push(match op {
+            0 => BatchQuery::Range {
+                q: point(),
+                e: parameter_grid::DEFAULT_RANGE_FRACTION * side * scale,
+            },
+            1 => BatchQuery::Nearest {
+                q: point(),
+                k: parameter_grid::K_VALUES
+                    [rng.gen_range_u64(0, parameter_grid::K_VALUES.len() as u64) as usize],
+            },
+            2 => BatchQuery::DistanceJoin {
+                e: parameter_grid::DEFAULT_JOIN_RANGE_FRACTION * side * scale,
+            },
+            3 => BatchQuery::SemiJoin,
+            4 => BatchQuery::ClosestPairs {
+                k: parameter_grid::K_VALUES
+                    [rng.gen_range_u64(0, parameter_grid::K_VALUES.len() as u64) as usize],
+            },
+            _ => {
+                let from = point();
+                let dx = (rng.gen::<f64>() - 0.5) * 0.1 * side;
+                let dy = (rng.gen::<f64>() - 0.5) * 0.1 * side;
+                let u = city.universe;
+                let to = Point::new(
+                    (from.x + dx).clamp(u.min.x, u.max.x),
+                    (from.y + dy).clamp(u.min.y, u.max.y),
+                );
+                BatchQuery::Path { from, to }
+            }
+        });
+    }
+    out
 }
 
 /// The exact parameter grids of the paper's evaluation (§7), expressed as
@@ -93,6 +269,54 @@ mod tests {
         assert_eq!(sets.s.len(), 40);
         assert_eq!(sets.t.len(), 12);
         assert_ne!(sets.s[..12], sets.t[..]);
+    }
+
+    #[test]
+    fn batch_workload_is_deterministic_and_mixed() {
+        let city = City::generate(CityConfig::new(100, 1));
+        let w1 = batch_workload(&city, 200, 7, BatchMix::default());
+        let w2 = batch_workload(&city, 200, 7, BatchMix::default());
+        assert_eq!(w1.len(), 200);
+        assert_eq!(w1, w2, "same seed must reproduce the workload");
+        let w3 = batch_workload(&city, 200, 8, BatchMix::default());
+        assert_ne!(w1, w3, "different seeds must differ");
+        // Every operator of the default mix appears in 200 draws.
+        for probe in [
+            |q: &BatchQuery| matches!(q, BatchQuery::Range { .. }),
+            |q: &BatchQuery| matches!(q, BatchQuery::Nearest { .. }),
+            |q: &BatchQuery| matches!(q, BatchQuery::Path { .. }),
+        ] {
+            assert!(w1.iter().any(probe), "missing a high-weight operator");
+        }
+        let binary = w1
+            .iter()
+            .filter(|q| {
+                matches!(
+                    q,
+                    BatchQuery::DistanceJoin { .. }
+                        | BatchQuery::SemiJoin
+                        | BatchQuery::ClosestPairs { .. }
+                )
+            })
+            .count();
+        assert!(binary < 40, "binary operators must stay rare by default");
+    }
+
+    #[test]
+    fn batch_workload_respects_zero_weights() {
+        let city = City::generate(CityConfig::new(80, 2));
+        let w = batch_workload(&city, 150, 3, BatchMix::point_queries());
+        assert!(w.iter().all(|q| matches!(
+            q,
+            BatchQuery::Range { .. } | BatchQuery::Nearest { .. } | BatchQuery::Path { .. }
+        )));
+        // Path endpoints stay local (≤ ~7 % of the side diagonally).
+        let side = city.universe.width().max(city.universe.height());
+        for q in &w {
+            if let BatchQuery::Path { from, to } = q {
+                assert!(from.dist(*to) <= 0.08 * side, "{from} -> {to}");
+            }
+        }
     }
 
     #[test]

@@ -362,17 +362,70 @@ impl Polygon {
     /// Point on the boundary at arc-length fraction `t ∈ [0, 1)` measured
     /// counter-clockwise from vertex 0 (used to sample entities that lie on
     /// obstacle boundaries, as in the paper's datasets).
+    ///
+    /// The returned point is never strictly inside the polygon. On an
+    /// axis-parallel edge the lerp keeps the shared coordinate exact, so
+    /// the point is exactly on the boundary; on a slanted edge the closest
+    /// representable point to the true boundary point can land an ulp on
+    /// the *interior* side of the edge line, where the exact orientation
+    /// predicate classifies it as [`PointLocation::Inside`] while the
+    /// `EPS`-guarded [`Polygon::blocks_segment`] still treats sight lines
+    /// from it as free — an inconsistency no caller can reconcile. Such a
+    /// point is nudged ulp-by-ulp along the outward normal until the
+    /// predicate no longer sees it as interior. Arc-length parameters
+    /// landing within one rounding step of an edge endpoint snap to the
+    /// exact vertex (the seed returned `lerp(a, b, 1.0)`, which is not
+    /// `b` in floating point).
     pub fn boundary_point(&self, t: f64) -> Point {
         let total = self.perimeter();
         let mut target = (t.rem_euclid(1.0)) * total;
-        for e in self.edges() {
+        let n = self.verts.len();
+        for i in 0..n {
+            let e = self.edge(i);
             let l = e.len();
             if target <= l {
-                return e.at(if l == 0.0 { 0.0 } else { target / l });
+                // Snap breakpoints to exact vertices: a parameter this
+                // close to an endpoint cannot produce a mid-edge point
+                // distinguishable from the vertex, and the vertex is the
+                // only exactly-on-boundary representative nearby.
+                let snap = l * 1e-12;
+                if target <= snap || l == 0.0 {
+                    return e.a;
+                }
+                if l - target <= snap {
+                    return e.b;
+                }
+                return self.clamp_onto_boundary(i, e.at(target / l));
             }
             target -= l;
         }
         self.verts[0]
+    }
+
+    /// Pushes a point that rounding left strictly inside the polygon back
+    /// across edge `i`'s line, one ulp per coordinate along the outward
+    /// normal, so the exact predicates classify it as boundary/outside.
+    /// The input is within an ulp or two of the edge, so a couple of steps
+    /// always suffice; the vertex fallback is unreachable in practice but
+    /// keeps the "never interior" contract unconditional.
+    fn clamp_onto_boundary(&self, i: usize, mut p: Point) -> Point {
+        let nrm = self.outward_normal(i);
+        let step = |x: f64, dir: f64| {
+            if dir > 0.0 {
+                x.next_up()
+            } else if dir < 0.0 {
+                x.next_down()
+            } else {
+                x
+            }
+        };
+        for _ in 0..8 {
+            if self.locate(p) != PointLocation::Inside {
+                return p;
+            }
+            p = Point::new(step(p.x, nrm.x), step(p.y, nrm.y));
+        }
+        self.edge(i).a
     }
 
     /// Outward unit normal of edge `i` (counter-clockwise polygon: the
@@ -598,6 +651,64 @@ mod tests {
         assert_eq!(s.boundary_point(0.25), p(1.0, 0.0));
         assert_eq!(s.boundary_point(0.5), p(1.0, 1.0));
         assert_eq!(s.boundary_point(0.125), p(0.5, 0.0));
+    }
+
+    #[test]
+    fn boundary_point_on_slanted_edges_is_never_interior() {
+        // Regression: the seed lerped slanted-edge samples to the closest
+        // representable point, which lands an ulp *inside* the polygon for
+        // a large fraction of parameters — where the exact point-location
+        // predicate and the EPS-guarded blocks_segment disagree. Awkward
+        // (non-dyadic) coordinates make the rounding bite.
+        let polys = vec![
+            Polygon::new(vec![p(0.1, 0.2), p(0.73, 0.41), p(0.35, 0.91)]).unwrap(),
+            Polygon::new(vec![
+                p(0.123456789, 0.987654321),
+                p(0.7071067811865476, 0.3333333333333333),
+                p(0.9, 0.55),
+                p(0.4142135623730951, 0.8660254037844386),
+            ])
+            .unwrap(),
+            l_shape(),
+        ];
+        for (pi, poly) in polys.iter().enumerate() {
+            for i in 0..500 {
+                let t = i as f64 / 500.0;
+                let q = poly.boundary_point(t);
+                assert_ne!(
+                    poly.locate(q),
+                    PointLocation::Inside,
+                    "polygon {pi}, t = {t}: boundary_point landed strictly inside"
+                );
+                // Still within a hair of the true boundary.
+                let d = poly
+                    .edges()
+                    .map(|e| e.dist_to_point(q))
+                    .fold(f64::MAX, f64::min);
+                assert!(d <= 1e-12, "polygon {pi}, t = {t}: {d} off the boundary");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_point_snaps_breakpoints_to_exact_vertices() {
+        let polys = vec![
+            Polygon::new(vec![p(0.1, 0.2), p(0.73, 0.41), p(0.35, 0.91)]).unwrap(),
+            l_shape(),
+        ];
+        for poly in &polys {
+            let total = poly.perimeter();
+            let mut acc = 0.0;
+            for i in 0..poly.len() {
+                let q = poly.boundary_point(acc / total);
+                assert_eq!(
+                    q,
+                    poly.vertices()[i],
+                    "breakpoint {i} must be the exact vertex"
+                );
+                acc += poly.edge(i).len();
+            }
+        }
     }
 
     #[test]

@@ -74,5 +74,5 @@ pub use query::closest_pairs::ClosestPairs;
 pub use query::join::distance_join;
 pub use query::nn::Nearest;
 pub use stats::{LevelStats, TreeStats};
-pub use store::IoStats;
+pub use store::{IoSnapshot, IoStats};
 pub use tree::RTree;

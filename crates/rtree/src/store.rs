@@ -4,6 +4,8 @@ use crate::buffer::LruBuffer;
 use crate::entry::PageId;
 use crate::node::Node;
 use crate::sync::Mutex;
+use std::cell::RefCell;
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cumulative I/O counters of one tree.
@@ -37,6 +39,88 @@ impl std::ops::Sub for IoStats {
             buffer_hits: self.buffer_hits - rhs.buffer_hits,
             writes: self.writes - rhs.writes,
         }
+    }
+}
+
+thread_local! {
+    /// Active per-query recorders of this thread: `(store address, token,
+    /// counts)`. Every page access of a store adds to *all* of that
+    /// store's entries, so nested snapshots (a semi-join wrapping the NN
+    /// queries it issues) each see their own full window.
+    static RECORDERS: RefCell<Vec<(usize, u64, IoStats)>> = const { RefCell::new(Vec::new()) };
+    static NEXT_TOKEN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Per-query I/O attribution window over one tree's page accesses.
+///
+/// The tree-global counters ([`PageStore::stats`]) are shared by every
+/// query of every thread, so before/after deltas silently misattribute
+/// reads the moment two queries interleave. A snapshot instead registers a
+/// **thread-local** recorder keyed by the store's address: page accesses
+/// performed *by this thread* on *this tree* while the snapshot is alive
+/// are added to it, and [`IoSnapshot::finish`] returns exactly those.
+/// Concurrent queries on other threads never pollute the window, which is
+/// what makes [`QueryStats`](IoStats) deltas trustworthy inside a
+/// multi-threaded batch engine.
+///
+/// The handle is deliberately `!Send`: a query must finish its snapshot on
+/// the thread that opened it (queries do not migrate threads here).
+#[derive(Debug)]
+pub struct IoSnapshot<'a> {
+    store: &'a PageStore,
+    token: u64,
+    /// Pins the handle to its creating thread.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<'a> IoSnapshot<'a> {
+    fn new(store: &'a PageStore) -> Self {
+        let token = NEXT_TOKEN.with(|t| {
+            let v = t.get();
+            t.set(v + 1);
+            v
+        });
+        let key = store as *const PageStore as usize;
+        RECORDERS.with(|r| r.borrow_mut().push((key, token, IoStats::default())));
+        IoSnapshot {
+            store,
+            token,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// The accesses recorded so far without closing the window.
+    pub fn so_far(&self) -> IoStats {
+        let key = self.store as *const PageStore as usize;
+        RECORDERS.with(|r| {
+            r.borrow()
+                .iter()
+                .rev()
+                .find(|(k, t, _)| *k == key && *t == self.token)
+                .map(|(_, _, s)| *s)
+                .unwrap_or_default()
+        })
+    }
+
+    /// Closes the window and returns the accesses it attributed.
+    pub fn finish(self) -> IoStats {
+        self.so_far()
+        // Drop unregisters the recorder.
+    }
+}
+
+impl Drop for IoSnapshot<'_> {
+    fn drop(&mut self) {
+        let key = self.store as *const PageStore as usize;
+        RECORDERS.with(|r| {
+            let mut r = r.borrow_mut();
+            if let Some(at) = r
+                .iter()
+                .rposition(|(k, t, _)| *k == key && *t == self.token)
+            {
+                r.remove(at);
+            }
+        });
     }
 }
 
@@ -122,13 +206,41 @@ impl PageStore {
         self.free.push(id);
     }
 
+    /// Opens a per-query attribution window over this store's accesses
+    /// (see [`IoSnapshot`]).
+    pub fn snapshot(&self) -> IoSnapshot<'_> {
+        IoSnapshot::new(self)
+    }
+
+    /// Adds one fetch to every recorder of this thread watching this
+    /// store (no-op when none is active — the common single-query case
+    /// costs one thread-local read and an empty-vec scan). Only reads are
+    /// recorded: structural writes require `&mut self`, which cannot
+    /// coexist with a live snapshot borrow of the same store.
+    fn record(&self, hit: bool) {
+        let key = self as *const PageStore as usize;
+        RECORDERS.with(|r| {
+            for (k, _, s) in r.borrow_mut().iter_mut() {
+                if *k == key {
+                    if hit {
+                        s.buffer_hits += 1;
+                    } else {
+                        s.reads += 1;
+                    }
+                }
+            }
+        });
+    }
+
     /// Fetches a page for reading, going through the LRU buffer and
     /// counting a page access on a miss.
     pub fn read(&self, id: PageId) -> &Node {
         if self.buffer.lock().access(id) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.record(true);
         } else {
             self.reads.fetch_add(1, Ordering::Relaxed);
+            self.record(false);
         }
         self.node(id)
     }
@@ -243,6 +355,55 @@ mod tests {
         let a = s.allocate(leaf());
         s.release(a);
         s.read(a);
+    }
+
+    #[test]
+    fn snapshot_attributes_only_its_window() {
+        let mut s = PageStore::new(1);
+        let a = s.allocate(leaf());
+        let b = s.allocate(leaf());
+        s.read(a); // outside any window
+        let snap = s.snapshot();
+        s.read(a); // hit (a resident)
+        s.read(b); // miss
+        let io = snap.finish();
+        assert_eq!(io.buffer_hits, 1);
+        assert_eq!(io.reads, 1);
+        assert_eq!(io.fetches(), 2);
+        s.read(b); // after the window: unattributed
+        assert_eq!(io.reads, 1);
+    }
+
+    #[test]
+    fn snapshots_nest_and_ignore_other_stores() {
+        let mut s = PageStore::new(0);
+        let mut other = PageStore::new(0);
+        let a = s.allocate(leaf());
+        let o = other.allocate(leaf());
+        let outer = s.snapshot();
+        s.read(a);
+        {
+            let inner = s.snapshot();
+            s.read(a);
+            other.read(o); // different store: invisible to both windows
+            assert_eq!(inner.finish().reads, 1);
+        }
+        s.read(a);
+        let io = outer.finish();
+        assert_eq!(io.reads, 3, "outer window spans the inner one");
+    }
+
+    #[test]
+    fn snapshot_drop_order_is_not_lifo_sensitive() {
+        let mut s = PageStore::new(0);
+        let a = s.allocate(leaf());
+        let first = s.snapshot();
+        let second = s.snapshot();
+        s.read(a);
+        // Dropping `first` before `second` must not disturb `second`.
+        assert_eq!(first.finish().reads, 1);
+        s.read(a);
+        assert_eq!(second.finish().reads, 2);
     }
 
     #[test]

@@ -144,8 +144,21 @@ impl RTree {
     }
 
     /// Snapshot of the I/O counters.
+    ///
+    /// These are **tree-global**: every query of every thread adds to
+    /// them. For attributing accesses to one query — mandatory once
+    /// queries run concurrently — open an [`IoSnapshot`](crate::IoSnapshot)
+    /// via [`RTree::io_snapshot`] instead of diffing this.
     pub fn io_stats(&self) -> IoStats {
         self.store.stats()
+    }
+
+    /// Opens a per-query I/O attribution window: accesses performed by
+    /// the *current thread* on this tree while the handle is alive are
+    /// recorded and returned by [`IoSnapshot::finish`](crate::IoSnapshot::finish),
+    /// unpolluted by concurrent queries on other threads.
+    pub fn io_snapshot(&self) -> crate::IoSnapshot<'_> {
+        self.store.snapshot()
     }
 
     /// Zeroes the I/O counters.

@@ -425,6 +425,86 @@ impl LazyScene {
         self.astar(from, to).map(|p| p.distance)
     }
 
+    /// All of `targets` (plus any obstacle vertices settled on the way)
+    /// within obstructed distance `radius` of `from`, reported as
+    /// `(node, distance)` in ascending distance order — the lazy
+    /// counterpart of [`bounded_expansion`](crate::bounded_expansion)
+    /// over a materialized graph, and the engine of the OR range query.
+    ///
+    /// The caller must have absorbed every obstacle intersecting the disk
+    /// of radius `radius` around `from` (a single R-tree range does it:
+    /// the region is known up front, unlike the point-to-point fixpoint).
+    /// One Dijkstra expansion then settles nodes in ascending obstructed
+    /// distance, sweeping visibility only from nodes it actually pops —
+    /// nodes outside the radius are never swept.
+    ///
+    /// Waypoint targets never appear in vertex successor lists, so each
+    /// target contributes its own (cached) sweep: visibility is
+    /// symmetric, hence the set of nodes a target sees is the set that
+    /// sees it. Shortest obstructed paths only turn at obstacle vertices,
+    /// so targets never need to relay to each other.
+    pub fn bounded_expansion(
+        &mut self,
+        from: NodeId,
+        radius: f64,
+        targets: &[NodeId],
+    ) -> Vec<(NodeId, f64)> {
+        let fp = self.nodes[from.0 as usize].pos;
+        let n = self.nodes.len();
+        // Incoming edges into each waypoint target, keyed by source node.
+        let mut into: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for &t in targets {
+            if t == from || !matches!(self.nodes[t.0 as usize].kind, NodeKind::Waypoint { .. }) {
+                continue; // vertex targets are reached by normal expansion
+            }
+            let tp = self.nodes[t.0 as usize].pos;
+            self.ensure_successors(t);
+            for &(v, w) in &self.cache[t.0 as usize].succ {
+                into[v.0 as usize].push((t.0, w));
+            }
+            // The one edge no sweep reports: straight from the source.
+            let d = fp.dist(tp);
+            if d <= radius && self.visible(fp, tp) {
+                into[from.0 as usize].push((t.0, d));
+            }
+        }
+
+        let mut dist = vec![f64::INFINITY; n];
+        let mut settled = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(D, u32)>> = BinaryHeap::new();
+        dist[from.0 as usize] = 0.0;
+        heap.push(Reverse((D(0.0), from.0)));
+        while let Some(Reverse((D(d), u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue; // stale frontier entry
+            }
+            settled.push((NodeId(u), d));
+            // Settled waypoints other than the source never relay: a
+            // shortest path never needs to turn at a free point, and
+            // sweeping from them would waste one sweep per target.
+            let relays =
+                u == from.0 || !matches!(self.nodes[u as usize].kind, NodeKind::Waypoint { .. });
+            if relays {
+                self.ensure_successors(NodeId(u));
+                for &(v, w) in &self.cache[u as usize].succ {
+                    let nd = d + w;
+                    if nd <= radius && nd < dist[v.0 as usize] {
+                        dist[v.0 as usize] = nd;
+                        heap.push(Reverse((D(nd), v.0)));
+                    }
+                }
+            }
+            for &(v, w) in &into[u as usize] {
+                let nd = d + w;
+                if nd <= radius && nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((D(nd), v)));
+                }
+            }
+        }
+        settled
+    }
+
     // -----------------------------------------------------------------
     // Internals
     // -----------------------------------------------------------------
@@ -1102,6 +1182,60 @@ mod tests {
         }
         let exact = dijkstra_distance(&full, ids.0.unwrap(), ids.1.unwrap()).unwrap();
         assert!((p.distance - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_expansion_matches_materialized_graph() {
+        let obstacles = vec![
+            square(1.0, -1.0, 2.0, 1.0),
+            square(4.0, -2.0, 5.0, 0.5),
+            square(2.5, 1.5, 3.5, 2.5),
+        ];
+        let q = Point::new(0.0, 0.0);
+        let waypoints = [
+            Point::new(3.0, 0.0),
+            Point::new(6.0, 0.0),
+            Point::new(0.5, 2.0),
+            Point::new(4.5, -0.75), // strictly inside an obstacle
+        ];
+        for radius in [2.0, 5.0, 9.0] {
+            let mut s = LazyScene::new(EdgeBuilder::RotationalSweep);
+            for (i, p) in obstacles.iter().enumerate() {
+                s.add_obstacle(p.clone(), i as u64);
+            }
+            let nq = s.add_waypoint(q, 1000);
+            let targets: Vec<NodeId> = waypoints
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| s.add_waypoint(p, i as u64))
+                .collect();
+            let lazy = s.bounded_expansion(nq, radius, &targets);
+
+            let (full, wps) = VisibilityGraph::build(
+                EdgeBuilder::Naive,
+                obstacles.iter().cloned().zip(0u64..),
+                std::iter::once((q, 1000))
+                    .chain(waypoints.iter().enumerate().map(|(i, &p)| (p, i as u64))),
+            );
+            let exact = crate::bounded_expansion(&full, wps[0], radius);
+
+            // Compare by (position, distance): node ids differ between the
+            // two structures.
+            let key =
+                |pos: Point, d: f64| (pos.x.to_bits(), pos.y.to_bits(), (d * 1e12).round() as i64);
+            let mut a: Vec<_> = lazy.iter().map(|&(n, d)| key(s.position(n), d)).collect();
+            let mut b: Vec<_> = exact
+                .iter()
+                .map(|&(n, d)| key(full.position(n), d))
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "radius {radius}");
+            // Ascending settle order.
+            for w in lazy.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
     }
 
     #[test]

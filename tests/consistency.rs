@@ -201,6 +201,53 @@ fn semi_join_agrees_with_per_point_nearest() {
 }
 
 #[test]
+fn run_batch_is_thread_count_invariant() {
+    // The batch engine's determinism contract: for every operator, the
+    // answers of `run_batch` at any thread count are result-identical to
+    // the sequential loop, and land at their input index.
+    use obstacle_suite::queries::{Answer, Query, SemiJoinStrategy};
+    let w = world(10);
+    let engine = QueryEngine::new(&w.entities, &w.obstacles);
+
+    let mut queries = vec![
+        Query::DistanceJoin { e: 0.08 },
+        Query::SemiJoin {
+            strategy: SemiJoinStrategy::PerObjectNn,
+        },
+        Query::SemiJoin {
+            strategy: SemiJoinStrategy::IncrementalClosestPairs,
+        },
+        Query::ClosestPairs { k: 5 },
+    ];
+    for (i, q) in query_workload(&w.city, 8, 200).into_iter().enumerate() {
+        queries.push(Query::Range {
+            q,
+            e: 0.08 + 0.02 * i as f64,
+        });
+        queries.push(Query::Nearest { q, k: 1 + i });
+    }
+    for pair in query_workload(&w.city, 8, 300).chunks(2) {
+        if let [a, b] = pair {
+            queries.push(Query::Path { from: *a, to: *b });
+        }
+    }
+
+    let sequential: Vec<Answer> = queries.iter().map(|q| engine.execute(q)).collect();
+    // Sanity: the workload exercises non-trivial answers.
+    assert!(sequential.iter().any(|a| a.result_count() > 0));
+    for threads in [1usize, 2, 8] {
+        let parallel = engine.run_batch(&queries, threads);
+        assert_eq!(parallel.len(), sequential.len());
+        for (i, (p, s)) in parallel.iter().zip(sequential.iter()).enumerate() {
+            assert!(
+                p.same_results(s),
+                "query {i} diverged at {threads} threads: {p:?} vs {s:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn self_join_contains_every_point_with_itself() {
     let w = world(8);
     let pts = sample_entities(&w.city, 20, 160);
