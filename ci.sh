@@ -1,29 +1,97 @@
 #!/usr/bin/env bash
-# Tier-1 gate, fully offline: build every target in release mode, run the
-# whole test suite, and verify formatting. Any failure fails the script.
+# Tier-1 gate, fully offline. Usage:
+#
+#   ./ci.sh                  # every stage, in order
+#   ./ci.sh build test       # just those stages (debuggable in isolation)
+#
+# Stages:
+#   build   release build of every target
+#   test    full test suite (debug)
+#   path    path-scaling wall-clock gate (release; see path_scaling.rs)
+#   batch   batch-engine determinism + scaling gate (release)
+#   bench   performance trajectory: writes BENCH_PR4.json and enforces
+#           the path-ladder no-regression budgets (release)
+#   fmt     cargo fmt --check
+#   clippy  cargo clippy --all-targets -D warnings
+#
+# Any failure fails the script; a per-stage timing summary prints at the
+# end so slow gates are attributable.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "== cargo build --release --all-targets (offline) =="
-cargo build --release --all-targets --offline
+ALL_STAGES=(build test path batch bench fmt clippy)
+STAGES=("$@")
+if [ ${#STAGES[@]} -eq 0 ]; then
+  STAGES=("${ALL_STAGES[@]}")
+fi
 
-echo "== cargo test -q (offline) =="
-cargo test -q --offline
+SUMMARY=()
 
-echo "== path-scaling wall-clock gate (release) =="
-# Long obstructed paths must stay fast: corner-to-corner at |O| = 2000
-# within 2 s (the pre-lazy-A* engine took ~21 s). Wall-clock gates are
-# meaningless in debug builds, so this runs the release binary.
-cargo test -q --offline --release -p obstacle-core --test path_scaling -- --ignored
+stage_build() {
+  cargo build --release --all-targets --offline
+}
 
-echo "== batch-throughput smoke gate (release) =="
-# The concurrent batch engine must produce results identical to the
-# sequential loop at every thread count, and an 8-thread batch must beat
-# 1 thread by >= 2x wherever >= 4 cores are available (the assertion
-# degrades gracefully on core-starved CI runners — see the test header).
-cargo test -q --offline --release -p obstacle-core --test batch_scaling -- --ignored --nocapture
+stage_test() {
+  cargo test -q --offline
+}
 
-echo "== cargo fmt --check =="
-cargo fmt --all --check
+stage_path() {
+  # Long obstructed paths must stay fast: corner-to-corner at |O| = 2000
+  # within 2 s (the pre-lazy-A* engine took ~21 s). Wall-clock gates are
+  # meaningless in debug builds, so this runs the release binary.
+  cargo test -q --offline --release -p obstacle-core --test path_scaling -- --ignored
+}
 
-echo "ci.sh: all gates green"
+stage_batch() {
+  # The concurrent batch engine must produce results identical to the
+  # sequential loop at every thread count, and an 8-thread batch must
+  # beat 1 thread by >= 2x wherever >= 4 cores are available (the
+  # assertion degrades gracefully on core-starved CI runners — see the
+  # test header).
+  cargo test -q --offline --release -p obstacle-core --test batch_scaling -- --ignored --nocapture
+}
+
+stage_bench() {
+  # Records the per-PR performance trajectory (throughput + buffer hit
+  # rates at 1/2/4/8 threads, path-ladder times) as machine-readable
+  # JSON, and fails on a path-ladder budget regression.
+  local artifact="${OBSTACLE_TRAJECTORY_OUT:-BENCH_PR4.json}"
+  cargo run -q --release --offline -p obstacle-bench --bin bench_trajectory
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$artifact"
+    echo "$artifact: valid JSON"
+  fi
+}
+
+stage_fmt() {
+  cargo fmt --all --check
+}
+
+stage_clippy() {
+  cargo clippy --all-targets --offline -- -D warnings
+}
+
+# Validate every requested stage up front: a typo in the last argument
+# must not cost a full release build first.
+for s in "${STAGES[@]}"; do
+  case "$s" in
+    build|test|path|batch|bench|fmt|clippy) ;;
+    *)
+      echo "ci.sh: unknown stage '$s' (stages: ${ALL_STAGES[*]})" >&2
+      exit 2
+      ;;
+  esac
+done
+
+for s in "${STAGES[@]}"; do
+  echo "== stage: $s =="
+  t0=$SECONDS
+  "stage_$s"
+  SUMMARY+=("$(printf '%-7s %5ss' "$s" $((SECONDS - t0)))")
+done
+
+echo "== stage timings =="
+for line in "${SUMMARY[@]}"; do
+  echo "  $line"
+done
+echo "ci.sh: all requested gates green (${STAGES[*]})"

@@ -1,0 +1,72 @@
+//! CI entry point for the performance-trajectory artifact.
+//!
+//! Measures batch throughput (striped buffers + scene caches, 1/2/4/8
+//! worker threads, determinism-verified) and the long-path ladder, writes
+//! `BENCH_PR4.json`, and exits non-zero if any ladder rung blows its
+//! wall-clock budget — the no-regression gate `ci.sh bench` enforces.
+//!
+//! ```sh
+//! cargo run --release -p obstacle-bench --bin bench_trajectory
+//! OBSTACLE_TRAJECTORY_OUT=/tmp/t.json \
+//! OBSTACLE_TRAJECTORY_OBSTACLES=512 cargo run --release --bin bench_trajectory
+//! ```
+//!
+//! Knobs (all env vars): `OBSTACLE_TRAJECTORY_OUT` (output path, default
+//! `BENCH_PR4.json`), `_OBSTACLES`, `_ENTITIES`, `_QUERIES`, `_SHARDS`.
+
+use obstacle_bench::trajectory::{run, TrajectoryConfig};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let defaults = TrajectoryConfig::default();
+    let config = TrajectoryConfig {
+        obstacles: env_usize("OBSTACLE_TRAJECTORY_OBSTACLES", defaults.obstacles),
+        entities: env_usize("OBSTACLE_TRAJECTORY_ENTITIES", defaults.entities),
+        queries: env_usize("OBSTACLE_TRAJECTORY_QUERIES", defaults.queries),
+        buffer_shards: env_usize("OBSTACLE_TRAJECTORY_SHARDS", defaults.buffer_shards),
+        ..defaults
+    };
+    let out =
+        std::env::var("OBSTACLE_TRAJECTORY_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+
+    println!(
+        "bench_trajectory: |O| = {}, |P| = {}, {} queries, {} buffer shard(s)",
+        config.obstacles, config.entities, config.queries, config.buffer_shards
+    );
+    let report = run(config);
+    for p in &report.throughput {
+        println!(
+            "  threads {:>2}: {:>8.2} s  {:>7.1} q/s  speedup {:>5.2}x  \
+             hit rates P {:.1} % / O {:.1} %",
+            p.threads,
+            p.seconds,
+            p.qps,
+            p.speedup,
+            100.0 * p.entity_hit_rate,
+            100.0 * p.obstacle_hit_rate
+        );
+    }
+    for r in &report.ladder {
+        println!(
+            "  path |O| {:>6}: {:>6.2} s (budget {:.1} s)  d = {:.6}",
+            r.obstacles, r.seconds, r.budget_seconds, r.distance
+        );
+    }
+
+    std::fs::write(&out, report.to_json()).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("bench_trajectory: wrote {out}");
+
+    let violations = report.budget_violations();
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("REGRESSION: {v}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,9 @@
 //! obstacle_cli cp     [--k K] [--s N] [--t N]
 //! obstacle_cli batch  [--queries N] [--threads T] [--verify]
 //! ```
+//!
+//! `--shards N` stripes each tree's LRU buffer pool across `N` locks
+//! (default 1, the paper's single buffer; see `RTreeConfig::striped`).
 
 use obstacle_bench::batch::{thread_sweep, to_core_query};
 use obstacle_core::{
@@ -39,6 +42,7 @@ struct Args {
     paths: bool,
     queries: usize,
     threads: usize,
+    shards: usize,
     verify: bool,
 }
 
@@ -56,10 +60,16 @@ fn main() {
     }
 }
 
+/// Tree configuration of this invocation: the paper's cost model,
+/// buffer-striped when `--shards` asks for it.
+fn tree_config(args: &Args) -> RTreeConfig {
+    RTreeConfig::paper().striped(args.shards)
+}
+
 fn world(args: &Args) -> (City, ObstacleIndex) {
     let t0 = std::time::Instant::now();
     let city = City::generate(CityConfig::new(args.obstacles, args.seed));
-    let obstacles = ObstacleIndex::bulk_load(RTreeConfig::paper(), city.obstacles.clone());
+    let obstacles = ObstacleIndex::bulk_load(tree_config(args), city.obstacles.clone());
     eprintln!(
         "[city: {} obstacles, seed {:#x}, built in {:.1?}]",
         city.len(),
@@ -69,8 +79,8 @@ fn world(args: &Args) -> (City, ObstacleIndex) {
     (city, obstacles)
 }
 
-fn entity_index(city: &City, count: usize, seed: u64) -> EntityIndex {
-    EntityIndex::bulk_load(RTreeConfig::paper(), sample_entities(city, count, seed))
+fn entity_index(args: &Args, city: &City, count: usize, seed: u64) -> EntityIndex {
+    EntityIndex::bulk_load(tree_config(args), sample_entities(city, count, seed))
 }
 
 fn info(args: &Args) {
@@ -99,7 +109,7 @@ fn info(args: &Args) {
 fn nn(args: &Args) {
     let q = args.at.unwrap_or_else(|| usage("nn needs --at X,Y"));
     let (city, obstacles) = world(args);
-    let entities = entity_index(&city, args.entities, args.seed + 1);
+    let entities = entity_index(args, &city, args.entities, args.seed + 1);
     let engine = QueryEngine::new(&entities, &obstacles);
     let r = engine.nearest(q, args.k);
     println!(
@@ -128,7 +138,7 @@ fn range(args: &Args) {
         usage("range needs --e > 0");
     }
     let (city, obstacles) = world(args);
-    let entities = entity_index(&city, args.entities, args.seed + 1);
+    let entities = entity_index(args, &city, args.entities, args.seed + 1);
     let engine = QueryEngine::new(&entities, &obstacles);
     let r = engine.range(q, args.e);
     println!(
@@ -176,8 +186,8 @@ fn join(args: &Args) {
         usage("join needs --e > 0");
     }
     let (city, obstacles) = world(args);
-    let s = entity_index(&city, args.s_count, args.seed + 2);
-    let t = entity_index(&city, args.t_count, args.seed + 3);
+    let s = entity_index(args, &city, args.s_count, args.seed + 2);
+    let t = entity_index(args, &city, args.t_count, args.seed + 3);
     let r = distance_join(&s, &t, &obstacles, args.e, EngineOptions::default());
     println!(
         "obstructed e-distance join (e = {}): {} pairs from |S| = {}, |T| = {}",
@@ -197,8 +207,8 @@ fn join(args: &Args) {
 
 fn cp(args: &Args) {
     let (city, obstacles) = world(args);
-    let s = entity_index(&city, args.s_count, args.seed + 2);
-    let t = entity_index(&city, args.t_count, args.seed + 3);
+    let s = entity_index(args, &city, args.s_count, args.seed + 2);
+    let t = entity_index(args, &city, args.t_count, args.seed + 3);
     let r = closest_pairs(&s, &t, &obstacles, args.k, EngineOptions::default());
     println!(
         "obstructed {}-closest pairs over |S| = {}, |T| = {}:",
@@ -214,7 +224,7 @@ fn cp(args: &Args) {
 
 fn batch(args: &Args) {
     let (city, obstacles) = world(args);
-    let entities = entity_index(&city, args.entities, args.seed + 1);
+    let entities = entity_index(args, &city, args.entities, args.seed + 1);
     let engine = QueryEngine::new(&entities, &obstacles);
     let queries: Vec<obstacle_core::Query> =
         batch_workload(&city, args.queries, args.seed + 4, BatchMix::default())
@@ -311,6 +321,7 @@ fn parse_args() -> Args {
         paths: false,
         queries: 128,
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        shards: 1,
         verify: false,
     };
     let mut argv = std::env::args().skip(1);
@@ -359,6 +370,11 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("bad --queries"))
             }
+            "--shards" => {
+                out.shards = value("--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --shards"))
+            }
             "--threads" => {
                 out.threads = value("--threads")
                     .parse()
@@ -385,7 +401,8 @@ fn usage(err: &str) -> ! {
          \x20 join  --e E [--s N] [--t N]\n\
          \x20 cp    [--k K] [--s N] [--t N]\n\
          \x20 batch [--queries N] [--threads T] [--verify]\n\
-         common flags: --obstacles N (16384) --seed S --entities N (4096)"
+         common flags: --obstacles N (16384) --seed S --entities N (4096)\n\
+         \x20              --shards N (1: buffer-pool lock stripes per tree)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

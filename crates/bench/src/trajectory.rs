@@ -1,0 +1,330 @@
+//! Machine-readable performance trajectory (`BENCH_PR4.json`).
+//!
+//! Until PR 4 the repo's performance history lived as prose in
+//! ROADMAP.md; nothing in CI recorded numbers a later PR could diff
+//! against. This module measures the two hot paths the PR 4 work targets
+//! — batch throughput over the striped buffer pool + scene caches, and
+//! the long-path ladder — and serialises them as JSON so every `ci.sh`
+//! run leaves a comparable artifact:
+//!
+//! * **throughput**: one mixed point-query batch executed at each worker
+//!   thread count (cold buffers, identical workload), with queries/sec,
+//!   speedup over 1 thread, and the per-tree buffer hit rates; every
+//!   count is verified result-identical to the first.
+//! * **path ladder**: corner-to-corner shortest paths at growing |O|,
+//!   each with the wall-clock budget the no-regression gate enforces
+//!   (the |O| = 2000 rung carries the same 2 s budget as the
+//!   `path_scaling` test gate).
+//!
+//! The JSON is hand-rolled (the workspace is offline, no serde); floats
+//! are emitted with fixed precision so the output is always valid JSON.
+
+use crate::batch::to_core_query;
+use obstacle_core::{shortest_obstructed_path, ObstacleIndex};
+use obstacle_core::{EntityIndex, Query, QueryEngine};
+use obstacle_datagen::{batch_workload, sample_entities, BatchMix, City, CityConfig};
+use obstacle_geom::Point;
+use obstacle_rtree::{IoStats, RTreeConfig};
+use obstacle_visibility::EdgeBuilder;
+use std::time::Instant;
+
+/// What to measure; the defaults keep the release-mode CI stage under a
+/// couple of minutes on one core while still exercising every mechanism.
+#[derive(Clone, Debug)]
+pub struct TrajectoryConfig {
+    /// Obstacles in the throughput city.
+    pub obstacles: usize,
+    /// Entities in the throughput dataset.
+    pub entities: usize,
+    /// Queries per batch.
+    pub queries: usize,
+    /// Buffer-pool lock stripes on both trees.
+    pub buffer_shards: usize,
+    /// Worker thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Path ladder as `(|O|, wall-clock budget in seconds)` rungs.
+    pub ladder: Vec<(usize, f64)>,
+}
+
+impl Default for TrajectoryConfig {
+    fn default() -> Self {
+        TrajectoryConfig {
+            obstacles: 2048,
+            entities: 1024,
+            queries: 64,
+            buffer_shards: 8,
+            threads: vec![1, 2, 4, 8],
+            // The 2000-rung budget mirrors the `path_scaling` test gate.
+            ladder: vec![(500, 1.5), (2000, 2.0)],
+        }
+    }
+}
+
+/// One measured thread count of the throughput sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPoint {
+    /// Worker threads.
+    pub threads: usize,
+    /// Batch wall-clock in seconds.
+    pub seconds: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Speedup over the 1-thread (first) point.
+    pub speedup: f64,
+    /// Entity-tree buffer hit rate (hits / fetches) over the batch.
+    pub entity_hit_rate: f64,
+    /// Obstacle-tree buffer hit rate over the batch.
+    pub obstacle_hit_rate: f64,
+}
+
+/// One rung of the path ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct LadderPoint {
+    /// Obstacle count of the city.
+    pub obstacles: usize,
+    /// Corner-to-corner wall-clock in seconds.
+    pub seconds: f64,
+    /// No-regression budget in seconds.
+    pub budget_seconds: f64,
+    /// The obstructed distance found (sanity anchor for later diffs).
+    pub distance: f64,
+}
+
+/// The full measurement, ready for JSON serialisation.
+#[derive(Clone, Debug)]
+pub struct TrajectoryReport {
+    /// The configuration measured.
+    pub config: TrajectoryConfig,
+    /// Cores the host exposed (1 in the usual CI container — speedups
+    /// are parity there by physics; the *trajectory* is the point).
+    pub cores: usize,
+    /// Throughput sweep, one point per thread count.
+    pub throughput: Vec<ThreadPoint>,
+    /// Path ladder rungs.
+    pub ladder: Vec<LadderPoint>,
+    /// Whether every thread count returned results identical to the
+    /// first (always checked; `false` never survives to a report —
+    /// divergence panics — but the field keeps the artifact explicit).
+    pub determinism_verified: bool,
+}
+
+fn hit_rate(st: IoStats) -> f64 {
+    if st.fetches() == 0 {
+        0.0
+    } else {
+        st.buffer_hits as f64 / st.fetches() as f64
+    }
+}
+
+/// Runs the full measurement. Panics if any thread count diverges from
+/// the first run's results (the determinism contract of `run_batch`).
+pub fn run(config: TrajectoryConfig) -> TrajectoryReport {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // ---- Throughput sweep.
+    let city = City::generate(CityConfig::new(config.obstacles, 0xC17));
+    let tree_config = RTreeConfig::paper().striped(config.buffer_shards);
+    let obstacles = ObstacleIndex::bulk_load(tree_config, city.obstacles.clone());
+    let entities =
+        EntityIndex::bulk_load(tree_config, sample_entities(&city, config.entities, 0xC18));
+    let engine = QueryEngine::new(&entities, &obstacles);
+    let queries: Vec<Query> =
+        batch_workload(&city, config.queries, 0xC19, BatchMix::point_queries())
+            .iter()
+            .map(to_core_query)
+            .collect();
+
+    let mut throughput = Vec::with_capacity(config.threads.len());
+    let mut baseline = None;
+    for &threads in &config.threads {
+        // Cold, identically sized buffers per point: hit rates are then
+        // comparable across thread counts instead of compounding.
+        entities.tree().reset_buffer();
+        obstacles.tree().reset_buffer();
+        entities.tree().reset_io_stats();
+        obstacles.tree().reset_io_stats();
+        let t0 = Instant::now();
+        let answers = engine.run_batch(&queries, threads);
+        let seconds = t0.elapsed().as_secs_f64();
+        match &baseline {
+            None => baseline = Some(answers),
+            Some(base) => {
+                for (i, (a, b)) in answers.iter().zip(base.iter()).enumerate() {
+                    assert!(a.same_results(b), "query {i} diverged at {threads} threads");
+                }
+            }
+        }
+        let first_seconds = throughput
+            .first()
+            .map_or(seconds, |p: &ThreadPoint| p.seconds);
+        throughput.push(ThreadPoint {
+            threads,
+            seconds,
+            qps: queries.len() as f64 / seconds,
+            speedup: first_seconds / seconds,
+            entity_hit_rate: hit_rate(entities.tree().io_stats()),
+            obstacle_hit_rate: hit_rate(obstacles.tree().io_stats()),
+        });
+    }
+
+    // ---- Path ladder.
+    let mut ladder = Vec::with_capacity(config.ladder.len());
+    for &(n, budget_seconds) in &config.ladder {
+        let city = City::generate(CityConfig::new(n, 0xC17));
+        let obstacles = ObstacleIndex::bulk_load(tree_config, city.obstacles.clone());
+        let a = Point::new(0.01, 0.01);
+        let b = Point::new(0.99, 0.99);
+        let t0 = Instant::now();
+        let path = shortest_obstructed_path(a, b, &obstacles, EdgeBuilder::RotationalSweep)
+            .expect("unit-square corners are connected");
+        ladder.push(LadderPoint {
+            obstacles: n,
+            seconds: t0.elapsed().as_secs_f64(),
+            budget_seconds,
+            distance: path.distance,
+        });
+    }
+
+    TrajectoryReport {
+        config,
+        cores,
+        throughput,
+        ladder,
+        determinism_verified: true,
+    }
+}
+
+impl TrajectoryReport {
+    /// Ladder rungs over budget, as human-readable violation lines
+    /// (empty = the no-regression gate passes). Wall-clock budgets are
+    /// only meaningful in release builds — callers gate accordingly.
+    pub fn budget_violations(&self) -> Vec<String> {
+        self.ladder
+            .iter()
+            .filter(|r| r.seconds > r.budget_seconds)
+            .map(|r| {
+                format!(
+                    "path ladder |O| = {}: {:.2} s over the {:.2} s budget",
+                    r.obstacles, r.seconds, r.budget_seconds
+                )
+            })
+            .collect()
+    }
+
+    /// Serialises the report as a JSON object (always valid JSON: fixed
+    /// float precision, no NaN/Inf can reach the output).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str("  \"schema\": \"obstacle-suite-bench-trajectory\",\n");
+        s.push_str("  \"pr\": 4,\n");
+        s.push_str(&format!(
+            "  \"config\": {{\"obstacles\": {}, \"entities\": {}, \"queries\": {}, \
+             \"buffer_shards\": {}, \"cores\": {}}},\n",
+            self.config.obstacles,
+            self.config.entities,
+            self.config.queries,
+            self.config.buffer_shards,
+            self.cores
+        ));
+        s.push_str(&format!(
+            "  \"determinism_verified\": {},\n",
+            self.determinism_verified
+        ));
+        s.push_str("  \"throughput\": [\n");
+        for (i, p) in self.throughput.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"threads\": {}, \"seconds\": {:.6}, \"qps\": {:.3}, \
+                 \"speedup\": {:.3}, \"entity_hit_rate\": {:.4}, \
+                 \"obstacle_hit_rate\": {:.4}}}{}\n",
+                p.threads,
+                p.seconds,
+                p.qps,
+                p.speedup,
+                p.entity_hit_rate,
+                p.obstacle_hit_rate,
+                if i + 1 < self.throughput.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"path_ladder\": [\n");
+        for (i, r) in self.ladder.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"obstacles\": {}, \"seconds\": {:.6}, \
+                 \"budget_seconds\": {:.3}, \"distance\": {:.9}}}{}\n",
+                r.obstacles,
+                r.seconds,
+                r.budget_seconds,
+                r.distance,
+                if i + 1 < self.ladder.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_trajectory_produces_wellformed_json() {
+        let report = run(TrajectoryConfig {
+            obstacles: 64,
+            entities: 48,
+            queries: 8,
+            buffer_shards: 2,
+            threads: vec![1, 2],
+            ladder: vec![(32, 60.0)],
+        });
+        assert_eq!(report.throughput.len(), 2);
+        assert_eq!(report.ladder.len(), 1);
+        assert!(report.determinism_verified);
+        assert!(
+            report.budget_violations().is_empty(),
+            "60 s budget at |O|=32"
+        );
+
+        let json = report.to_json();
+        // Structural sanity: balanced braces/brackets, required keys, no
+        // accidental NaN/Inf leaking into the artifact.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"schema\"",
+            "\"throughput\"",
+            "\"path_ladder\"",
+            "\"qps\"",
+            "\"entity_hit_rate\"",
+            "\"obstacle_hit_rate\"",
+            "\"budget_seconds\"",
+            "\"determinism_verified\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn budget_violations_detect_regressions() {
+        let mut report = run(TrajectoryConfig {
+            obstacles: 32,
+            entities: 16,
+            queries: 4,
+            buffer_shards: 1,
+            threads: vec![1],
+            ladder: vec![(16, 30.0)],
+        });
+        assert!(report.budget_violations().is_empty());
+        report.ladder[0].budget_seconds = 0.0;
+        assert_eq!(report.budget_violations().len(), 1);
+    }
+}

@@ -30,12 +30,13 @@
 //!   their own threads; everything here is reentrant.
 
 use crate::closest_pair::closest_pairs;
-use crate::engine::{EntityIndex, ObstacleIndex, QueryEngine};
+use crate::distance::LocalGraph;
+use crate::engine::{EngineOptions, EntityIndex, ObstacleIndex, QueryEngine};
 use crate::join::distance_join;
-use crate::path::shortest_obstructed_path;
+use crate::path::{shortest_obstructed_path, shortest_obstructed_path_in};
 use crate::semi_join::{semi_join, SemiJoinStrategy};
 use crate::stats::{ClosestPairsResult, JoinResult, NearestResult, QueryStats, RangeResult};
-use obstacle_geom::Point;
+use obstacle_geom::{Point, Rect};
 use obstacle_visibility::PathResult;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -155,6 +156,102 @@ const _: () = {
     assert_sync::<Query>();
 };
 
+/// Obstacles a cached scene may accumulate before it is retired: the
+/// classification bookkeeping of `LazyScene::add_obstacle` and
+/// `add_waypoint` scales with the resident scene, so an ever-growing
+/// cache would eventually cost more than the sweeps it saves.
+const SCENE_OBSTACLE_CAP: usize = 4096;
+
+/// A reusable lazy scene shared by consecutive ONN/OR/path queries — the
+/// batch-granularity counterpart of the reuse ONN already does across
+/// *candidates* (§4) and the cross-query amortization of Wang's
+/// shortest-paths-revisited line of work.
+///
+/// Each `run_batch` worker owns one cache: every query it executes first
+/// asks [`SceneCache::scene_for`] for a scene positioned over the query's
+/// region. Nearby queries (neighbouring range disks, path corridors,
+/// clustered NN probes) then reuse absorbed obstacles and cached
+/// visibility sweeps instead of rebuilding a private [`LocalGraph`] from
+/// scratch; sweeps survive across queries because `LazyScene` revalidates
+/// successor caches geometrically when the scene grows (the PR 2
+/// machinery). A query far from everything the scene has served — or a
+/// scene past its obstacle/slot budget — retires the scene and starts
+/// fresh, so scattered workloads degrade to exactly the per-query cost
+/// they had before.
+///
+/// Reuse never changes answers: resident obstacles are real obstacles of
+/// the one shared dataset (a superset of any query's certified region
+/// only blocks paths that are genuinely blocked), every operator still
+/// absorbs what its own region demands, and exact ties resolve
+/// positionally rather than by node numbering. The determinism suites
+/// assert this at every thread count.
+#[derive(Debug)]
+pub struct SceneCache {
+    options: EngineOptions,
+    graph: LocalGraph,
+    /// Union of the query regions served by the current scene
+    /// (`Rect::empty()` when the scene is fresh).
+    coverage: Rect,
+    /// Queries that reused a warm scene / scenes retired (diagnostics).
+    reuses: usize,
+    resets: usize,
+}
+
+impl SceneCache {
+    /// An empty cache building scenes with the options' edge builder.
+    pub fn new(options: EngineOptions) -> Self {
+        SceneCache {
+            options,
+            graph: LocalGraph::new(options.builder),
+            coverage: Rect::empty(),
+            reuses: 0,
+            resets: 0,
+        }
+    }
+
+    /// Queries answered on a warm (reused) scene so far.
+    pub fn reuses(&self) -> usize {
+        self.reuses
+    }
+
+    /// Scenes retired (region jump or budget exhaustion) so far.
+    pub fn resets(&self) -> usize {
+        self.resets
+    }
+
+    /// The reuse distance for a dataset spanning `universe`: queries
+    /// within a couple percent of the universe diagonal of the scene's
+    /// coverage reuse it; farther jumps retire it. The one locality
+    /// threshold shared by every cache user (`run_batch` workers, ODJ's
+    /// seed loop).
+    pub fn slack_for(universe: &Rect) -> f64 {
+        0.02 * universe.min.dist(universe.max)
+    }
+
+    /// The cached scene, positioned for a query covering `region`; the
+    /// scene is retired first unless it is fresh, within budget, and its
+    /// coverage lies within `slack` of the region.
+    pub fn scene_for(&mut self, region: Rect, slack: f64) -> &mut LocalGraph {
+        if self.coverage.is_empty() {
+            self.coverage = region;
+            return &mut self.graph;
+        }
+        let near = self.coverage.mindist_rect(&region) <= slack;
+        let slots = self.graph.scene.node_slots();
+        let within_budget = self.graph.obstacle_count() <= SCENE_OBSTACLE_CAP
+            && slots <= 2 * self.graph.scene.node_count() + 512;
+        if near && within_budget {
+            self.reuses += 1;
+            self.coverage = self.coverage.union(&region);
+        } else {
+            self.graph = LocalGraph::new(self.options.builder);
+            self.coverage = region;
+            self.resets += 1;
+        }
+        &mut self.graph
+    }
+}
+
 impl QueryEngine<'_> {
     /// Executes one batch [`Query`] on this engine (the sequential unit
     /// [`QueryEngine::run_batch`] parallelises over).
@@ -192,23 +289,60 @@ impl QueryEngine<'_> {
         }
     }
 
+    /// Executes one batch [`Query`] through a [`SceneCache`]: the point
+    /// operators (range, NN, path) run over the cache's reusable scene,
+    /// everything else falls through to [`QueryEngine::execute`]. With
+    /// the `reuse_graph` ablation off, the cache is bypassed entirely
+    /// (every query pays a fresh scene, as before PR 4).
+    pub fn execute_with(&self, query: &Query, cache: &mut SceneCache) -> Answer {
+        if !self.options.reuse_graph {
+            return self.execute(query);
+        }
+        let slack = SceneCache::slack_for(&self.obstacles.universe());
+        match *query {
+            Query::Range { q, e } => {
+                let region = Rect::from_coords(q.x - e, q.y - e, q.x + e, q.y + e);
+                Answer::Range(self.range_in(cache.scene_for(region, slack), q, e))
+            }
+            Query::Nearest { q, k } => {
+                let region = Rect::from_point(q);
+                Answer::Nearest(self.nearest_in(cache.scene_for(region, slack), q, k))
+            }
+            Query::Path { from, to } => Answer::Path(shortest_obstructed_path_in(
+                cache.scene_for(Rect::new(from, to), slack),
+                from,
+                to,
+                self.obstacles,
+            )),
+            _ => self.execute(query),
+        }
+    }
+
     /// Executes `queries` across `threads` workers and returns the
     /// answers **in input order** (`answers[i]` answers `queries[i]`).
     ///
     /// Workers are `std::thread::scope` threads claiming queries from a
     /// shared atomic cursor — the pool self-balances without any channel
     /// or queue structure, and heavy queries (joins) simply occupy one
-    /// worker while the others drain the cheap ones. Results are
+    /// worker while the others drain the cheap ones. Each worker owns a
+    /// [`SceneCache`], so consecutive point queries it claims reuse one
+    /// lazy scene instead of rebuilding from scratch. Results are
     /// guaranteed identical (in the sense of [`Answer::same_results`]) to
     /// running the same slice sequentially: every operator is a pure
-    /// function of the shared indexes, which no query mutates.
+    /// function of the shared indexes, which no query mutates, and scene
+    /// reuse never changes answers (see [`SceneCache`]).
     ///
     /// `threads` is clamped to `[1, queries.len()]`; `threads <= 1` runs
-    /// inline on the calling thread with no pool at all.
+    /// inline on the calling thread with no pool at all (one batch-wide
+    /// scene cache).
     pub fn run_batch(&self, queries: &[Query], threads: usize) -> Vec<Answer> {
         let threads = threads.clamp(1, queries.len().max(1));
         if threads == 1 {
-            return queries.iter().map(|q| self.execute(q)).collect();
+            let mut cache = SceneCache::new(self.options);
+            return queries
+                .iter()
+                .map(|q| self.execute_with(q, &mut cache))
+                .collect();
         }
 
         let cursor = AtomicUsize::new(0);
@@ -219,13 +353,14 @@ impl QueryEngine<'_> {
                 .map(|_| {
                     let cursor = &cursor;
                     scope.spawn(move || {
+                        let mut cache = SceneCache::new(self.options);
                         let mut mine: Vec<(usize, Answer)> = Vec::new();
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= queries.len() {
                                 break;
                             }
-                            mine.push((i, self.execute(&queries[i])));
+                            mine.push((i, self.execute_with(&queries[i], &mut cache)));
                         }
                         mine
                     })
@@ -345,17 +480,106 @@ mod tests {
                 k: 2,
             })
             .collect();
-        // Identical queries: each answer's logical fetch count must match
-        // the sequential run's per-query count (global-counter diffing
-        // under interleaving would lump several queries' reads together).
+        // Identical queries: each answer's logical fetch count must stay
+        // within the solo run's per-query count (global-counter diffing
+        // under interleaving would lump several queries' reads together
+        // and overshoot). Scene reuse may legitimately *reduce* obstacle
+        // fetches for later queries of a worker — never inflate them.
         let solo = engine.execute(&queries[0]);
         let solo_fetches =
             solo.stats().unwrap().entity_fetches + solo.stats().unwrap().obstacle_fetches;
         assert!(solo_fetches > 0, "scene too small to observe fetches");
         for a in engine.run_batch(&queries, 3) {
             let s = a.stats().unwrap();
-            assert_eq!(s.entity_fetches + s.obstacle_fetches, solo_fetches);
+            let fetches = s.entity_fetches + s.obstacle_fetches;
+            assert!(
+                fetches > 0 && fetches <= solo_fetches,
+                "per-query window {fetches} vs solo {solo_fetches}"
+            );
         }
+    }
+
+    #[test]
+    fn scene_cache_reuses_and_matches_fresh_execution() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let queries = mixed_queries();
+        let mut cache = SceneCache::new(engine.options);
+        for q in &queries {
+            let cached = engine.execute_with(q, &mut cache);
+            let fresh = engine.execute(q);
+            assert!(
+                cached.same_results(&fresh),
+                "scene reuse changed results: {cached:?} vs {fresh:?}"
+            );
+        }
+        assert!(
+            cache.reuses() > 0,
+            "the clustered workload must reuse the scene at least once"
+        );
+    }
+
+    #[test]
+    fn scene_cache_tie_breaking_is_scene_independent() {
+        // A perfectly symmetric wall: the two shortest paths around it
+        // have *exactly* equal length, so the chosen polyline is decided
+        // purely by tie-breaking — which must not depend on how many
+        // obstacles/waypoints earlier queries left in the cached scene.
+        let entities = EntityIndex::build(RTreeConfig::tiny(4), vec![Point::new(9.0, 0.0)]);
+        let obstacles = ObstacleIndex::build(
+            RTreeConfig::tiny(4),
+            vec![
+                Polygon::from_rect(Rect::from_coords(1.0, -2.0, 1.2, 2.0)),
+                Polygon::from_rect(Rect::from_coords(4.0, -3.0, 4.4, 3.0)),
+            ],
+        );
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let tie = Query::Path {
+            from: Point::new(0.0, 0.0),
+            to: Point::new(2.0, 0.0),
+        };
+        // Warm the cache with queries that absorb both obstacles (in a
+        // different order than the tie query would) before the tie query.
+        let warmers = [
+            Query::Path {
+                from: Point::new(3.5, 0.0),
+                to: Point::new(5.0, 0.0),
+            },
+            Query::Nearest {
+                q: Point::new(2.0, 0.0),
+                k: 1,
+            },
+        ];
+        let fresh = engine.execute(&tie);
+        let mut cache = SceneCache::new(engine.options);
+        for w in &warmers {
+            let _ = engine.execute_with(w, &mut cache);
+        }
+        let cached = engine.execute_with(&tie, &mut cache);
+        assert!(
+            cached.same_results(&fresh),
+            "exact tie resolved differently on a warm scene: {cached:?} vs {fresh:?}"
+        );
+    }
+
+    #[test]
+    fn scene_cache_resets_on_region_jump_and_budget() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let mut cache = SceneCache::new(engine.options);
+        // Universe is small; jump far beyond 2 % slack to force a retire.
+        let a = Query::Nearest {
+            q: Point::new(0.0, 0.0),
+            k: 1,
+        };
+        let b = Query::Nearest {
+            q: Point::new(1e6, 1e6),
+            k: 1,
+        };
+        let _ = engine.execute_with(&a, &mut cache);
+        let _ = engine.execute_with(&b, &mut cache);
+        assert_eq!(cache.resets(), 1, "distant query must retire the scene");
+        assert_eq!(cache.reuses(), 0);
     }
 
     #[test]

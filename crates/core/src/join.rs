@@ -1,26 +1,39 @@
 //! Obstacle e-distance join (ODJ — §5, Fig. 10).
 
+use crate::batch::SceneCache;
+use crate::distance::compute_obstructed_range;
 use crate::engine::{EngineOptions, EntityIndex, ObstacleIndex};
 use crate::stats::{JoinResult, QueryStats};
 use crate::QUERY_TAG;
-use obstacle_geom::hilbert_index_unit;
-use obstacle_visibility::{bounded_expansion, NodeKind, VisibilityGraph};
+use obstacle_geom::{hilbert_index_unit, Rect};
+use obstacle_visibility::{NodeId, NodeKind};
 use std::collections::HashMap;
 use std::time::Instant;
 
 /// All pairs `(s, t) ∈ S × T` with obstructed distance at most `e`.
 ///
-/// Implements ODJ (Fig. 10):
+/// Implements ODJ (Fig. 10) on the lazy scene (the engine ONN and OR
+/// already use — no materialized visibility graph remains in this crate):
 ///
 /// 1. an Euclidean e-distance join over the two R-trees \[BKS93\]
 ///    produces candidate pairs (a superset, by the lower bound);
 /// 2. the dataset contributing fewer **distinct** points to the candidate
-///    pairs becomes the *seed* side — one visibility graph per distinct
-///    seed answers all of that seed's pairs (instead of one per pair);
+///    pairs becomes the *seed* side — one obstacle range expansion per
+///    distinct seed answers all of that seed's pairs (instead of one per
+///    pair);
 /// 3. seeds are processed in **Hilbert order**, so consecutive obstacle
-///    R-tree range queries touch nearby pages and hit the LRU buffer;
+///    R-tree range queries touch nearby pages and hit the LRU buffer —
+///    and, since PR 4, consecutive seeds reuse one cached lazy scene
+///    ([`SceneCache`]), amortizing obstacle absorption and visibility
+///    sweeps exactly as the Hilbert order intends;
 /// 4. per seed, false hits are eliminated exactly like an obstacle range
-///    query (one bounded Dijkstra expansion at radius `e`).
+///    query (one bounded lazy Dijkstra expansion at radius `e` via
+///    [`compute_obstructed_range`], sweeping only nodes it settles).
+///
+/// The `tangent_filter` ablation is a no-op here (as for OR): the lazy
+/// engine never materializes the non-tangent edges the filter would
+/// remove, and results are identical either way per that option's
+/// contract.
 pub fn distance_join(
     s: &EntityIndex,
     t: &EntityIndex,
@@ -66,35 +79,39 @@ pub fn distance_join(
         seeds.sort_unstable();
     }
 
-    // Step 4: per-seed obstacle-range elimination.
+    // Step 4: per-seed obstacle-range elimination over one cached lazy
+    // scene. Hilbert-adjacent seeds have overlapping disks, so the cache
+    // almost always keeps its scene warm; a jump to a far-away seed (or
+    // budget exhaustion) retires it. The `reuse_graph` ablation disables
+    // the cross-seed reuse (every seed pays a fresh scene), mirroring
+    // its contract for ONN candidates and `execute_with`.
     let mut pairs = Vec::new();
     let mut peak_graph_nodes = 0usize;
     let mut distance_computations = 0usize;
+    let mut cache = SceneCache::new(options);
+    let slack = SceneCache::slack_for(&universe);
+    let mut fresh;
     for seed in seeds {
         let q_pos = seed_set.position(seed);
         let partners = &groups[&seed];
-        let relevant = obstacles.tree().range_circle(q_pos, e);
-        let (mut graph, waypoints) = VisibilityGraph::build(
-            options.builder,
-            relevant
-                .iter()
-                .map(|item| (obstacles.polygon(item.id).clone(), item.id)),
-            std::iter::once((q_pos, QUERY_TAG))
-                .chain(partners.iter().map(|&pid| (partner_set.position(pid), pid))),
-        );
-        peak_graph_nodes = peak_graph_nodes.max(graph.node_count());
-        if options.tangent_filter {
-            graph.prune_non_tangent();
-        }
+        let region = Rect::from_coords(q_pos.x - e, q_pos.y - e, q_pos.x + e, q_pos.y + e);
+        let graph = if options.reuse_graph {
+            cache.scene_for(region, slack)
+        } else {
+            fresh = crate::distance::LocalGraph::new(options.builder);
+            &mut fresh
+        };
+        let q_node = graph.add_waypoint(q_pos, QUERY_TAG);
+        let targets: Vec<NodeId> = partners
+            .iter()
+            .map(|&pid| graph.add_waypoint(partner_set.position(pid), pid))
+            .collect();
         distance_computations += 1;
-        let q_node = waypoints[0];
-        // Several partners may share one id slot only if duplicated in the
-        // candidate list; dedupe on report via the waypoint node ids.
-        for (node, d) in bounded_expansion(&graph, q_node, e) {
+        for (node, d) in compute_obstructed_range(graph, q_node, &targets, obstacles, e) {
             if node == q_node {
                 continue;
             }
-            if let NodeKind::Waypoint { tag } = graph.kind(node) {
+            if let NodeKind::Waypoint { tag } = graph.scene.kind(node) {
                 if seed_from_s {
                     pairs.push((seed, tag, d));
                 } else {
@@ -102,6 +119,11 @@ pub fn distance_join(
                 }
             }
         }
+        peak_graph_nodes = peak_graph_nodes.max(graph.scene.node_count());
+        for t in targets {
+            graph.remove_waypoint(t);
+        }
+        graph.remove_waypoint(q_node);
     }
 
     let mut entity_io = s_io.finish();

@@ -71,7 +71,7 @@ mod range;
 mod semi_join;
 mod stats;
 
-pub use batch::{Answer, Query};
+pub use batch::{Answer, Query, SceneCache};
 pub use brute::BruteForce;
 pub use closest_pair::{closest_pairs, incremental_closest_pairs, IncrementalClosestPairs};
 pub use distance::{
@@ -81,7 +81,7 @@ pub use distance::{
 pub use engine::{EngineOptions, EntityIndex, ObstacleIndex, QueryEngine};
 pub use join::distance_join;
 pub use nn::IncrementalNearest;
-pub use path::{close_rel, shortest_obstructed_path};
+pub use path::{close_rel, shortest_obstructed_path, shortest_obstructed_path_in};
 pub use semi_join::{semi_join, SemiJoinStrategy};
 pub use stats::{ClosestPairsResult, JoinResult, NearestResult, QueryStats, RangeResult};
 

@@ -23,6 +23,20 @@ impl<'a> QueryEngine<'a> {
     /// once the next Euclidean distance exceeds `d_Emax`, the obstructed
     /// distance of the current k-th neighbour (which only shrinks).
     pub fn nearest(&self, q: Point, k: usize) -> NearestResult {
+        let mut graph = LocalGraph::new(self.options.builder);
+        self.nearest_in(&mut graph, q, k)
+    }
+
+    /// [`QueryEngine::nearest`] over a caller-provided scene.
+    ///
+    /// The scene's absorbed obstacles and cached sweeps are reused and
+    /// any the query absorbs stay behind for the next caller (the
+    /// cross-query extension of the ONN candidate-to-candidate reuse that
+    /// `reuse_graph` already does *within* one query). The query's
+    /// waypoints are removed before returning; neighbours are identical
+    /// to a fresh-scene run because extra resident obstacles are real
+    /// obstacles and every Fig. 8 fixpoint still certifies its region.
+    pub fn nearest_in(&self, graph: &mut LocalGraph, q: Point, k: usize) -> NearestResult {
         let t0 = Instant::now();
         let entity_io = self.entities.tree().io_snapshot();
         let obstacle_io = self.obstacles.tree().io_snapshot();
@@ -34,7 +48,6 @@ impl<'a> QueryEngine<'a> {
         let mut peak_graph_nodes = 0usize;
 
         if k > 0 && !self.entities.is_empty() {
-            let mut graph = LocalGraph::new(self.options.builder);
             let q_node = graph.add_waypoint(q, QUERY_TAG);
             // The fixed threshold of the no-shrink ablation: set once when
             // the k-th obstructed neighbour is first known.
@@ -60,7 +73,7 @@ impl<'a> QueryEngine<'a> {
                 let d_o = if self.options.reuse_graph {
                     let p_node = graph.add_waypoint(p_pos, item.id);
                     let d = compute_obstructed_distance_pruned(
-                        &mut graph,
+                        graph,
                         p_node,
                         q_node,
                         self.obstacles,
@@ -89,6 +102,7 @@ impl<'a> QueryEngine<'a> {
                     result.truncate(k);
                 }
             }
+            graph.remove_waypoint(q_node);
         }
 
         let false_hits = euclid_top_k

@@ -38,9 +38,27 @@ pub fn shortest_obstructed_path(
     builder: EdgeBuilder,
 ) -> Option<PathResult> {
     let mut g = LocalGraph::new(builder);
+    shortest_obstructed_path_in(&mut g, a, b, obstacles)
+}
+
+/// [`shortest_obstructed_path`] over a caller-provided scene: absorbed
+/// obstacles and cached sweeps are reused, what the query absorbs stays
+/// for the next caller, and the endpoint waypoints are removed again
+/// before returning (see [`SceneCache`](crate::SceneCache)). The path is
+/// identical to a fresh-scene run — exact ties between equal-length
+/// shortest paths resolve positionally, not by scene numbering.
+pub fn shortest_obstructed_path_in(
+    g: &mut LocalGraph,
+    a: Point,
+    b: Point,
+    obstacles: &ObstacleIndex,
+) -> Option<PathResult> {
     let na = g.add_waypoint(a, 0);
     let nb = g.add_waypoint(b, QUERY_TAG);
-    compute_obstructed_path(&mut g, na, nb, obstacles)
+    let path = compute_obstructed_path(g, na, nb, obstacles);
+    g.remove_waypoint(na);
+    g.remove_waypoint(nb);
+    path
 }
 
 impl QueryEngine<'_> {

@@ -30,6 +30,21 @@ impl QueryEngine<'_> {
     /// never materializes the non-tangent edges the filter would remove
     /// (results are identical either way, per the option's contract).
     pub fn range(&self, q: Point, e: f64) -> RangeResult {
+        let mut graph = LocalGraph::new(self.options.builder);
+        self.range_in(&mut graph, q, e)
+    }
+
+    /// [`QueryEngine::range`] over a caller-provided scene.
+    ///
+    /// Obstacles (and cached sweeps) already present in `graph` are
+    /// reused; obstacles the query's disk needs are absorbed and stay for
+    /// the next caller — the cross-query amortization of
+    /// [`SceneCache`](crate::SceneCache). The query's waypoints are
+    /// removed again before returning, and the hits are identical to a
+    /// fresh-scene [`QueryEngine::range`]: extra resident obstacles are
+    /// real obstacles of the same dataset, and any path of length ≤ `e`
+    /// is certified by the disk absorption alone.
+    pub fn range_in(&self, graph: &mut LocalGraph, q: Point, e: f64) -> RangeResult {
         let t0 = Instant::now();
         let entity_io = self.entities.tree().io_snapshot();
         let obstacle_io = self.obstacles.tree().io_snapshot();
@@ -41,15 +56,12 @@ impl QueryEngine<'_> {
         let mut peak_graph_nodes = 0;
         if !candidates.is_empty() {
             // Steps 2-3: lazy multi-target expansion from q at radius e.
-            let mut graph = LocalGraph::new(self.options.builder);
             let q_node = graph.add_waypoint(q, QUERY_TAG);
             let targets: Vec<NodeId> = candidates
                 .iter()
                 .map(|item| graph.add_waypoint(item.mbr.min, item.id))
                 .collect();
-            for (node, d) in
-                compute_obstructed_range(&mut graph, q_node, &targets, self.obstacles, e)
-            {
+            for (node, d) in compute_obstructed_range(graph, q_node, &targets, self.obstacles, e) {
                 if node == q_node {
                     continue;
                 }
@@ -58,6 +70,10 @@ impl QueryEngine<'_> {
                 }
             }
             peak_graph_nodes = graph.scene.node_count();
+            for t in targets {
+                graph.remove_waypoint(t);
+            }
+            graph.remove_waypoint(q_node);
         }
 
         let entity_io = entity_io.finish();

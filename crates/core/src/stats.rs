@@ -35,8 +35,13 @@ pub struct QueryStats {
     pub false_hits: usize,
     /// Invocations of the obstructed-distance computation.
     pub distance_computations: usize,
-    /// Largest visibility graph built (nodes), a proxy for the paper's
-    /// O(n² log n) graph-construction cost discussion.
+    /// Largest visibility scene observed (live nodes), a proxy for the
+    /// paper's O(n² log n) graph-construction cost discussion. With a
+    /// fresh scene per query this is the query's own local graph; when a
+    /// query runs over a reused scene (`SceneCache` — batch workers,
+    /// ODJ seeds), it reports the whole *resident* scene, obstacles
+    /// absorbed by earlier queries included — compare this metric only
+    /// across runs with the same reuse setting.
     pub peak_graph_nodes: usize,
 }
 

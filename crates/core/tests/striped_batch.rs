@@ -1,0 +1,114 @@
+//! Batch determinism and I/O-accounting exactness with the PR 4
+//! concurrency machinery fully enabled: lock-striped buffer pools on both
+//! R-trees and per-worker cross-query scene caches in `run_batch`.
+
+use obstacle_core::{Answer, EntityIndex, ObstacleIndex, Query, QueryEngine};
+use obstacle_datagen::{query_workload, sample_entities, City, CityConfig};
+use obstacle_rtree::RTreeConfig;
+
+fn striped_world(shards: usize) -> (EntityIndex, ObstacleIndex, City) {
+    let city = City::generate(CityConfig::new(160, 0x5744));
+    let entities = EntityIndex::build(
+        RTreeConfig::tiny(8).striped(shards),
+        sample_entities(&city, 96, 0x5745),
+    );
+    let obstacles =
+        ObstacleIndex::build(RTreeConfig::tiny(8).striped(shards), city.obstacles.clone());
+    (entities, obstacles, city)
+}
+
+fn point_queries(city: &City) -> Vec<Query> {
+    let mut queries = Vec::new();
+    for (i, q) in query_workload(city, 24, 0x5746).into_iter().enumerate() {
+        match i % 3 {
+            0 => queries.push(Query::Range {
+                q,
+                e: 0.05 + 0.01 * (i % 7) as f64,
+            }),
+            1 => queries.push(Query::Nearest { q, k: 1 + i % 5 }),
+            _ => {}
+        }
+    }
+    for pair in query_workload(city, 8, 0x5747).chunks(2) {
+        if let [a, b] = pair {
+            queries.push(Query::Path { from: *a, to: *b });
+        }
+    }
+    queries
+}
+
+#[test]
+fn striped_buffers_and_scene_reuse_are_result_identical_at_every_thread_count() {
+    let (entities, obstacles, city) = striped_world(8);
+    let engine = QueryEngine::new(&entities, &obstacles);
+    let queries = point_queries(&city);
+
+    // Reference: plain sequential execution, fresh scene per query, on
+    // the same striped trees (the buffer is pure accounting) …
+    let sequential: Vec<Answer> = queries.iter().map(|q| engine.execute(q)).collect();
+    assert!(sequential.iter().any(|a| a.result_count() > 0));
+
+    // … and on single-shard trees (the pre-PR 4 configuration).
+    let (e1, o1, _) = striped_world(1);
+    let single = QueryEngine::new(&e1, &o1);
+    for (i, (a, b)) in queries
+        .iter()
+        .map(|q| single.execute(q))
+        .zip(sequential.iter())
+        .enumerate()
+    {
+        assert!(
+            a.same_results(b),
+            "query {i}: single-shard vs striped diverged"
+        );
+    }
+
+    for threads in [1usize, 2, 4, 8] {
+        let parallel = engine.run_batch(&queries, threads);
+        for (i, (p, s)) in parallel.iter().zip(sequential.iter()).enumerate() {
+            assert!(
+                p.same_results(s),
+                "query {i} diverged at {threads} threads: {p:?} vs {s:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn per_query_io_windows_cover_the_global_aggregate_exactly() {
+    // Every page access of a stats-bearing query happens inside its
+    // thread-local attribution window, so summing the per-answer windows
+    // must reproduce the tree-global deltas exactly — lost updates in
+    // either the shard counters or the recorder windows would break the
+    // equality. (Path queries carry no stats and are excluded.)
+    let (entities, obstacles, city) = striped_world(4);
+    let engine = QueryEngine::new(&entities, &obstacles);
+    let queries: Vec<Query> = point_queries(&city)
+        .into_iter()
+        .filter(|q| !matches!(q, Query::Path { .. }))
+        .collect();
+
+    for threads in [2usize, 8] {
+        entities.tree().reset_io_stats();
+        obstacles.tree().reset_io_stats();
+        let answers = engine.run_batch(&queries, threads);
+        let (mut entity_fetches, mut obstacle_fetches) = (0u64, 0u64);
+        for a in &answers {
+            let s = a.stats().expect("workload carries stats");
+            entity_fetches += s.entity_fetches;
+            obstacle_fetches += s.obstacle_fetches;
+        }
+        let eg = entities.tree().io_stats();
+        let og = obstacles.tree().io_stats();
+        assert_eq!(
+            entity_fetches,
+            eg.fetches(),
+            "{threads} threads: entity windows vs global"
+        );
+        assert_eq!(
+            obstacle_fetches,
+            og.fetches(),
+            "{threads} threads: obstacle windows vs global"
+        );
+    }
+}

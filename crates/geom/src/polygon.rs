@@ -660,13 +660,13 @@ mod tests {
         // a large fraction of parameters — where the exact point-location
         // predicate and the EPS-guarded blocks_segment disagree. Awkward
         // (non-dyadic) coordinates make the rounding bite.
-        let polys = vec![
+        let polys = [
             Polygon::new(vec![p(0.1, 0.2), p(0.73, 0.41), p(0.35, 0.91)]).unwrap(),
             Polygon::new(vec![
                 p(0.123456789, 0.987654321),
-                p(0.7071067811865476, 0.3333333333333333),
+                p(std::f64::consts::FRAC_1_SQRT_2, 0.3333333333333333),
                 p(0.9, 0.55),
-                p(0.4142135623730951, 0.8660254037844386),
+                p(std::f64::consts::SQRT_2 - 1.0, 0.8660254037844386),
             ])
             .unwrap(),
             l_shape(),

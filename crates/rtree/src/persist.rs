@@ -17,7 +17,7 @@ use obstacle_geom::Rect;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"ORTR";
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 /// Errors produced when decoding a tree image.
 #[derive(Debug)]
@@ -67,6 +67,7 @@ impl RTree {
         buf.put_f64_le(c.reinsert_ratio);
         buf.put_f64_le(c.buffer_ratio);
         buf.put_u32_le(c.min_buffer_pages as u32);
+        buf.put_u32_le(c.buffer_shards as u32);
         // Tree header.
         buf.put_u32_le(self.root);
         buf.put_u32_le(self.height);
@@ -115,7 +116,7 @@ impl RTree {
         if version != VERSION {
             return Err(PersistError::BadVersion(version));
         }
-        need(data, 4 * 4 + 8 * 3 + 4)?;
+        need(data, 4 * 4 + 8 * 3 + 4 + 4)?;
         let config = RTreeConfig {
             page_size: data.get_u32_le() as usize,
             entry_bytes: data.get_u32_le() as usize,
@@ -128,6 +129,7 @@ impl RTree {
             reinsert_ratio: data.get_f64_le(),
             buffer_ratio: data.get_f64_le(),
             min_buffer_pages: data.get_u32_le() as usize,
+            buffer_shards: data.get_u32_le() as usize,
         };
         need(data, 4 + 4 + 8 + 4)?;
         let root = data.get_u32_le();
@@ -162,7 +164,11 @@ impl RTree {
         if root as usize >= pages.len() || pages[root as usize].is_none() {
             return Err(PersistError::Truncated);
         }
-        let store = PageStore::from_slots(pages, config.min_buffer_pages);
+        let buffer_pages = {
+            let live = pages.iter().filter(|p| p.is_some()).count();
+            config.buffer_pages(live)
+        };
+        let store = PageStore::from_slots(pages, buffer_pages, config.shards());
         let tree = RTree {
             config,
             store,
@@ -170,7 +176,6 @@ impl RTree {
             height,
             len,
         };
-        tree.reset_buffer();
         tree.reset_io_stats();
         Ok(tree)
     }

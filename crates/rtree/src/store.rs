@@ -124,54 +124,139 @@ impl Drop for IoSnapshot<'_> {
     }
 }
 
-/// In-memory page store: node storage, free-list, LRU buffer and counters.
+/// One lock stripe of the buffer pool: its slice of the LRU capacity plus
+/// the hit/miss counters of the pages hashed to it. Keeping the counters
+/// shard-local means concurrent readers of different stripes share
+/// nothing — neither the lock nor a counter cache line.
+#[derive(Debug)]
+struct BufferShard {
+    buffer: Mutex<LruBuffer>,
+    reads: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl BufferShard {
+    fn new(capacity: usize) -> Self {
+        BufferShard {
+            buffer: Mutex::new(LruBuffer::new(capacity)),
+            reads: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Splits a total page capacity across `shards` stripes, biasing the
+/// remainder onto the first stripes so the sum is exactly `total`.
+fn split_capacity(total: usize, shards: usize) -> impl Iterator<Item = usize> + Clone {
+    let base = total / shards;
+    let extra = total % shards;
+    (0..shards).map(move |i| base + usize::from(i < extra))
+}
+
+/// In-memory page store: node storage, free-list, LRU buffer pool and
+/// counters.
 ///
 /// Reads take `&self`; the buffer and counters use interior mutability so
 /// that query iterators holding `&RTree` can account their page accesses.
-/// The buffer sits behind a mutex and the counters are atomic, making the
-/// store (and therefore [`crate::RTree`]) `Sync`: read-only query
-/// workloads may run from multiple threads sharing one tree (they then
-/// also share its LRU buffer, exactly like concurrent clients of one
-/// database buffer pool).
+/// The buffer pool is **lock-striped**: pages hash across
+/// [`BufferShard`]s, each an independently locked LRU over its share of
+/// the total capacity, with its own hit/miss counters. With one shard
+/// (the default) this is exactly the paper's single LRU buffer; with
+/// more, concurrent batch workers of one tree stop serialising on a
+/// single buffer mutex. Either way the store (and therefore
+/// [`crate::RTree`]) is `Sync`, and [`PageStore::stats`] /
+/// [`IoSnapshot`] aggregate across shards so per-query I/O attribution
+/// is shard-count-agnostic.
 #[derive(Debug)]
 pub struct PageStore {
     pages: Vec<Option<Node>>,
     free: Vec<PageId>,
-    buffer: Mutex<LruBuffer>,
-    reads: AtomicU64,
-    hits: AtomicU64,
+    shards: Box<[BufferShard]>,
     writes: AtomicU64,
 }
 
+/// Effective stripe count for a pool of `buffer_pages` total capacity:
+/// the requested count, clamped so every stripe can hold at least one
+/// page. Without the clamp a small tree (say 7 pages, 1 buffer page)
+/// striped 8 ways would put its whole capacity on one stripe while the
+/// pages hash across all eight — most of them then *never* cacheable.
+fn effective_shards(buffer_pages: usize, shards: usize) -> usize {
+    shards.max(1).min(buffer_pages.max(1))
+}
+
 impl PageStore {
-    /// Creates an empty store with the given buffer capacity (pages).
-    pub fn new(buffer_pages: usize) -> Self {
+    /// Creates an empty store with the given **total** buffer capacity
+    /// (pages), striped across at most `shards` locks (clamped to the
+    /// capacity — see [`effective_shards`]).
+    pub fn new(buffer_pages: usize, shards: usize) -> Self {
+        let shards = effective_shards(buffer_pages, shards);
         PageStore {
             pages: Vec::new(),
             free: Vec::new(),
-            buffer: Mutex::new(LruBuffer::new(buffer_pages)),
-            reads: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
+            shards: split_capacity(buffer_pages, shards)
+                .map(BufferShard::new)
+                .collect(),
             writes: AtomicU64::new(0),
         }
     }
 
     /// Rebuilds a store from raw page slots (used when decoding a
     /// persisted image); `None` slots become free pages.
-    pub(crate) fn from_slots(pages: Vec<Option<Node>>, buffer_pages: usize) -> Self {
+    pub(crate) fn from_slots(pages: Vec<Option<Node>>, buffer_pages: usize, shards: usize) -> Self {
         let free = pages
             .iter()
             .enumerate()
             .filter_map(|(i, p)| p.is_none().then_some(i as PageId))
             .collect();
+        let shards = effective_shards(buffer_pages, shards);
         PageStore {
             pages,
             free,
-            buffer: Mutex::new(LruBuffer::new(buffer_pages)),
-            reads: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
+            shards: split_capacity(buffer_pages, shards)
+                .map(BufferShard::new)
+                .collect(),
             writes: AtomicU64::new(0),
         }
+    }
+
+    /// Replaces the buffer pool with a cold one of **total** capacity
+    /// `pages` across at most `shards` stripes (clamped, see
+    /// [`effective_shards`]) and zeroes the per-shard counters. The
+    /// `&mut` rebuild is how a tree re-stripes once its final size — and
+    /// therefore its 10 %-rule capacity — is known (build finalisation,
+    /// persistence decode); [`PageStore::reset_buffer`] is the `&self`
+    /// variant that keeps the stripe structure.
+    pub fn rebuild_buffer(&mut self, pages: usize, shards: usize) {
+        let shards = effective_shards(pages, shards);
+        self.shards = split_capacity(pages, shards)
+            .map(BufferShard::new)
+            .collect();
+    }
+
+    /// The shard a page hashes to. Page ids are dense and sequential, so
+    /// plain modulo spreads both the id space and any contiguous access
+    /// pattern evenly across stripes.
+    fn shard_of(&self, id: PageId) -> &BufferShard {
+        &self.shards[id as usize % self.shards.len()]
+    }
+
+    /// Number of lock stripes in the buffer pool.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard `(misses, hits)` counters, in shard order — the raw
+    /// material for stripe-balance diagnostics and the striping tests.
+    pub fn shard_stats(&self) -> Vec<(u64, u64)> {
+        self.shards
+            .iter()
+            .map(|s| {
+                (
+                    s.reads.load(Ordering::Relaxed),
+                    s.hits.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
     }
 
     /// Raw page slots including freed holes (persistence support).
@@ -202,7 +287,7 @@ impl PageStore {
             self.pages[id as usize].take().is_some(),
             "double free of page {id}"
         );
-        self.buffer.lock().invalidate(id);
+        self.shard_of(id).buffer.lock().invalidate(id);
         self.free.push(id);
     }
 
@@ -232,14 +317,15 @@ impl PageStore {
         });
     }
 
-    /// Fetches a page for reading, going through the LRU buffer and
-    /// counting a page access on a miss.
+    /// Fetches a page for reading, going through the page's buffer shard
+    /// and counting a page access on a miss.
     pub fn read(&self, id: PageId) -> &Node {
-        if self.buffer.lock().access(id) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_of(id);
+        if shard.buffer.lock().access(id) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
             self.record(true);
         } else {
-            self.reads.fetch_add(1, Ordering::Relaxed);
+            shard.reads.fetch_add(1, Ordering::Relaxed);
             self.record(false);
         }
         self.node(id)
@@ -247,10 +333,11 @@ impl PageStore {
 
     /// Fetches a page for modification; counts like a read plus a write.
     pub fn read_mut(&mut self, id: PageId) -> &mut Node {
-        if self.buffer.get_mut().access(id) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+        let shard = &mut self.shards[id as usize % self.shards.len()];
+        if shard.buffer.get_mut().access(id) {
+            shard.hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.reads.fetch_add(1, Ordering::Relaxed);
+            shard.reads.fetch_add(1, Ordering::Relaxed);
         }
         self.writes.fetch_add(1, Ordering::Relaxed);
         self.pages[id as usize]
@@ -273,34 +360,54 @@ impl PageStore {
             .unwrap_or_else(|| panic!("access to freed page {id}"))
     }
 
-    /// Snapshot of the I/O counters.
+    /// Snapshot of the I/O counters, aggregated across all buffer shards.
     pub fn stats(&self) -> IoStats {
-        IoStats {
-            reads: self.reads.load(Ordering::Relaxed),
-            buffer_hits: self.hits.load(Ordering::Relaxed),
+        let mut st = IoStats {
             writes: self.writes.load(Ordering::Relaxed),
+            ..IoStats::default()
+        };
+        for shard in self.shards.iter() {
+            st.reads += shard.reads.load(Ordering::Relaxed);
+            st.buffer_hits += shard.hits.load(Ordering::Relaxed);
         }
+        st
     }
 
     /// Zeroes the counters (the buffer contents are left untouched, so a
     /// measured workload starts from a warm or cold buffer as the caller
     /// arranged).
     pub fn reset_stats(&self) {
-        self.reads.store(0, Ordering::Relaxed);
-        self.hits.store(0, Ordering::Relaxed);
+        for shard in self.shards.iter() {
+            shard.reads.store(0, Ordering::Relaxed);
+            shard.hits.store(0, Ordering::Relaxed);
+        }
         self.writes.store(0, Ordering::Relaxed);
     }
 
-    /// Empties the buffer (cold start) and resizes it to `pages`.
+    /// Empties every shard (cold start) and resizes the pool to a
+    /// **total** of `pages`, re-split across the existing shards.
+    ///
+    /// The stripe *count* is fixed here (`&self` cannot rebuild the lock
+    /// array): shrinking the total below it leaves trailing shards with
+    /// zero capacity, whose pages then never cache. A tree whose 10 %
+    /// capacity fell below its stripe count (mass deletions) should be
+    /// re-striped via [`PageStore::rebuild_buffer`] — which is what
+    /// build finalisation does.
     pub fn reset_buffer(&self, pages: usize) {
-        let mut b = self.buffer.lock();
-        b.clear();
-        b.resize(pages);
+        for (shard, cap) in self
+            .shards
+            .iter()
+            .zip(split_capacity(pages, self.shards.len()))
+        {
+            let mut b = shard.buffer.lock();
+            b.clear();
+            b.resize(cap);
+        }
     }
 
-    /// Current buffer capacity in pages.
+    /// Current total buffer capacity in pages (summed over shards).
     pub fn buffer_capacity(&self) -> usize {
-        self.buffer.lock().capacity()
+        self.shards.iter().map(|s| s.buffer.lock().capacity()).sum()
     }
 }
 
@@ -314,7 +421,7 @@ mod tests {
 
     #[test]
     fn allocate_read_counts_misses_and_hits() {
-        let mut s = PageStore::new(1);
+        let mut s = PageStore::new(1, 1);
         let a = s.allocate(leaf());
         let b = s.allocate(leaf());
         s.reset_stats();
@@ -330,7 +437,7 @@ mod tests {
 
     #[test]
     fn release_and_reuse() {
-        let mut s = PageStore::new(4);
+        let mut s = PageStore::new(4, 1);
         let a = s.allocate(leaf());
         assert_eq!(s.live_pages(), 1);
         s.release(a);
@@ -342,7 +449,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "double free")]
     fn double_free_panics() {
-        let mut s = PageStore::new(4);
+        let mut s = PageStore::new(4, 1);
         let a = s.allocate(leaf());
         s.release(a);
         s.release(a);
@@ -351,7 +458,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "freed page")]
     fn read_after_free_panics() {
-        let mut s = PageStore::new(4);
+        let mut s = PageStore::new(4, 1);
         let a = s.allocate(leaf());
         s.release(a);
         s.read(a);
@@ -359,7 +466,7 @@ mod tests {
 
     #[test]
     fn snapshot_attributes_only_its_window() {
-        let mut s = PageStore::new(1);
+        let mut s = PageStore::new(1, 1);
         let a = s.allocate(leaf());
         let b = s.allocate(leaf());
         s.read(a); // outside any window
@@ -376,8 +483,8 @@ mod tests {
 
     #[test]
     fn snapshots_nest_and_ignore_other_stores() {
-        let mut s = PageStore::new(0);
-        let mut other = PageStore::new(0);
+        let mut s = PageStore::new(0, 1);
+        let mut other = PageStore::new(0, 1);
         let a = s.allocate(leaf());
         let o = other.allocate(leaf());
         let outer = s.snapshot();
@@ -395,7 +502,7 @@ mod tests {
 
     #[test]
     fn snapshot_drop_order_is_not_lifo_sensitive() {
-        let mut s = PageStore::new(0);
+        let mut s = PageStore::new(0, 1);
         let a = s.allocate(leaf());
         let first = s.snapshot();
         let second = s.snapshot();
@@ -406,9 +513,142 @@ mod tests {
         assert_eq!(second.finish().reads, 2);
     }
 
+    /// Replays an access sequence against a plain single [`LruBuffer`],
+    /// returning `(misses, hits)` — the pre-striping reference model.
+    fn single_lru_reference(capacity: usize, accesses: &[PageId]) -> (u64, u64) {
+        let mut b = LruBuffer::new(capacity);
+        let mut misses = 0;
+        let mut hits = 0;
+        for &p in accesses {
+            if b.access(p) {
+                hits += 1;
+            } else {
+                misses += 1;
+            }
+        }
+        (misses, hits)
+    }
+
+    #[test]
+    fn one_shard_reproduces_single_buffer_counts_exactly() {
+        // The default configuration (1 shard) must be bit-for-bit the
+        // paper's single LRU: same hits, same misses, on an adversarial
+        // access pattern that exercises eviction, re-entry and skew.
+        let capacity = 7;
+        let mut s = PageStore::new(capacity, 1);
+        let pages: Vec<PageId> = (0..32).map(|_| s.allocate(leaf())).collect();
+        s.reset_stats();
+        let mut accesses = Vec::new();
+        for i in 0..1000usize {
+            // Skewed mix: hot head, cold tail, periodic scans.
+            let p = match i % 7 {
+                0..=2 => pages[i % 4],
+                3 | 4 => pages[(i * 13) % 16],
+                _ => pages[(i * 31) % 32],
+            };
+            accesses.push(p);
+            s.read(p);
+        }
+        let (misses, hits) = single_lru_reference(capacity, &accesses);
+        let st = s.stats();
+        assert_eq!(st.reads, misses, "1-shard misses must match single LRU");
+        assert_eq!(st.buffer_hits, hits, "1-shard hits must match single LRU");
+    }
+
+    #[test]
+    fn striped_capacity_splits_exactly_and_aggregates() {
+        // 10 pages of capacity across 4 shards: 3+3+2+2.
+        let mut s = PageStore::new(10, 4);
+        assert_eq!(s.shard_count(), 4);
+        assert_eq!(s.buffer_capacity(), 10);
+        // More shards than pages: the stripe count clamps to the
+        // capacity so no stripe is left permanently empty (pages hashed
+        // to a zero-capacity stripe could never cache).
+        let s2 = PageStore::new(3, 8);
+        assert_eq!(s2.shard_count(), 3);
+        assert_eq!(s2.buffer_capacity(), 3);
+        // reset_buffer re-splits a new total over the same shards …
+        s.reset_buffer(11);
+        assert_eq!(s.buffer_capacity(), 11);
+        assert_eq!(s.shard_count(), 4);
+        // … while rebuild_buffer re-stripes (and re-clamps) as well.
+        s.rebuild_buffer(2, 4);
+        assert_eq!(s.shard_count(), 2);
+        assert_eq!(s.buffer_capacity(), 2);
+        s.rebuild_buffer(16, 4);
+        assert_eq!(s.shard_count(), 4);
+        assert_eq!(s.buffer_capacity(), 16);
+    }
+
+    #[test]
+    fn striped_counters_sum_into_stats() {
+        let mut s = PageStore::new(4, 4);
+        let pages: Vec<PageId> = (0..8).map(|_| s.allocate(leaf())).collect();
+        s.reset_stats();
+        for round in 0..3 {
+            for &p in &pages {
+                let _ = round;
+                s.read(p);
+            }
+        }
+        let st = s.stats();
+        assert_eq!(st.fetches(), 24, "every access lands in some shard");
+        let by_shard = s.shard_stats();
+        assert_eq!(by_shard.len(), 4);
+        let (m, h) = by_shard
+            .iter()
+            .fold((0, 0), |(m, h), &(sm, sh)| (m + sm, h + sh));
+        assert_eq!(m, st.reads);
+        assert_eq!(h, st.buffer_hits);
+        // Sequential page ids spread evenly: every shard saw traffic.
+        assert!(by_shard.iter().all(|&(m, h)| m + h == 6));
+    }
+
+    #[test]
+    fn shard_isolation_no_cross_shard_eviction() {
+        // Two shards, one page of capacity each. Pages 0 and 1 hash to
+        // different shards, so alternating between them never evicts —
+        // under one shared 2-page LRU this would also hit, but with one
+        // *1-page* buffer it would thrash. The point: residency of page 0
+        // is decided only by shard-0 traffic.
+        let mut s = PageStore::new(2, 2);
+        let a = s.allocate(leaf()); // id 0 -> shard 0
+        let b = s.allocate(leaf()); // id 1 -> shard 1
+        let c = s.allocate(leaf()); // id 2 -> shard 0
+        s.reset_stats();
+        s.read(a); // miss
+        s.read(b); // miss
+        s.read(a); // hit (b did not evict it)
+        s.read(b); // hit
+        assert_eq!(s.stats().buffer_hits, 2);
+        // c shares a's shard (capacity 1): it evicts a, but never b.
+        s.read(c); // miss, evicts a
+        s.read(b); // still a hit
+        s.read(a); // miss again
+        let st = s.stats();
+        assert_eq!(st.reads, 4);
+        assert_eq!(st.buffer_hits, 3);
+    }
+
+    #[test]
+    fn snapshots_aggregate_across_shards() {
+        let mut s = PageStore::new(4, 4);
+        let pages: Vec<PageId> = (0..4).map(|_| s.allocate(leaf())).collect();
+        let snap = s.snapshot();
+        for &p in &pages {
+            s.read(p); // 4 misses, one per shard
+        }
+        for &p in &pages {
+            s.read(p); // 4 hits, one per shard
+        }
+        let io = snap.finish();
+        assert_eq!(io.reads, 4);
+        assert_eq!(io.buffer_hits, 4);
+    }
+
     #[test]
     fn stats_subtraction_gives_deltas() {
-        let mut s = PageStore::new(0);
+        let mut s = PageStore::new(0, 1);
         let a = s.allocate(leaf());
         s.reset_stats();
         s.read(a);

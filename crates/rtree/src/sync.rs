@@ -2,9 +2,11 @@
 //!
 //! `parking_lot::Mutex::lock` returns the guard directly (no `Result`);
 //! this wrapper gives `std::sync::Mutex` the same ergonomics. Lock
-//! poisoning is ignored: the protected state (the LRU buffer) is a cache
-//! whose worst corruption mode is a wrong hit/miss count, and a panicking
-//! reader thread should not wedge every other reader of a shared tree.
+//! poisoning is ignored: the protected state (one LRU shard of the
+//! lock-striped buffer pool — see [`crate::buffer`] and the store's
+//! `BufferShard`) is a cache whose worst corruption mode is a wrong
+//! hit/miss count, and a panicking reader thread should not wedge every
+//! other reader of a shared tree.
 
 /// Mutual exclusion with `parking_lot`-style (non-poisoning) locking.
 #[derive(Debug, Default)]

@@ -28,7 +28,7 @@ pub struct RTree {
 impl RTree {
     /// Creates an empty tree.
     pub fn new(config: RTreeConfig) -> Self {
-        let mut store = PageStore::new(config.min_buffer_pages);
+        let mut store = PageStore::new(config.min_buffer_pages, config.shards());
         let root = store.allocate(Node::new(0));
         RTree {
             config,
@@ -168,19 +168,41 @@ impl RTree {
 
     /// Clears the buffer (cold start) and resizes it to the configured
     /// fraction of the current tree size. Call after bulk modifications
-    /// and before a measured workload.
+    /// and before a measured workload. The stripe count stays as built;
+    /// see [`crate::RTreeConfig::buffer_shards`] and the store's
+    /// `reset_buffer` for the shrink-below-stripe-count caveat.
     pub fn reset_buffer(&self) {
         self.store
             .reset_buffer(self.config.buffer_pages(self.store.live_pages()));
     }
 
-    /// Buffer capacity in pages.
+    /// Total buffer capacity in pages (summed over all shards).
     pub fn buffer_capacity(&self) -> usize {
         self.store.buffer_capacity()
     }
 
+    /// Number of lock stripes in the buffer pool (see
+    /// [`RTreeConfig::buffer_shards`]).
+    pub fn buffer_shards(&self) -> usize {
+        self.store.shard_count()
+    }
+
+    /// Per-shard `(misses, hits)` counters, in shard order. Sums to the
+    /// aggregate [`RTree::io_stats`] view; exposed for stripe-balance
+    /// diagnostics and the striping test suite.
+    pub fn buffer_shard_stats(&self) -> Vec<(u64, u64)> {
+        self.store.shard_stats()
+    }
+
     fn finish_build(&mut self) {
-        self.reset_buffer();
+        // Re-stripe now that the tree's final size — and therefore its
+        // 10 %-rule buffer capacity — is known: the placeholder pool of
+        // `RTree::new` was sized (and its stripe count clamped) before
+        // any page existed.
+        self.store.rebuild_buffer(
+            self.config.buffer_pages(self.store.live_pages()),
+            self.config.shards(),
+        );
         self.reset_io_stats();
     }
 

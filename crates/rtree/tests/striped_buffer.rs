@@ -1,0 +1,120 @@
+//! Lock-striped buffer pool: shard-count edge cases and concurrent
+//! exactness of the aggregated I/O accounting.
+
+use obstacle_geom::Point;
+use obstacle_rtree::{Item, RTree, RTreeConfig};
+
+fn grid_items(n: usize) -> Vec<Item> {
+    (0..n as u64)
+        .map(|i| Item::point(Point::new((i % 64) as f64, (i / 64) as f64), i))
+        .collect()
+}
+
+/// A mixed read-only query workload touching many pages; returns the ids
+/// it produced so result equivalence can be asserted across shard counts.
+fn workload(tree: &RTree, salt: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    for i in 0..40u64 {
+        let j = (i * 7 + salt) % 64;
+        let q = Point::new(j as f64, ((j * 5) % 64) as f64);
+        for (item, _) in tree.nearest(q).take(8) {
+            out.push(item.id);
+        }
+    }
+    out
+}
+
+#[test]
+fn query_results_identical_across_shard_counts() {
+    // The buffer pool is pure accounting: answers must be bit-identical
+    // no matter how (or whether) the buffer is striped.
+    let items = grid_items(4096);
+    let base = RTree::build(RTreeConfig::tiny(16), items.clone());
+    let expect = workload(&base, 3);
+    for shards in [1usize, 2, 5, 8, 1024] {
+        let tree = RTree::build(RTreeConfig::tiny(16).striped(shards), items.clone());
+        // The stripe count honours the request up to the buffer capacity
+        // (a stripe with no capacity could never cache its pages).
+        assert_eq!(tree.buffer_shards(), shards.min(tree.buffer_capacity()));
+        assert!(tree.buffer_shards() >= shards.min(2), "{shards} shards");
+        assert_eq!(
+            tree.buffer_capacity(),
+            base.buffer_capacity(),
+            "the 10 % total-capacity rule is shard-count invariant"
+        );
+        assert_eq!(workload(&tree, 3), expect, "{shards} shards");
+    }
+}
+
+#[test]
+fn one_shard_tree_reproduces_unsharded_accounting_exactly() {
+    // `striped(1)` must be byte-for-byte the pre-striping single LRU:
+    // identical hit/miss counts over an identical access sequence.
+    let items = grid_items(4096);
+    let a = RTree::build(RTreeConfig::tiny(16), items.clone());
+    let b = RTree::build(RTreeConfig::tiny(16).striped(1), items);
+    for t in [&a, &b] {
+        t.reset_buffer();
+        t.reset_io_stats();
+    }
+    let _ = workload(&a, 11);
+    let _ = workload(&b, 11);
+    assert_eq!(a.io_stats(), b.io_stats());
+    assert!(a.io_stats().buffer_hits > 0, "workload must exercise hits");
+    assert!(a.io_stats().reads > 0, "workload must exercise misses");
+}
+
+#[test]
+fn shard_counters_sum_to_aggregate_under_concurrency() {
+    // 8 threads hammer one striped tree. Exactness of the aggregate —
+    // every logical fetch counted exactly once, none lost to a race — is
+    // checked three ways: per-thread attribution windows sum to the
+    // global delta, shard counters sum to the global counters, and the
+    // total equals the single-threaded fetch count of the same workload.
+    let items = grid_items(4096);
+    let tree = RTree::build(RTreeConfig::tiny(16).striped(8), items);
+    tree.reset_buffer();
+    tree.reset_io_stats();
+
+    let threads = 8;
+    let solo: u64 = (0..threads)
+        .map(|t| {
+            let snap = tree.io_snapshot();
+            let _ = workload(&tree, t as u64);
+            snap.finish().fetches()
+        })
+        .sum();
+    tree.reset_buffer();
+    tree.reset_io_stats();
+
+    let attributed: u64 = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|t| {
+                let tree = &tree;
+                scope.spawn(move || {
+                    let snap = tree.io_snapshot();
+                    let _ = workload(tree, t as u64);
+                    snap.finish().fetches()
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).sum()
+    });
+
+    let global = tree.io_stats();
+    assert_eq!(
+        attributed,
+        global.fetches(),
+        "thread-local windows must cover the global aggregate exactly"
+    );
+    assert_eq!(
+        attributed, solo,
+        "logical fetches are interleaving-independent"
+    );
+    let (miss_sum, hit_sum) = tree
+        .buffer_shard_stats()
+        .into_iter()
+        .fold((0, 0), |(m, h), (sm, sh)| (m + sm, h + sh));
+    assert_eq!(miss_sum, global.reads);
+    assert_eq!(hit_sum, global.buffer_hits);
+}

@@ -59,6 +59,22 @@ impl Ord for D {
     }
 }
 
+/// Deterministic total order on node *positions*, used as the frontier
+/// tie-break ahead of the node id. Exact key ties (two equal-length
+/// shortest paths on a symmetric scene) then resolve by geometry rather
+/// than by insertion order, so search results are identical between a
+/// fresh scene and a reused one whose node numbering differs — the
+/// invariant the cross-query scene cache of `obstacle_core::batch`
+/// relies on. (Raw bit patterns are not a geometric order; they are just
+/// a stable one, which is all a tie-break needs.)
+fn pos_key(p: Point) -> (u64, u64) {
+    (p.x.to_bits(), p.y.to_bits())
+}
+
+/// Min-frontier over `(key, position tie-break, node id)` used by both
+/// search loops.
+type Frontier = BinaryHeap<Reverse<(D, (u64, u64), u32)>>;
+
 #[derive(Clone, Debug)]
 struct LazyNode {
     pos: Point,
@@ -213,6 +229,14 @@ impl LazyScene {
         self.nodes.iter().filter(|n| n.alive).count()
     }
 
+    /// Total node slots ever allocated, dead waypoints included. Search
+    /// working arrays are sized by this, so a long-lived scene with heavy
+    /// waypoint churn (a cross-query scene cache) should be retired once
+    /// slots dwarf [`LazyScene::node_count`].
+    pub fn node_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
     /// Number of obstacles.
     pub fn obstacle_count(&self) -> usize {
         self.polys.len()
@@ -330,6 +354,25 @@ impl LazyScene {
         !self.polys.iter().any(|p| p.blocks_segment(s))
     }
 
+    /// [`LazyScene::visible`] through the bbox-tree: only obstacles whose
+    /// MBR meets the segment's bounding box are tested exactly, so the
+    /// cost tracks the segment's neighbourhood rather than the scene —
+    /// the difference matters once a long-lived scene (a cross-query
+    /// cache) has absorbed far more obstacles than any one query touches.
+    fn visible_indexed(&mut self, a: Point, b: Point) -> bool {
+        if a == b {
+            return true;
+        }
+        self.ensure_grid();
+        let s = Segment::new(a, b);
+        let sb = Rect::new(a, b);
+        !self.grid.visit(
+            &self.rects,
+            |mbr| mbr.intersects(&sb),
+            |oi| self.polys[oi].blocks_segment(s),
+        )
+    }
+
     /// A\* shortest path from `from` to `to` over the current scene, or
     /// `None` when unreachable.
     ///
@@ -362,18 +405,18 @@ impl LazyScene {
             }
             if matches!(self.nodes[from.0 as usize].kind, NodeKind::Waypoint { .. }) {
                 // Waypoint-to-waypoint: the one edge no sweep reports.
-                to_target[from.0 as usize] = self.visible(fp, tp);
+                to_target[from.0 as usize] = self.visible_indexed(fp, tp);
             }
         }
 
         let mut g = vec![f64::INFINITY; n];
         let mut pred = vec![u32::MAX; n];
         let mut closed = vec![false; n];
-        let mut heap: BinaryHeap<Reverse<(D, u32)>> = BinaryHeap::new();
+        let mut heap: Frontier = BinaryHeap::new();
         g[from.0 as usize] = 0.0;
-        heap.push(Reverse((D(fp.dist(tp)), from.0)));
+        heap.push(Reverse((D(fp.dist(tp)), pos_key(fp), from.0)));
 
-        while let Some(Reverse((_, u))) = heap.pop() {
+        while let Some(Reverse((_, _, u))) = heap.pop() {
             if closed[u as usize] {
                 continue; // stale frontier entry
             }
@@ -389,7 +432,8 @@ impl LazyScene {
                 if nd < g[vi] {
                     g[vi] = nd;
                     pred[vi] = u;
-                    heap.push(Reverse((D(nd + self.nodes[vi].pos.dist(tp)), v.0)));
+                    let vp = self.nodes[vi].pos;
+                    heap.push(Reverse((D(nd + vp.dist(tp)), pos_key(vp), v.0)));
                 }
             }
             if to_target[u as usize] {
@@ -398,7 +442,7 @@ impl LazyScene {
                 if nd < g[ti] {
                     g[ti] = nd;
                     pred[ti] = u;
-                    heap.push(Reverse((D(nd), to.0)));
+                    heap.push(Reverse((D(nd), pos_key(tp), to.0)));
                 }
             }
         }
@@ -464,17 +508,17 @@ impl LazyScene {
             }
             // The one edge no sweep reports: straight from the source.
             let d = fp.dist(tp);
-            if d <= radius && self.visible(fp, tp) {
+            if d <= radius && self.visible_indexed(fp, tp) {
                 into[from.0 as usize].push((t.0, d));
             }
         }
 
         let mut dist = vec![f64::INFINITY; n];
         let mut settled = Vec::new();
-        let mut heap: BinaryHeap<Reverse<(D, u32)>> = BinaryHeap::new();
+        let mut heap: Frontier = BinaryHeap::new();
         dist[from.0 as usize] = 0.0;
-        heap.push(Reverse((D(0.0), from.0)));
-        while let Some(Reverse((D(d), u))) = heap.pop() {
+        heap.push(Reverse((D(0.0), pos_key(fp), from.0)));
+        while let Some(Reverse((D(d), _, u))) = heap.pop() {
             if d > dist[u as usize] {
                 continue; // stale frontier entry
             }
@@ -490,7 +534,7 @@ impl LazyScene {
                     let nd = d + w;
                     if nd <= radius && nd < dist[v.0 as usize] {
                         dist[v.0 as usize] = nd;
-                        heap.push(Reverse((D(nd), v.0)));
+                        heap.push(Reverse((D(nd), pos_key(self.nodes[v.0 as usize].pos), v.0)));
                     }
                 }
             }
@@ -498,7 +542,7 @@ impl LazyScene {
                 let nd = d + w;
                 if nd <= radius && nd < dist[v as usize] {
                     dist[v as usize] = nd;
-                    heap.push(Reverse((D(nd), v)));
+                    heap.push(Reverse((D(nd), pos_key(self.nodes[v as usize].pos), v)));
                 }
             }
         }
@@ -964,9 +1008,9 @@ impl BboxTree {
             } else {
                 let below = &self.levels[level - 1];
                 let hi = ((g + 1) * TREE_FAN).min(below.len());
-                for child in lo..hi {
-                    if prune(&below[child]) {
-                        stack.push((level - 1, child));
+                for (off, mbr) in below[lo..hi].iter().enumerate() {
+                    if prune(mbr) {
+                        stack.push((level - 1, lo + off));
                     }
                 }
             }
@@ -1104,7 +1148,7 @@ mod tests {
 
     #[test]
     fn waypoint_churn_keeps_vertex_caches_valid() {
-        let obstacles = vec![square(1.0, -1.0, 2.0, 1.0)];
+        let obstacles = [square(1.0, -1.0, 2.0, 1.0)];
         let mut s = LazyScene::new(EdgeBuilder::RotationalSweep);
         s.add_obstacle(obstacles[0].clone(), 0);
         let q = s.add_waypoint(Point::new(0.0, 0.0), 0);
@@ -1186,7 +1230,7 @@ mod tests {
 
     #[test]
     fn bounded_expansion_matches_materialized_graph() {
-        let obstacles = vec![
+        let obstacles = [
             square(1.0, -1.0, 2.0, 1.0),
             square(4.0, -2.0, 5.0, 0.5),
             square(2.5, 1.5, 3.5, 2.5),
