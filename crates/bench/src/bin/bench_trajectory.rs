@@ -1,9 +1,12 @@
 //! CI entry point for the performance-trajectory artifact.
 //!
 //! Measures batch throughput (striped buffers + scene caches, 1/2/4/8
-//! worker threads, determinism-verified) and the long-path ladder, writes
-//! `BENCH_PR4.json`, and exits non-zero if any ladder rung blows its
-//! wall-clock budget — the no-regression gate `ci.sh bench` enforces.
+//! worker threads, determinism-verified), the InputOrder-vs-Hilbert
+//! scheduling sweep on a clustered workload, and the long-path ladder;
+//! writes `BENCH_PR5.json`; then **diffs against the previous
+//! `BENCH_*.json` artifact** and exits non-zero on a q/s regression
+//! beyond tolerance or a ladder-budget blowout — the no-regression gates
+//! `ci.sh bench` enforces.
 //!
 //! ```sh
 //! cargo run --release -p obstacle-bench --bin bench_trajectory
@@ -12,15 +15,52 @@
 //! ```
 //!
 //! Knobs (all env vars): `OBSTACLE_TRAJECTORY_OUT` (output path, default
-//! `BENCH_PR4.json`), `_OBSTACLES`, `_ENTITIES`, `_QUERIES`, `_SHARDS`.
+//! `BENCH_PR5.json`), `_OBSTACLES`, `_ENTITIES`, `_QUERIES`, `_SHARDS`,
+//! `_BASELINE` (previous artifact; default: the highest-numbered other
+//! `BENCH_PR*.json` in the working directory), `_QPS_TOLERANCE`
+//! (fractional q/s regression allowance, default 0.4 — generous because
+//! the 1-core CI container is noisy).
 
 use obstacle_bench::trajectory::{run, TrajectoryConfig};
+use std::path::PathBuf;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// The previous trajectory artifact to diff against: the explicitly
+/// named one, else the highest-numbered `BENCH_PR<k>.json` in the
+/// working directory other than the output file itself.
+fn find_baseline(out: &str) -> Option<PathBuf> {
+    if let Ok(explicit) = std::env::var("OBSTACLE_TRAJECTORY_BASELINE") {
+        return (!explicit.is_empty()).then(|| PathBuf::from(explicit));
+    }
+    let out_name = PathBuf::from(out);
+    let out_name = out_name.file_name()?.to_owned();
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(".").ok()?.flatten() {
+        let name = entry.file_name();
+        let Some(name_str) = name.to_str() else {
+            continue;
+        };
+        let Some(k) = name_str
+            .strip_prefix("BENCH_PR")
+            .and_then(|r| r.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if name == out_name {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(bk, _)| k > *bk) {
+            best = Some((k, entry.path()));
+        }
+    }
+    best.map(|(_, p)| p)
 }
 
 fn main() {
@@ -33,7 +73,11 @@ fn main() {
         ..defaults
     };
     let out =
-        std::env::var("OBSTACLE_TRAJECTORY_OUT").unwrap_or_else(|_| "BENCH_PR4.json".to_string());
+        std::env::var("OBSTACLE_TRAJECTORY_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+    let tolerance = std::env::var("OBSTACLE_TRAJECTORY_QPS_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.4);
 
     println!(
         "bench_trajectory: |O| = {}, |P| = {}, {} queries, {} buffer shard(s)",
@@ -52,6 +96,20 @@ fn main() {
             100.0 * p.obstacle_hit_rate
         );
     }
+    for p in &report.schedules {
+        println!(
+            "  clustered {:>11} @ {} thread(s): {:>6.2} s  {:>7.1} q/s  \
+             scene reuses {:>3} / resets {:>3}  hit rates P {:.1} % / O {:.1} %",
+            p.schedule,
+            p.threads,
+            p.seconds,
+            p.qps,
+            p.scene_reuses,
+            p.scene_resets,
+            100.0 * p.entity_hit_rate,
+            100.0 * p.obstacle_hit_rate
+        );
+    }
     for r in &report.ladder {
         println!(
             "  path |O| {:>6}: {:>6.2} s (budget {:.1} s)  d = {:.6}",
@@ -62,11 +120,40 @@ fn main() {
     std::fs::write(&out, report.to_json()).unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("bench_trajectory: wrote {out}");
 
+    let mut failed = false;
+
+    // Trajectory history: diff against the previous artifact.
+    match find_baseline(&out) {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(baseline) => {
+                let diff = report.diff_against_baseline(&baseline, tolerance);
+                println!(
+                    "bench_trajectory: baseline {} ({}comparable)",
+                    path.display(),
+                    if diff.comparable { "" } else { "not " }
+                );
+                for n in &diff.notes {
+                    println!("  {n}");
+                }
+                for r in &diff.regressions {
+                    eprintln!("REGRESSION: {r}");
+                    failed = true;
+                }
+            }
+            Err(e) => println!(
+                "bench_trajectory: baseline {} unreadable: {e}",
+                path.display()
+            ),
+        },
+        None => println!("bench_trajectory: no previous BENCH_PR*.json artifact — diff skipped"),
+    }
+
     let violations = report.budget_violations();
-    if !violations.is_empty() {
-        for v in &violations {
-            eprintln!("REGRESSION: {v}");
-        }
+    for v in &violations {
+        eprintln!("REGRESSION: {v}");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -11,18 +11,27 @@
 //! obstacle_cli path   --from X,Y --to X,Y
 //! obstacle_cli join   --e E [--s N] [--t N]
 //! obstacle_cli cp     [--k K] [--s N] [--t N]
-//! obstacle_cli batch  [--queries N] [--threads T] [--verify]
+//! obstacle_cli batch  [--queries N] [--threads T] [--verify] [--stream]
+//!                     [--schedule input|hilbert] [--clusters N]
 //! ```
 //!
 //! `--shards N` stripes each tree's LRU buffer pool across `N` locks
 //! (default 1, the paper's single buffer; see `RTreeConfig::striped`).
+//! `--schedule hilbert` claims batch queries in Hilbert order of their
+//! regions (scene-cache locality), `--stream` prints answers as workers
+//! finish them instead of waiting for the whole batch, and
+//! `--clusters N` draws the workload around `N` hotspots (the
+//! obstructed-clustering access pattern) instead of scattering it.
 
 use obstacle_bench::batch::{thread_sweep, to_core_query};
 use obstacle_core::{
-    closest_pairs, distance_join, shortest_obstructed_path, EngineOptions, EntityIndex,
-    ObstacleIndex, QueryEngine, QueryStats,
+    closest_pairs, distance_join, shortest_obstructed_path, BatchOptions, EngineOptions,
+    EntityIndex, ObstacleIndex, QueryEngine, QueryStats, Schedule,
 };
-use obstacle_datagen::{batch_workload, sample_entities, BatchMix, City, CityConfig};
+use obstacle_datagen::{
+    batch_workload, clustered_batch_workload, sample_entities, BatchMix, City, CityConfig,
+    ClusterSpec,
+};
 use obstacle_geom::Point;
 use obstacle_rtree::RTreeConfig;
 use obstacle_visibility::EdgeBuilder;
@@ -44,6 +53,13 @@ struct Args {
     threads: usize,
     shards: usize,
     verify: bool,
+    stream: bool,
+    /// `None` = flag absent: the legacy thread-sweep path. Passing
+    /// `--schedule` (either value) selects the scheduled single-run
+    /// path, so `--schedule input` and `--schedule hilbert` produce
+    /// directly comparable output.
+    schedule: Option<Schedule>,
+    clusters: usize,
 }
 
 fn main() {
@@ -226,11 +242,27 @@ fn batch(args: &Args) {
     let (city, obstacles) = world(args);
     let entities = entity_index(args, &city, args.entities, args.seed + 1);
     let engine = QueryEngine::new(&entities, &obstacles);
-    let queries: Vec<obstacle_core::Query> =
+    let specs = if args.clusters > 0 {
+        clustered_batch_workload(
+            &city,
+            args.queries,
+            args.seed + 4,
+            BatchMix::default(),
+            ClusterSpec {
+                clusters: args.clusters,
+                spread: 0.005,
+            },
+        )
+    } else {
         batch_workload(&city, args.queries, args.seed + 4, BatchMix::default())
-            .iter()
-            .map(to_core_query)
-            .collect();
+    };
+    let queries: Vec<obstacle_core::Query> = specs.iter().map(to_core_query).collect();
+    if args.stream {
+        return batch_streaming(args, &engine, &queries);
+    }
+    if let Some(schedule) = args.schedule {
+        return batch_scheduled(args, schedule, &engine, &queries);
+    }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Verification needs a second (sequential) run to compare against;
     // with one worker thread the run *is* sequential, so there is
@@ -286,6 +318,140 @@ fn batch(args: &Args) {
     );
 }
 
+/// `batch --stream`: answers are consumed while workers still run; the
+/// interesting numbers are time-to-first-answer vs total wall clock and
+/// the scene-cache economics of the chosen schedule.
+fn batch_streaming(args: &Args, engine: &QueryEngine<'_>, queries: &[obstacle_core::Query]) {
+    let schedule = args.schedule.unwrap_or_default();
+    println!(
+        "streaming batch of {} queries, {} worker thread(s), {} schedule:",
+        queries.len(),
+        args.threads,
+        schedule_name(schedule)
+    );
+    let options = BatchOptions::new(args.threads).schedule(schedule);
+    let progress_every = (queries.len() / 8).max(1);
+    let t0 = std::time::Instant::now();
+    let mut first = None;
+    let mut agg = QueryStats::default();
+    let ((count, results), stats) = engine.run_batch_streaming(queries, &options, |stream| {
+        let mut count = 0usize;
+        let mut results = 0usize;
+        for (i, answer) in stream {
+            count += 1;
+            results += answer.result_count();
+            if let Some(s) = answer.stats() {
+                agg.accumulate(s);
+            }
+            if count == 1 {
+                first = Some(t0.elapsed());
+            }
+            if count.is_multiple_of(progress_every) || count == queries.len() {
+                println!(
+                    "  [{:>6.2?}] {:>4}/{} answers (latest: query {} with {} result rows)",
+                    t0.elapsed(),
+                    count,
+                    queries.len(),
+                    i,
+                    answer.result_count()
+                );
+            }
+        }
+        (count, results)
+    });
+    let elapsed = t0.elapsed();
+    println!(
+        "  {} answers, {} result rows in {:.2?} ({:.1} queries/sec); first answer after {:.2?}",
+        count,
+        results,
+        elapsed,
+        count as f64 / elapsed.as_secs_f64(),
+        first.unwrap_or(elapsed)
+    );
+    println!(
+        "  scene caches: {} reuse(s), {} reset(s) across {} worker(s)",
+        stats.scene_reuses, stats.scene_resets, stats.workers
+    );
+    eprintln!(
+        "[aggregate cost: {} entity + {} obstacle page fetches, \
+         {} candidates, {} results]",
+        agg.entity_fetches, agg.obstacle_fetches, agg.candidates, agg.results
+    );
+    if args.verify {
+        let sequential = engine.run_batch(queries, 1);
+        let (streamed, _) = engine.run_batch_streaming(queries, &options, |stream| {
+            let mut v: Vec<(usize, obstacle_core::Answer)> = stream.collect();
+            v.sort_by_key(|(i, _)| *i);
+            v
+        });
+        for (i, (idx, a)) in streamed.iter().enumerate() {
+            assert_eq!(i, *idx);
+            assert!(
+                a.same_results(&sequential[i]),
+                "streamed query {i} diverged from sequential"
+            );
+        }
+        println!("  verified: streamed answers identical to the sequential loop");
+    }
+}
+
+/// `batch --schedule <input|hilbert>` (collected): one scheduled run
+/// with scene stats — the same output shape for both schedules, so the
+/// two invocations compare directly — optionally verified against the
+/// sequential input-order loop.
+fn batch_scheduled(
+    args: &Args,
+    schedule: Schedule,
+    engine: &QueryEngine<'_>,
+    queries: &[obstacle_core::Query],
+) {
+    println!(
+        "batch of {} queries, {} worker thread(s), {} schedule:",
+        queries.len(),
+        args.threads,
+        schedule_name(schedule)
+    );
+    let options = BatchOptions::new(args.threads).schedule(schedule);
+    let t0 = std::time::Instant::now();
+    let (answers, stats) = engine.run_batch_scheduled(queries, &options);
+    let elapsed = t0.elapsed();
+    println!(
+        "  {:>10.2?} total, {:>8.1} queries/sec; scene caches: {} reuse(s), {} reset(s)",
+        elapsed,
+        queries.len() as f64 / elapsed.as_secs_f64(),
+        stats.scene_reuses,
+        stats.scene_resets
+    );
+    if args.verify {
+        let sequential = engine.run_batch(queries, 1);
+        for (i, (a, s)) in answers.iter().zip(sequential.iter()).enumerate() {
+            assert!(
+                a.same_results(s),
+                "scheduled query {i} diverged from sequential"
+            );
+        }
+        println!("  verified: scheduled answers identical to the sequential loop");
+    }
+    let mut agg = QueryStats::default();
+    for a in &answers {
+        if let Some(s) = a.stats() {
+            agg.accumulate(s);
+        }
+    }
+    eprintln!(
+        "[aggregate cost: {} entity + {} obstacle page fetches, \
+         {} candidates, {} results]",
+        agg.entity_fetches, agg.obstacle_fetches, agg.candidates, agg.results
+    );
+}
+
+fn schedule_name(s: Schedule) -> &'static str {
+    match s {
+        Schedule::InputOrder => "input-order",
+        Schedule::Hilbert => "hilbert",
+    }
+}
+
 fn print_stats(stats: &obstacle_core::QueryStats) {
     eprintln!(
         "[cost: {} entity + {} obstacle page fetches ({} + {} buffer misses), \
@@ -323,6 +489,9 @@ fn parse_args() -> Args {
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         shards: 1,
         verify: false,
+        stream: false,
+        schedule: None,
+        clusters: 0,
     };
     let mut argv = std::env::args().skip(1);
     out.command = argv.next().unwrap_or_else(|| usage("missing command"));
@@ -381,6 +550,19 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|_| usage("bad --threads"))
             }
             "--verify" => out.verify = true,
+            "--stream" => out.stream = true,
+            "--schedule" => {
+                out.schedule = Some(match value("--schedule").as_str() {
+                    "input" | "input-order" | "input_order" => Schedule::InputOrder,
+                    "hilbert" => Schedule::Hilbert,
+                    _ => usage("bad --schedule (input|hilbert)"),
+                })
+            }
+            "--clusters" => {
+                out.clusters = value("--clusters")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --clusters"))
+            }
             other => usage(&format!("unknown flag '{other}'")),
         }
     }
@@ -400,7 +582,8 @@ fn usage(err: &str) -> ! {
          \x20 path  --from X,Y --to X,Y\n\
          \x20 join  --e E [--s N] [--t N]\n\
          \x20 cp    [--k K] [--s N] [--t N]\n\
-         \x20 batch [--queries N] [--threads T] [--verify]\n\
+         \x20 batch [--queries N] [--threads T] [--verify] [--stream]\n\
+         \x20       [--schedule input|hilbert] [--clusters N]\n\
          common flags: --obstacles N (16384) --seed S --entities N (4096)\n\
          \x20              --shards N (1: buffer-pool lock stripes per tree)"
     );

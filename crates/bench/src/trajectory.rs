@@ -20,9 +20,12 @@
 //! are emitted with fixed precision so the output is always valid JSON.
 
 use crate::batch::to_core_query;
-use obstacle_core::{shortest_obstructed_path, ObstacleIndex};
+use obstacle_core::{shortest_obstructed_path, BatchOptions, ObstacleIndex, Schedule};
 use obstacle_core::{EntityIndex, Query, QueryEngine};
-use obstacle_datagen::{batch_workload, sample_entities, BatchMix, City, CityConfig};
+use obstacle_datagen::{
+    batch_workload, clustered_batch_workload, sample_entities, BatchMix, City, CityConfig,
+    ClusterSpec,
+};
 use obstacle_geom::Point;
 use obstacle_rtree::{IoStats, RTreeConfig};
 use obstacle_visibility::EdgeBuilder;
@@ -44,6 +47,13 @@ pub struct TrajectoryConfig {
     pub threads: Vec<usize>,
     /// Path ladder as `(|O|, wall-clock budget in seconds)` rungs.
     pub ladder: Vec<(usize, f64)>,
+    /// Queries in the clustered scheduling workload (0 skips the sweep).
+    pub clustered_queries: usize,
+    /// Hotspots of the clustered workload.
+    pub clusters: usize,
+    /// Thread counts of the schedule sweep (kept short: the point is the
+    /// InputOrder-vs-Hilbert hit-rate split, not another thread ladder).
+    pub schedule_threads: Vec<usize>,
 }
 
 impl Default for TrajectoryConfig {
@@ -56,6 +66,9 @@ impl Default for TrajectoryConfig {
             threads: vec![1, 2, 4, 8],
             // The 2000-rung budget mirrors the `path_scaling` test gate.
             ladder: vec![(500, 1.5), (2000, 2.0)],
+            clustered_queries: 64,
+            clusters: 8,
+            schedule_threads: vec![1, 2],
         }
     }
 }
@@ -72,6 +85,30 @@ pub struct ThreadPoint {
     /// Speedup over the 1-thread (first) point.
     pub speedup: f64,
     /// Entity-tree buffer hit rate (hits / fetches) over the batch.
+    pub entity_hit_rate: f64,
+    /// Obstacle-tree buffer hit rate over the batch.
+    pub obstacle_hit_rate: f64,
+}
+
+/// One measured point of the scheduling sweep: the same clustered batch
+/// under one `(schedule, threads)` pair.
+#[derive(Clone, Debug)]
+pub struct SchedulePoint {
+    /// `"input_order"` or `"hilbert"`.
+    pub schedule: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Batch wall-clock in seconds.
+    pub seconds: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Aggregate `SceneCache` hit count (queries answered on a warm
+    /// scene, summed over workers) — the quantity Hilbert scheduling
+    /// exists to raise.
+    pub scene_reuses: usize,
+    /// Scenes retired over the batch.
+    pub scene_resets: usize,
+    /// Entity-tree buffer hit rate over the batch.
     pub entity_hit_rate: f64,
     /// Obstacle-tree buffer hit rate over the batch.
     pub obstacle_hit_rate: f64,
@@ -100,6 +137,9 @@ pub struct TrajectoryReport {
     pub cores: usize,
     /// Throughput sweep, one point per thread count.
     pub throughput: Vec<ThreadPoint>,
+    /// Scheduling sweep over the clustered workload, one point per
+    /// `(schedule, threads)` pair (empty when `clustered_queries` is 0).
+    pub schedules: Vec<SchedulePoint>,
     /// Path ladder rungs.
     pub ladder: Vec<LadderPoint>,
     /// Whether every thread count returned results identical to the
@@ -167,6 +207,64 @@ pub fn run(config: TrajectoryConfig) -> TrajectoryReport {
         });
     }
 
+    // ---- Scheduling sweep: the same clustered batch under both claim
+    // orders. The workload cycles its hotspots round-robin, so input
+    // order is maximally scattered and Hilbert has real locality to
+    // recover; determinism across schedules is asserted on every run.
+    let mut schedules = Vec::new();
+    if config.clustered_queries > 0 {
+        let clustered: Vec<Query> = clustered_batch_workload(
+            &city,
+            config.clustered_queries,
+            0xC1A,
+            BatchMix::point_queries(),
+            ClusterSpec {
+                clusters: config.clusters,
+                spread: 0.005,
+            },
+        )
+        .iter()
+        .map(to_core_query)
+        .collect();
+        let mut schedule_baseline: Option<Vec<obstacle_core::Answer>> = None;
+        for &threads in &config.schedule_threads {
+            for (name, schedule) in [
+                ("input_order", Schedule::InputOrder),
+                ("hilbert", Schedule::Hilbert),
+            ] {
+                entities.tree().reset_buffer();
+                obstacles.tree().reset_buffer();
+                entities.tree().reset_io_stats();
+                obstacles.tree().reset_io_stats();
+                let options = BatchOptions::new(threads).schedule(schedule);
+                let t0 = Instant::now();
+                let (answers, stats) = engine.run_batch_scheduled(&clustered, &options);
+                let seconds = t0.elapsed().as_secs_f64();
+                match &schedule_baseline {
+                    None => schedule_baseline = Some(answers),
+                    Some(base) => {
+                        for (i, (a, b)) in answers.iter().zip(base.iter()).enumerate() {
+                            assert!(
+                                a.same_results(b),
+                                "clustered query {i} diverged under {name} at {threads} threads"
+                            );
+                        }
+                    }
+                }
+                schedules.push(SchedulePoint {
+                    schedule: name.to_string(),
+                    threads,
+                    seconds,
+                    qps: clustered.len() as f64 / seconds,
+                    scene_reuses: stats.scene_reuses,
+                    scene_resets: stats.scene_resets,
+                    entity_hit_rate: hit_rate(entities.tree().io_stats()),
+                    obstacle_hit_rate: hit_rate(obstacles.tree().io_stats()),
+                });
+            }
+        }
+    }
+
     // ---- Path ladder.
     let mut ladder = Vec::with_capacity(config.ladder.len());
     for &(n, budget_seconds) in &config.ladder {
@@ -189,6 +287,7 @@ pub fn run(config: TrajectoryConfig) -> TrajectoryReport {
         config,
         cores,
         throughput,
+        schedules,
         ladder,
         determinism_verified: true,
     }
@@ -216,7 +315,7 @@ impl TrajectoryReport {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         s.push_str("  \"schema\": \"obstacle-suite-bench-trajectory\",\n");
-        s.push_str("  \"pr\": 4,\n");
+        s.push_str("  \"pr\": 5,\n");
         s.push_str(&format!(
             "  \"config\": {{\"obstacles\": {}, \"entities\": {}, \"queries\": {}, \
              \"buffer_shards\": {}, \"cores\": {}}},\n",
@@ -250,7 +349,28 @@ impl TrajectoryReport {
             ));
         }
         s.push_str("  ],\n");
-        s.push_str("  \"path_ladder\": [\n");
+        s.push_str("  \"schedules\": [\n");
+        for (i, p) in self.schedules.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"schedule\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \
+                 \"qps\": {:.3}, \"scene_reuses\": {}, \"scene_resets\": {}, \
+                 \"entity_hit_rate\": {:.4}, \"obstacle_hit_rate\": {:.4}}}{}\n",
+                p.schedule,
+                p.threads,
+                p.seconds,
+                p.qps,
+                p.scene_reuses,
+                p.scene_resets,
+                p.entity_hit_rate,
+                p.obstacle_hit_rate,
+                if i + 1 < self.schedules.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("  ],\n  \"path_ladder\": [\n");
         for (i, r) in self.ladder.iter().enumerate() {
             s.push_str(&format!(
                 "    {{\"obstacles\": {}, \"seconds\": {:.6}, \
@@ -265,6 +385,106 @@ impl TrajectoryReport {
         s.push_str("  ]\n}\n");
         s
     }
+
+    /// Diffs this report against a previous `BENCH_*.json` artifact —
+    /// the trajectory-history gate: q/s on the shared throughput
+    /// workload must not regress beyond `tolerance` (a fraction, e.g.
+    /// 0.4 = fail below 60 % of the previous number; generous because
+    /// the 1-core CI container is noisy). Points are matched by thread
+    /// count; the diff is skipped (`comparable == false`) when the
+    /// baseline measured a different workload configuration, since its
+    /// q/s would mean nothing here.
+    pub fn diff_against_baseline(&self, baseline_json: &str, tolerance: f64) -> BaselineDiff {
+        let mut diff = BaselineDiff {
+            comparable: false,
+            notes: Vec::new(),
+            regressions: Vec::new(),
+        };
+        // The config object serialises first, so the first occurrence of
+        // each key in the artifact is the config value. Every knob that
+        // shapes the throughput workload must match, or the q/s numbers
+        // mean nothing against each other.
+        let config = [
+            ("obstacles", self.config.obstacles),
+            ("entities", self.config.entities),
+            ("queries", self.config.queries),
+            ("buffer_shards", self.config.buffer_shards),
+        ];
+        for (key, current) in config {
+            let base = json_number(baseline_json, key);
+            if base != Some(current as f64) {
+                diff.notes.push(format!(
+                    "baseline measured {key} = {base:?}, current = {current} — \
+                     q/s not comparable, diff skipped"
+                ));
+                return diff;
+            }
+        }
+        diff.comparable = true;
+        let baseline = throughput_points(baseline_json);
+        for p in &self.throughput {
+            let Some(&(_, base_qps)) = baseline.iter().find(|(t, _)| *t == p.threads) else {
+                continue;
+            };
+            let floor = (1.0 - tolerance) * base_qps;
+            let line = format!(
+                "throughput @ {} thread(s): {:.1} q/s vs baseline {:.1} q/s (floor {:.1})",
+                p.threads, p.qps, base_qps, floor
+            );
+            if p.qps < floor {
+                diff.regressions.push(line);
+            } else {
+                diff.notes.push(line);
+            }
+        }
+        if baseline.is_empty() {
+            diff.notes
+                .push("baseline artifact has no throughput points".to_string());
+        }
+        diff
+    }
+}
+
+/// Result of [`TrajectoryReport::diff_against_baseline`].
+#[derive(Clone, Debug)]
+pub struct BaselineDiff {
+    /// Whether the baseline measured the same workload configuration.
+    pub comparable: bool,
+    /// Per-point comparison lines (informational).
+    pub notes: Vec<String>,
+    /// q/s regressions beyond tolerance (non-empty fails the gate).
+    pub regressions: Vec<String>,
+}
+
+/// First `"key": <number>` occurrence in `json` (the artifacts are
+/// written by [`TrajectoryReport::to_json`], so a full JSON parser —
+/// which the offline workspace doesn't have — would be overkill).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `(threads, qps)` pairs of the artifact's `"throughput"` array.
+fn throughput_points(json: &str) -> Vec<(usize, f64)> {
+    let Some(start) = json.find("\"throughput\": [") else {
+        return Vec::new();
+    };
+    let body = &json[start..];
+    let end = body.find(']').unwrap_or(body.len());
+    let mut out = Vec::new();
+    for entry in body[..end].split('{').skip(1) {
+        if let (Some(threads), Some(qps)) =
+            (json_number(entry, "threads"), json_number(entry, "qps"))
+        {
+            out.push((threads as usize, qps));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -280,8 +500,12 @@ mod tests {
             buffer_shards: 2,
             threads: vec![1, 2],
             ladder: vec![(32, 60.0)],
+            clustered_queries: 12,
+            clusters: 3,
+            schedule_threads: vec![1],
         });
         assert_eq!(report.throughput.len(), 2);
+        assert_eq!(report.schedules.len(), 2, "both schedules at 1 thread");
         assert_eq!(report.ladder.len(), 1);
         assert!(report.determinism_verified);
         assert!(
@@ -301,6 +525,9 @@ mod tests {
         for key in [
             "\"schema\"",
             "\"throughput\"",
+            "\"schedules\"",
+            "\"schedule\": \"hilbert\"",
+            "\"scene_reuses\"",
             "\"path_ladder\"",
             "\"qps\"",
             "\"entity_hit_rate\"",
@@ -322,9 +549,64 @@ mod tests {
             buffer_shards: 1,
             threads: vec![1],
             ladder: vec![(16, 30.0)],
+            clustered_queries: 0, // skip the schedule sweep
+            clusters: 1,
+            schedule_threads: vec![],
         });
+        assert!(report.schedules.is_empty());
         assert!(report.budget_violations().is_empty());
         report.ladder[0].budget_seconds = 0.0;
         assert_eq!(report.budget_violations().len(), 1);
+    }
+
+    #[test]
+    fn baseline_diff_flags_regressions_and_config_mismatches() {
+        let report = run(TrajectoryConfig {
+            obstacles: 32,
+            entities: 16,
+            queries: 4,
+            buffer_shards: 1,
+            threads: vec![1],
+            ladder: vec![],
+            clustered_queries: 0,
+            clusters: 1,
+            schedule_threads: vec![],
+        });
+
+        // A baseline of the same configuration but absurdly high q/s:
+        // every matched point regresses beyond any tolerance.
+        let fast = "{\n  \"config\": {\"obstacles\": 32, \"entities\": 16, \"queries\": 4, \
+                    \"buffer_shards\": 1, \"cores\": 1},\n  \"throughput\": [\n    \
+                    {\"threads\": 1, \"seconds\": 0.0001, \"qps\": 9999999.0}\n  ]\n}\n";
+        let diff = report.diff_against_baseline(fast, 0.4);
+        assert!(diff.comparable);
+        assert_eq!(diff.regressions.len(), 1, "{diff:?}");
+
+        // The report diffed against its own artifact never regresses.
+        let self_diff = report.diff_against_baseline(&report.to_json(), 0.4);
+        assert!(self_diff.comparable);
+        assert!(self_diff.regressions.is_empty(), "{self_diff:?}");
+        assert!(!self_diff.notes.is_empty());
+
+        // A baseline measured on a different workload is incomparable.
+        let other = fast.replace("\"obstacles\": 32", "\"obstacles\": 2048");
+        let diff = report.diff_against_baseline(&other, 0.4);
+        assert!(!diff.comparable);
+        assert!(diff.regressions.is_empty());
+    }
+
+    #[test]
+    fn artifact_number_extraction_reads_what_to_json_writes() {
+        let json = "{\n  \"config\": {\"obstacles\": 2048, \"queries\": 64},\n  \
+                    \"throughput\": [\n    {\"threads\": 1, \"qps\": 17.100},\n    \
+                    {\"threads\": 8, \"qps\": 16.533}\n  ],\n  \"path_ladder\": []\n}\n";
+        assert_eq!(json_number(json, "obstacles"), Some(2048.0));
+        assert_eq!(json_number(json, "queries"), Some(64.0));
+        assert_eq!(
+            throughput_points(json),
+            vec![(1usize, 17.1), (8usize, 16.533)]
+        );
+        assert_eq!(json_number(json, "missing"), None);
+        assert!(throughput_points("{}").is_empty());
     }
 }

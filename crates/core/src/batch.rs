@@ -36,9 +36,11 @@ use crate::join::distance_join;
 use crate::path::{shortest_obstructed_path, shortest_obstructed_path_in};
 use crate::semi_join::{semi_join, SemiJoinStrategy};
 use crate::stats::{ClosestPairsResult, JoinResult, NearestResult, QueryStats, RangeResult};
-use obstacle_geom::{Point, Rect};
+use obstacle_geom::{hilbert_index_unit, Point, Rect};
 use obstacle_visibility::PathResult;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// One query of a heterogeneous batch (see [`QueryEngine::run_batch`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -156,11 +158,165 @@ const _: () = {
     assert_sync::<Query>();
 };
 
-/// Obstacles a cached scene may accumulate before it is retired: the
-/// classification bookkeeping of `LazyScene::add_obstacle` and
-/// `add_waypoint` scales with the resident scene, so an ever-growing
-/// cache would eventually cost more than the sweeps it saves.
-const SCENE_OBSTACLE_CAP: usize = 4096;
+/// Retirement budgets of a [`SceneCache`] scene: the classification
+/// bookkeeping of `LazyScene::add_obstacle` and `add_waypoint` scales with
+/// the resident scene, so an ever-growing cache would eventually cost more
+/// than the sweeps it saves. The budgets only decide *when* a scene is
+/// rebuilt — answers are identical under every setting (pinned by the
+/// `scene_cache` suite).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SceneBudget {
+    /// Obstacles a cached scene may absorb before it is retired.
+    pub max_obstacles: usize,
+    /// Waypoint-slot slack: the scene is retired once its node slots
+    /// exceed `2 × live nodes + slot_slack` (waypoints are added and
+    /// removed per query, so slots grow monotonically on a warm scene).
+    pub slot_slack: usize,
+}
+
+impl Default for SceneBudget {
+    fn default() -> Self {
+        SceneBudget {
+            max_obstacles: 4096,
+            slot_slack: 512,
+        }
+    }
+}
+
+/// Execution-order policy of a batch (see [`QueryEngine::run_batch_scheduled`]).
+///
+/// Scheduling permutes only the order workers *claim* queries — answers
+/// always land at their input index and are bit-identical to sequential
+/// execution under every policy (the `schedule` suite pins this).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Schedule {
+    /// Claim queries in input order (the PR 3 behaviour).
+    #[default]
+    InputOrder,
+    /// Claim queries in ascending Hilbert order of each query's region
+    /// (the locality trick ODJ applies to its join seeds, §5): every
+    /// worker's [`SceneCache`] then sees maximally clustered consecutive
+    /// regions instead of whatever order the batch arrived in.
+    /// Dataset-wide operators (joins, closest pairs) carry no region and
+    /// are scheduled first — they are also the heaviest, so fronting
+    /// them helps the pool balance.
+    Hilbert,
+}
+
+/// Delivery-order policy of a streaming batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Delivery {
+    /// Yield `(input_index, answer)` pairs the moment workers finish
+    /// them, in completion order (lowest latency to the first answer).
+    #[default]
+    AsCompleted,
+    /// Re-order delivery to input order: pairs are yielded with strictly
+    /// ascending indices, buffering out-of-order completions until their
+    /// turn (what an ordered consumer — a result writer, a merge join —
+    /// wants from a stream).
+    InputOrder,
+}
+
+/// Knobs of a scheduled/streaming batch run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchOptions {
+    /// Worker threads (clamped to `[1, queries.len()]` like
+    /// [`QueryEngine::run_batch`]).
+    pub threads: usize,
+    /// Execution-order policy.
+    pub schedule: Schedule,
+    /// Delivery-order policy (streaming API only; collected variants
+    /// always return answers at their input index).
+    pub delivery: Delivery,
+    /// Scene-retirement budgets of each worker's [`SceneCache`].
+    pub budget: SceneBudget,
+}
+
+impl BatchOptions {
+    /// Options with `threads` workers and every policy at its default.
+    pub fn new(threads: usize) -> Self {
+        BatchOptions {
+            threads,
+            ..BatchOptions::default()
+        }
+    }
+
+    /// Same options with the given schedule.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Same options with the given delivery policy.
+    pub fn delivery(mut self, delivery: Delivery) -> Self {
+        self.delivery = delivery;
+        self
+    }
+}
+
+/// Aggregate execution diagnostics of one batch run, summed over all
+/// workers. Scene reuse counts are the observable the Hilbert schedule
+/// exists to improve; they never affect answers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Worker threads the run actually used (after clamping).
+    pub workers: usize,
+    /// Queries answered on a warm (reused) scene, summed over workers —
+    /// the aggregate [`SceneCache`] hit count.
+    pub scene_reuses: usize,
+    /// Scenes retired (region jump or budget exhaustion), summed.
+    pub scene_resets: usize,
+}
+
+/// Iterator over the answers of a streaming batch
+/// ([`QueryEngine::run_batch_streaming`]): yields `(input_index, Answer)`
+/// pairs as workers complete them, re-ordered to input order when the run
+/// asked for [`Delivery::InputOrder`]. Dropping the stream early cancels
+/// the remaining queries (workers stop at the next claim).
+#[derive(Debug)]
+pub struct BatchStream {
+    rx: mpsc::Receiver<(usize, Answer)>,
+    /// Answers not yet yielded (the stream ends after this many).
+    remaining: usize,
+    delivery: Delivery,
+    /// Next input index to deliver (`Delivery::InputOrder`).
+    next_index: usize,
+    /// Re-order buffer of completed-but-not-yet-due answers.
+    held: BTreeMap<usize, Answer>,
+}
+
+impl Iterator for BatchStream {
+    type Item = (usize, Answer);
+
+    fn next(&mut self) -> Option<(usize, Answer)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        loop {
+            if self.delivery == Delivery::InputOrder {
+                if let Some(a) = self.held.remove(&self.next_index) {
+                    let i = self.next_index;
+                    self.next_index += 1;
+                    self.remaining -= 1;
+                    return Some((i, a));
+                }
+            }
+            // `recv` can only fail if a worker panicked mid-batch (every
+            // sender hung up with answers still owed); ending the stream
+            // lets the scope's `join` surface that panic.
+            let (i, a) = self.rx.recv().ok()?;
+            match self.delivery {
+                Delivery::AsCompleted => {
+                    self.remaining -= 1;
+                    return Some((i, a));
+                }
+                Delivery::InputOrder => {
+                    self.held.insert(i, a);
+                }
+            }
+        }
+    }
+}
 
 /// A reusable lazy scene shared by consecutive ONN/OR/path queries — the
 /// batch-granularity counterpart of the reuse ONN already does across
@@ -188,6 +344,7 @@ const SCENE_OBSTACLE_CAP: usize = 4096;
 #[derive(Debug)]
 pub struct SceneCache {
     options: EngineOptions,
+    budget: SceneBudget,
     graph: LocalGraph,
     /// Union of the query regions served by the current scene
     /// (`Rect::empty()` when the scene is fresh).
@@ -198,10 +355,19 @@ pub struct SceneCache {
 }
 
 impl SceneCache {
-    /// An empty cache building scenes with the options' edge builder.
+    /// An empty cache building scenes with the options' edge builder and
+    /// default retirement budgets.
     pub fn new(options: EngineOptions) -> Self {
+        SceneCache::with_budget(options, SceneBudget::default())
+    }
+
+    /// An empty cache with explicit retirement budgets (see
+    /// [`SceneBudget`]; budgets affect only reuse economics, never
+    /// answers).
+    pub fn with_budget(options: EngineOptions, budget: SceneBudget) -> Self {
         SceneCache {
             options,
+            budget,
             graph: LocalGraph::new(options.builder),
             coverage: Rect::empty(),
             reuses: 0,
@@ -238,8 +404,8 @@ impl SceneCache {
         }
         let near = self.coverage.mindist_rect(&region) <= slack;
         let slots = self.graph.scene.node_slots();
-        let within_budget = self.graph.obstacle_count() <= SCENE_OBSTACLE_CAP
-            && slots <= 2 * self.graph.scene.node_count() + 512;
+        let within_budget = self.graph.obstacle_count() <= self.budget.max_obstacles
+            && slots <= 2 * self.graph.scene.node_count() + self.budget.slot_slack;
         if near && within_budget {
             self.reuses += 1;
             self.coverage = self.coverage.union(&region);
@@ -318,65 +484,200 @@ impl QueryEngine<'_> {
         }
     }
 
+    /// The order workers claim queries under `schedule`: a permutation of
+    /// `0..queries.len()` (input order, or ascending Hilbert index of
+    /// each query's region over the obstacle universe, regionless
+    /// dataset-wide operators first; ties keep input order, so the
+    /// permutation is deterministic).
+    pub fn schedule_order(&self, queries: &[Query], schedule: Schedule) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        if schedule == Schedule::Hilbert {
+            let universe = self.obstacles.universe();
+            let keys: Vec<u64> = queries.iter().map(|q| hilbert_key(q, &universe)).collect();
+            order.sort_by_key(|&i| (keys[i], i));
+        }
+        order
+    }
+
     /// Executes `queries` across `threads` workers and returns the
     /// answers **in input order** (`answers[i]` answers `queries[i]`).
     ///
+    /// Equivalent to [`QueryEngine::run_batch_scheduled`] with
+    /// [`Schedule::InputOrder`] and default budgets, discarding the
+    /// [`BatchStats`].
+    pub fn run_batch(&self, queries: &[Query], threads: usize) -> Vec<Answer> {
+        self.run_batch_scheduled(queries, &BatchOptions::new(threads))
+            .0
+    }
+
+    /// Executes `queries` under the full set of batch knobs and returns
+    /// the answers **in input order** plus the run's [`BatchStats`].
+    ///
     /// Workers are `std::thread::scope` threads claiming queries from a
-    /// shared atomic cursor — the pool self-balances without any channel
-    /// or queue structure, and heavy queries (joins) simply occupy one
-    /// worker while the others drain the cheap ones. Each worker owns a
-    /// [`SceneCache`], so consecutive point queries it claims reuse one
-    /// lazy scene instead of rebuilding from scratch. Results are
-    /// guaranteed identical (in the sense of [`Answer::same_results`]) to
-    /// running the same slice sequentially: every operator is a pure
+    /// shared atomic cursor over the scheduled permutation — the pool
+    /// self-balances without any queue structure, and heavy queries
+    /// (joins) simply occupy one worker while the others drain the cheap
+    /// ones. Each worker owns a [`SceneCache`], so consecutive point
+    /// queries it claims reuse one lazy scene instead of rebuilding from
+    /// scratch; [`Schedule::Hilbert`] maximises how often that happens.
+    /// Results are guaranteed identical (in the sense of
+    /// [`Answer::same_results`]) to running the same slice sequentially,
+    /// under every schedule and thread count: every operator is a pure
     /// function of the shared indexes, which no query mutates, and scene
     /// reuse never changes answers (see [`SceneCache`]).
     ///
-    /// `threads` is clamped to `[1, queries.len()]`; `threads <= 1` runs
+    /// `threads` is clamped to `[1, queries.len()]`; one thread runs
     /// inline on the calling thread with no pool at all (one batch-wide
-    /// scene cache).
-    pub fn run_batch(&self, queries: &[Query], threads: usize) -> Vec<Answer> {
-        let threads = threads.clamp(1, queries.len().max(1));
+    /// scene cache, still in scheduled order).
+    pub fn run_batch_scheduled(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+    ) -> (Vec<Answer>, BatchStats) {
+        let threads = options.threads.clamp(1, queries.len().max(1));
         if threads == 1 {
-            let mut cache = SceneCache::new(self.options);
-            return queries
-                .iter()
-                .map(|q| self.execute_with(q, &mut cache))
+            let order = self.schedule_order(queries, options.schedule);
+            let mut cache = SceneCache::with_budget(self.options, options.budget);
+            let mut slots: Vec<Option<Answer>> = Vec::new();
+            slots.resize_with(queries.len(), || None);
+            for &i in &order {
+                slots[i] = Some(self.execute_with(&queries[i], &mut cache));
+            }
+            let stats = BatchStats {
+                workers: 1,
+                scene_reuses: cache.reuses(),
+                scene_resets: cache.resets(),
+            };
+            let answers = slots
+                .into_iter()
+                .map(|a| a.expect("the schedule visits every query exactly once"))
                 .collect();
+            return (answers, stats);
         }
 
-        let cursor = AtomicUsize::new(0);
         let mut slots: Vec<Option<Answer>> = Vec::new();
         slots.resize_with(queries.len(), || None);
-        std::thread::scope(|scope| {
+        let stats = self.run_batch_with(queries, options, |i, answer| {
+            slots[i] = Some(answer);
+        });
+        let answers = slots
+            .into_iter()
+            .map(|a| a.expect("the stream delivers every query exactly once"))
+            .collect();
+        (answers, stats)
+    }
+
+    /// Streaming variant of [`QueryEngine::run_batch_scheduled`]:
+    /// `consumer` receives a [`BatchStream`] yielding `(input_index,
+    /// Answer)` pairs *while the workers are still running*, so the first
+    /// answers are consumable long before the batch finishes (the
+    /// navigation-service shape: results land as they are computed).
+    ///
+    /// The stream lives inside the worker scope — structured concurrency
+    /// with no `'static` requirement on the engine — which is why the
+    /// consumer is a closure rather than a returned iterator. Returns the
+    /// consumer's result plus the run's [`BatchStats`] (available only
+    /// after all workers finished, i.e. after the consumer returns or
+    /// drops the stream). Dropping the stream early cancels the
+    /// remaining queries: workers stop at their next claim.
+    ///
+    /// Answers are bit-identical to sequential execution under every
+    /// schedule, delivery policy and thread count; with
+    /// [`Delivery::InputOrder`] the yielded indices are exactly `0, 1,
+    /// 2, …` (a re-order buffer holds early completions).
+    pub fn run_batch_streaming<R>(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        consumer: impl FnOnce(BatchStream) -> R,
+    ) -> (R, BatchStats) {
+        let threads = options.threads.clamp(1, queries.len().max(1));
+        let order = self.schedule_order(queries, options.schedule);
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Answer)>();
+        let mut stats = BatchStats {
+            workers: threads,
+            ..BatchStats::default()
+        };
+        let result = std::thread::scope(|scope| {
             let workers: Vec<_> = (0..threads)
                 .map(|_| {
                     let cursor = &cursor;
+                    let order = &order;
+                    let tx = tx.clone();
                     scope.spawn(move || {
-                        let mut cache = SceneCache::new(self.options);
-                        let mut mine: Vec<(usize, Answer)> = Vec::new();
+                        let mut cache = SceneCache::with_budget(self.options, options.budget);
                         loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= queries.len() {
+                            let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                            if slot >= order.len() {
                                 break;
                             }
-                            mine.push((i, self.execute_with(&queries[i], &mut cache)));
+                            let i = order[slot];
+                            let answer = self.execute_with(&queries[i], &mut cache);
+                            // A closed channel means the consumer dropped
+                            // the stream: cancel the rest of the batch.
+                            if tx.send((i, answer)).is_err() {
+                                break;
+                            }
                         }
-                        mine
+                        (cache.reuses(), cache.resets())
                     })
                 })
                 .collect();
+            // The workers hold their own senders; dropping ours lets the
+            // stream observe end-of-batch through channel closure too.
+            drop(tx);
+            let stream = BatchStream {
+                rx,
+                remaining: queries.len(),
+                delivery: options.delivery,
+                next_index: 0,
+                held: BTreeMap::new(),
+            };
+            let result = consumer(stream);
             for worker in workers {
-                for (i, answer) in worker.join().expect("batch worker panicked") {
-                    slots[i] = Some(answer);
-                }
+                let (reuses, resets) = worker.join().expect("batch worker panicked");
+                stats.scene_reuses += reuses;
+                stats.scene_resets += resets;
+            }
+            result
+        });
+        (result, stats)
+    }
+
+    /// Callback variant of [`QueryEngine::run_batch_streaming`]: invokes
+    /// `on_answer(input_index, answer)` on the calling thread for every
+    /// query as workers complete them (ordered per
+    /// [`BatchOptions::delivery`]), and returns the run's [`BatchStats`].
+    pub fn run_batch_with(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        mut on_answer: impl FnMut(usize, Answer),
+    ) -> BatchStats {
+        let ((), stats) = self.run_batch_streaming(queries, options, |stream| {
+            for (i, answer) in stream {
+                on_answer(i, answer);
             }
         });
-        slots
-            .into_iter()
-            .map(|a| a.expect("the cursor visits every query exactly once"))
-            .collect()
+        stats
     }
+}
+
+/// Hilbert scheduling key of one query: the Hilbert index of its region's
+/// representative point over the obstacle universe, offset by one so
+/// regionless dataset-wide operators sort first (they see the whole
+/// dataset anyway, and fronting the heaviest queries helps the pool
+/// balance).
+fn hilbert_key(query: &Query, universe: &Rect) -> u64 {
+    let p = match *query {
+        Query::Range { q, .. } | Query::Nearest { q, .. } => q,
+        Query::Path { from, to } => Point::new(0.5 * (from.x + to.x), 0.5 * (from.y + to.y)),
+        Query::DistanceJoin { .. } | Query::SemiJoin { .. } | Query::ClosestPairs { .. } => {
+            return 0
+        }
+    };
+    1 + hilbert_index_unit(p, universe)
 }
 
 #[cfg(test)]
@@ -597,5 +898,138 @@ mod tests {
         assert_eq!(one.len(), 1);
         // Zero threads clamps to one.
         assert_eq!(engine.run_batch(&mixed_queries(), 0).len(), 8);
+    }
+
+    #[test]
+    fn schedule_order_is_a_deterministic_permutation() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let queries = mixed_queries();
+        for schedule in [Schedule::InputOrder, Schedule::Hilbert] {
+            let order = engine.schedule_order(&queries, schedule);
+            assert_eq!(order, engine.schedule_order(&queries, schedule));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..queries.len()).collect::<Vec<_>>());
+        }
+        assert_eq!(
+            engine.schedule_order(&queries, Schedule::InputOrder),
+            (0..queries.len()).collect::<Vec<_>>()
+        );
+        // Regionless dataset-wide operators come first under Hilbert.
+        let hilbert = engine.schedule_order(&queries, Schedule::Hilbert);
+        let heavy: Vec<usize> = queries
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| {
+                matches!(
+                    q,
+                    Query::DistanceJoin { .. }
+                        | Query::SemiJoin { .. }
+                        | Query::ClosestPairs { .. }
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(hilbert[..heavy.len()], heavy[..]);
+    }
+
+    #[test]
+    fn streaming_yields_every_answer_with_matching_results() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let queries = mixed_queries();
+        let sequential: Vec<Answer> = queries.iter().map(|q| engine.execute(q)).collect();
+        for threads in [1usize, 3] {
+            for schedule in [Schedule::InputOrder, Schedule::Hilbert] {
+                let options = BatchOptions::new(threads).schedule(schedule);
+                let (pairs, stats) = engine.run_batch_streaming(&queries, &options, |stream| {
+                    stream.collect::<Vec<(usize, Answer)>>()
+                });
+                assert_eq!(pairs.len(), queries.len());
+                assert_eq!(stats.workers, threads.clamp(1, queries.len()));
+                let mut seen = vec![false; queries.len()];
+                for (i, a) in &pairs {
+                    assert!(!seen[*i], "index {i} delivered twice");
+                    seen[*i] = true;
+                    assert!(
+                        a.same_results(&sequential[*i]),
+                        "threads {threads}, {schedule:?}, query {i}"
+                    );
+                }
+                assert!(seen.iter().all(|&s| s));
+            }
+        }
+    }
+
+    #[test]
+    fn in_order_delivery_yields_strictly_ascending_indices() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let queries = mixed_queries();
+        // Hilbert schedule *executes* out of input order, so in-order
+        // delivery genuinely exercises the re-order buffer.
+        let options = BatchOptions::new(4)
+            .schedule(Schedule::Hilbert)
+            .delivery(Delivery::InputOrder);
+        let (indices, _) = engine.run_batch_streaming(&queries, &options, |stream| {
+            stream.map(|(i, _)| i).collect::<Vec<usize>>()
+        });
+        assert_eq!(indices, (0..queries.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropping_the_stream_early_cancels_without_hanging() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let queries: Vec<Query> = (0..32)
+            .map(|i| Query::Nearest {
+                q: Point::new(0.1 * i as f64, 0.0),
+                k: 1,
+            })
+            .collect();
+        let (first, stats) =
+            engine.run_batch_streaming(&queries, &BatchOptions::new(2), |mut stream| stream.next());
+        let (i, a) = first.expect("at least one answer lands");
+        assert!(a.same_results(&engine.execute(&queries[i])));
+        assert!(stats.workers == 2);
+    }
+
+    #[test]
+    fn run_batch_with_delivers_in_input_order_when_asked() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let queries = mixed_queries();
+        let sequential: Vec<Answer> = queries.iter().map(|q| engine.execute(q)).collect();
+        let mut delivered = Vec::new();
+        let stats = engine.run_batch_with(
+            &queries,
+            &BatchOptions::new(3).delivery(Delivery::InputOrder),
+            |i, a| delivered.push((i, a)),
+        );
+        assert_eq!(delivered.len(), queries.len());
+        for (pos, (i, a)) in delivered.iter().enumerate() {
+            assert_eq!(pos, *i);
+            assert!(a.same_results(&sequential[*i]));
+        }
+        assert!(stats.scene_reuses + stats.scene_resets <= queries.len());
+    }
+
+    #[test]
+    fn scheduled_batches_report_scene_stats() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let queries = mixed_queries();
+        let (answers, stats) =
+            engine.run_batch_scheduled(&queries, &BatchOptions::new(1).schedule(Schedule::Hilbert));
+        let sequential: Vec<Answer> = queries.iter().map(|q| engine.execute(q)).collect();
+        for (p, s) in answers.iter().zip(sequential.iter()) {
+            assert!(p.same_results(s));
+        }
+        assert_eq!(stats.workers, 1);
+        assert!(
+            stats.scene_reuses > 0,
+            "the tiny clustered workload must warm the scene"
+        );
     }
 }

@@ -17,6 +17,7 @@
 //! | distance semi-join | [`semi_join`] | §2.1 (both strategies) |
 //! | shortest paths | [`shortest_obstructed_path`] | application layer |
 //! | concurrent batches | [`QueryEngine::run_batch`] | scaling layer (§7 workloads) |
+//! | streaming batches | [`QueryEngine::run_batch_streaming`] | scaling layer |
 //!
 //! All algorithms share two ideas:
 //!
@@ -71,7 +72,10 @@ mod range;
 mod semi_join;
 mod stats;
 
-pub use batch::{Answer, Query, SceneCache};
+pub use batch::{
+    Answer, BatchOptions, BatchStats, BatchStream, Delivery, Query, SceneBudget, SceneCache,
+    Schedule,
+};
 pub use brute::BruteForce;
 pub use closest_pair::{closest_pairs, incremental_closest_pairs, IncrementalClosestPairs};
 pub use distance::{

@@ -23,5 +23,6 @@ mod workload;
 pub use city::{City, CityConfig, ObstacleShape};
 pub use entities::{sample_entities, uniform_points, ENTITY_DISPLACEMENT};
 pub use workload::{
-    batch_workload, parameter_grid, query_workload, BatchMix, BatchQuery, EntitySets,
+    batch_workload, clustered_batch_workload, parameter_grid, query_workload, BatchMix, BatchQuery,
+    ClusterSpec, EntitySets,
 };

@@ -137,6 +137,100 @@ impl BatchMix {
 /// away — local navigation probes, so one pathological cross-town route
 /// cannot dominate a throughput measurement.
 pub fn batch_workload(city: &City, count: usize, seed: u64, mix: BatchMix) -> Vec<BatchQuery> {
+    // One obstacle-distribution point per query plus spares for paths.
+    let points = sample_entities(city, 2 * count.max(1), seed ^ 0xBA7C5);
+    workload_from_points(city, count, seed, mix, points)
+}
+
+/// Spatial shape of a clustered batch workload: queries concentrate
+/// around `clusters` hotspot centres (themselves following the obstacle
+/// distribution), each query point displaced at most `spread` × universe
+/// side from its centre — the access pattern an obstructed-clustering
+/// front end (El-Zawawy & El-Sharkawi) generates, and the favourable case
+/// for the batch engine's scene caches.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClusterSpec {
+    /// Number of hotspot centres.
+    pub clusters: usize,
+    /// Maximum displacement from the centre, as a fraction of the
+    /// universe side (keep well below the scene caches' 2 % reuse slack
+    /// for an honest locality workload).
+    pub spread: f64,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            clusters: 8,
+            spread: 0.005,
+        }
+    }
+}
+
+/// Generates a deterministic *clustered* mixed-operator batch workload:
+/// like [`batch_workload`], but query points concentrate around
+/// [`ClusterSpec::clusters`] hotspots, and consecutive queries cycle
+/// through the hotspots round-robin — so the **input order is maximally
+/// scattered** while the workload is spatially clustered. A
+/// spatially-aware batch scheduler (Hilbert order) can recover the
+/// clustering; input-order execution cannot. This is the workload the
+/// scheduling benchmarks and property tests measure.
+pub fn clustered_batch_workload(
+    city: &City,
+    count: usize,
+    seed: u64,
+    mix: BatchMix,
+    spec: ClusterSpec,
+) -> Vec<BatchQuery> {
+    assert!(spec.clusters > 0, "need at least one cluster");
+    let centers = sample_entities(city, spec.clusters, seed ^ 0xC1A5);
+    let side = city.universe.width().max(city.universe.height());
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC1A6);
+    let u = city.universe;
+    let points: Vec<Point> = (0..2 * count.max(1))
+        .map(|j| {
+            let c = centers[j % centers.len()];
+            // Hotspot centres sit on obstacle boundaries (the entity
+            // distribution), so a blind displacement can land *inside*
+            // an obstacle — where every obstructed distance is undefined
+            // and the operators degenerate to full-dataset scans.
+            // Re-draw until the point is strictly outside every
+            // interior, falling back to the centre itself (guaranteed
+            // outside by `sample_entities`).
+            let mut p = c;
+            for _ in 0..16 {
+                let dx = (rng.gen::<f64>() - 0.5) * 2.0 * spec.spread * side;
+                let dy = (rng.gen::<f64>() - 0.5) * 2.0 * spec.spread * side;
+                let candidate = Point::new(
+                    (c.x + dx).clamp(u.min.x, u.max.x),
+                    (c.y + dy).clamp(u.min.y, u.max.y),
+                );
+                if !city
+                    .obstacles
+                    .iter()
+                    .any(|o| o.contains_interior(candidate))
+                {
+                    p = candidate;
+                    break;
+                }
+            }
+            p
+        })
+        .collect();
+    workload_from_points(city, count, seed, mix, points)
+}
+
+/// Shared draw loop of [`batch_workload`] / [`clustered_batch_workload`]:
+/// operators and parameters come from the mix and seed, query locations
+/// from `points` (cycled — callers provide `2 × count` so paths get a
+/// second endpoint).
+fn workload_from_points(
+    city: &City,
+    count: usize,
+    seed: u64,
+    mix: BatchMix,
+    points: Vec<Point>,
+) -> Vec<BatchQuery> {
     let weights = [
         mix.range,
         mix.nearest,
@@ -149,8 +243,6 @@ pub fn batch_workload(city: &City, count: usize, seed: u64, mix: BatchMix) -> Ve
     assert!(total > 0, "batch mix must have at least one nonzero weight");
 
     let mut rng = SmallRng::seed_from_u64(seed ^ 0xBA7C4);
-    // One obstacle-distribution point per query plus spares for paths.
-    let points = sample_entities(city, 2 * count.max(1), seed ^ 0xBA7C5);
     let side = city.universe.width().max(city.universe.height());
     let mut next_point = 0usize;
     let mut point = || {
@@ -316,6 +408,53 @@ mod tests {
             if let BatchQuery::Path { from, to } = q {
                 assert!(from.dist(*to) <= 0.08 * side, "{from} -> {to}");
             }
+        }
+    }
+
+    #[test]
+    fn clustered_workload_is_deterministic_and_round_robin_scattered() {
+        let city = City::generate(CityConfig::new(100, 1));
+        let spec = ClusterSpec {
+            clusters: 4,
+            spread: 0.002,
+        };
+        let mix = BatchMix::point_queries();
+        let w1 = clustered_batch_workload(&city, 120, 5, mix, spec);
+        assert_eq!(w1, clustered_batch_workload(&city, 120, 5, mix, spec));
+        assert_eq!(w1.len(), 120);
+
+        let anchor = |q: &BatchQuery| match *q {
+            BatchQuery::Range { q, .. } | BatchQuery::Nearest { q, .. } => q,
+            BatchQuery::Path { from, .. } => from,
+            _ => unreachable!("point-query mix"),
+        };
+        let side = city.universe.width().max(city.universe.height());
+        // Same-stride queries share a hotspot: anchors within the spread
+        // diameter. Consecutive queries cycle hotspots, so on aggregate
+        // they sit much farther apart than cluster-mates.
+        let mut within = 0usize;
+        let mut pairs = 0usize;
+        for ch in w1.chunks_exact(spec.clusters) {
+            for q in ch.windows(2) {
+                pairs += 1;
+                if anchor(&q[0]).dist(anchor(&q[1])) <= 2.0 * 2.0 * spec.spread * side {
+                    within += 1;
+                }
+            }
+        }
+        assert!(
+            within * 2 < pairs,
+            "consecutive queries must mostly hop clusters ({within}/{pairs} stayed local)"
+        );
+        // Every anchor lies near one of the four hotspot centres: the
+        // stride-4 subsequences are tight.
+        for j in 0..w1.len() - spec.clusters {
+            let (a, b) = (anchor(&w1[j]), anchor(&w1[j + spec.clusters]));
+            assert!(
+                a.dist(b) <= 2.0 * 2.0 * spec.spread * side,
+                "queries {j} and {} share a hotspot but sit far apart",
+                j + spec.clusters
+            );
         }
     }
 

@@ -248,6 +248,84 @@ fn run_batch_is_thread_count_invariant() {
 }
 
 #[test]
+fn streaming_batches_match_run_batch_and_sequential_under_every_schedule() {
+    // The streaming determinism contract: `run_batch_streaming` collected
+    // and re-ordered equals `run_batch` equals the sequential loop, at
+    // 1/2/4/8 threads × both schedules × all six operators. Scheduling
+    // and streaming may change *when* a query runs — never its answer.
+    use obstacle_suite::queries::{
+        Answer, BatchOptions, Delivery, Query, Schedule, SemiJoinStrategy,
+    };
+    let w = world(11);
+    let engine = QueryEngine::new(&w.entities, &w.obstacles);
+
+    let mut queries = vec![
+        Query::DistanceJoin { e: 0.07 },
+        Query::SemiJoin {
+            strategy: SemiJoinStrategy::PerObjectNn,
+        },
+        Query::ClosestPairs { k: 4 },
+    ];
+    for (i, q) in query_workload(&w.city, 6, 400).into_iter().enumerate() {
+        queries.push(Query::Range {
+            q,
+            e: 0.06 + 0.02 * i as f64,
+        });
+        queries.push(Query::Nearest { q, k: 1 + i });
+    }
+    for pair in query_workload(&w.city, 6, 500).chunks(2) {
+        if let [a, b] = pair {
+            queries.push(Query::Path { from: *a, to: *b });
+        }
+    }
+
+    let sequential: Vec<Answer> = queries.iter().map(|q| engine.execute(q)).collect();
+    assert!(sequential.iter().any(|a| a.result_count() > 0));
+
+    for threads in [1usize, 2, 4, 8] {
+        let batch = engine.run_batch(&queries, threads);
+        for (i, (p, s)) in batch.iter().zip(sequential.iter()).enumerate() {
+            assert!(
+                p.same_results(s),
+                "run_batch query {i} diverged at {threads} threads"
+            );
+        }
+        for schedule in [Schedule::InputOrder, Schedule::Hilbert] {
+            let options = BatchOptions::new(threads).schedule(schedule);
+            let (scheduled, _) = engine.run_batch_scheduled(&queries, &options);
+            let (mut streamed, _) = engine.run_batch_streaming(&queries, &options, |stream| {
+                stream.collect::<Vec<(usize, Answer)>>()
+            });
+            streamed.sort_by_key(|(i, _)| *i);
+            assert_eq!(streamed.len(), queries.len());
+            for (i, ((idx, st), sq)) in streamed.iter().zip(sequential.iter()).enumerate() {
+                assert_eq!(i, *idx, "stream lost or duplicated an index");
+                assert!(
+                    st.same_results(sq),
+                    "streamed query {i} diverged at {threads} threads / {schedule:?}"
+                );
+                assert!(
+                    st.same_results(&scheduled[i]),
+                    "stream vs collected batch diverged at query {i}"
+                );
+            }
+        }
+        // In-order delivery under the Hilbert schedule: the re-order
+        // buffer must emit exactly 0, 1, 2, … with unchanged answers.
+        let options = BatchOptions::new(threads)
+            .schedule(Schedule::Hilbert)
+            .delivery(Delivery::InputOrder);
+        let (in_order, _) = engine.run_batch_streaming(&queries, &options, |stream| {
+            stream.collect::<Vec<(usize, Answer)>>()
+        });
+        for (i, (idx, a)) in in_order.iter().enumerate() {
+            assert_eq!(i, *idx, "in-order delivery broke at {threads} threads");
+            assert!(a.same_results(&sequential[i]));
+        }
+    }
+}
+
+#[test]
 fn self_join_contains_every_point_with_itself() {
     let w = world(8);
     let pts = sample_entities(&w.city, 20, 160);
