@@ -9,10 +9,11 @@
 #   test    full test suite (debug)
 #   path    path-scaling wall-clock gate (release; see path_scaling.rs)
 #   batch   batch-engine determinism + scaling gate (release)
-#   bench   performance trajectory: writes BENCH_PR5.json, diffs it
-#           against the previous BENCH_*.json artifact (q/s regression
-#           beyond tolerance fails), and enforces the path-ladder
-#           no-regression budgets (release)
+#   bench   performance trajectory: runs the batch sweeps once per
+#           storage backend (paged vs packed A/B), writes BENCH_PR6.json,
+#           diffs it per backend against the previous BENCH_*.json
+#           artifact (q/s regression beyond tolerance fails), and
+#           enforces the path-ladder no-regression budgets (release)
 #   fmt     cargo fmt --check
 #   clippy  cargo clippy --all-targets -D warnings
 #
@@ -59,7 +60,7 @@ stage_bench() {
   # clustered workload, path-ladder times) as machine-readable JSON,
   # then fails on a q/s regression against the previous BENCH_*.json
   # artifact (trajectory history) or a path-ladder budget blowout.
-  local artifact="${OBSTACLE_TRAJECTORY_OUT:-BENCH_PR5.json}"
+  local artifact="${OBSTACLE_TRAJECTORY_OUT:-BENCH_PR6.json}"
   cargo run -q --release --offline -p obstacle-bench --bin bench_trajectory
   if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$artifact"

@@ -1,9 +1,11 @@
 //! CI entry point for the performance-trajectory artifact.
 //!
 //! Measures batch throughput (striped buffers + scene caches, 1/2/4/8
-//! worker threads, determinism-verified), the InputOrder-vs-Hilbert
-//! scheduling sweep on a clustered workload, and the long-path ladder;
-//! writes `BENCH_PR5.json`; then **diffs against the previous
+//! worker threads, determinism-verified) and the InputOrder-vs-Hilbert
+//! scheduling sweep on a clustered workload — both **once per storage
+//! backend** (paged vs packed A/B, every run answer-identical across
+//! backends) — plus the long-path ladder;
+//! writes `BENCH_PR6.json`; then **diffs against the previous
 //! `BENCH_*.json` artifact** and exits non-zero on a q/s regression
 //! beyond tolerance or a ladder-budget blowout — the no-regression gates
 //! `ci.sh bench` enforces.
@@ -15,7 +17,7 @@
 //! ```
 //!
 //! Knobs (all env vars): `OBSTACLE_TRAJECTORY_OUT` (output path, default
-//! `BENCH_PR5.json`), `_OBSTACLES`, `_ENTITIES`, `_QUERIES`, `_SHARDS`,
+//! `BENCH_PR6.json`), `_OBSTACLES`, `_ENTITIES`, `_QUERIES`, `_SHARDS`,
 //! `_BASELINE` (previous artifact; default: the highest-numbered other
 //! `BENCH_PR*.json` in the working directory), `_QPS_TOLERANCE`
 //! (fractional q/s regression allowance, default 0.4 — generous because
@@ -73,7 +75,7 @@ fn main() {
         ..defaults
     };
     let out =
-        std::env::var("OBSTACLE_TRAJECTORY_OUT").unwrap_or_else(|_| "BENCH_PR5.json".to_string());
+        std::env::var("OBSTACLE_TRAJECTORY_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
     let tolerance = std::env::var("OBSTACLE_TRAJECTORY_QPS_TOLERANCE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
@@ -86,8 +88,9 @@ fn main() {
     let report = run(config);
     for p in &report.throughput {
         println!(
-            "  threads {:>2}: {:>8.2} s  {:>7.1} q/s  speedup {:>5.2}x  \
+            "  [{:>6}] threads {:>2}: {:>8.2} s  {:>7.1} q/s  speedup {:>5.2}x  \
              hit rates P {:.1} % / O {:.1} %",
+            p.backend,
             p.threads,
             p.seconds,
             p.qps,
@@ -98,8 +101,9 @@ fn main() {
     }
     for p in &report.schedules {
         println!(
-            "  clustered {:>11} @ {} thread(s): {:>6.2} s  {:>7.1} q/s  \
+            "  [{:>6}] clustered {:>11} @ {} thread(s): {:>6.2} s  {:>7.1} q/s  \
              scene reuses {:>3} / resets {:>3}  hit rates P {:.1} % / O {:.1} %",
+            p.backend,
             p.schedule,
             p.threads,
             p.seconds,

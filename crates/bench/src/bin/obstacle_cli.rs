@@ -17,6 +17,9 @@
 //!
 //! `--shards N` stripes each tree's LRU buffer pool across `N` locks
 //! (default 1, the paper's single buffer; see `RTreeConfig::striped`).
+//! `--backend packed` swaps the paged R*-tree for the packed static tree
+//! (one contiguous buffer, lock-free reads; `--shards` then has no
+//! effect on tree access).
 //! `--schedule hilbert` claims batch queries in Hilbert order of their
 //! regions (scene-cache locality), `--stream` prints answers as workers
 //! finish them instead of waiting for the whole batch, and
@@ -33,13 +36,14 @@ use obstacle_datagen::{
     ClusterSpec,
 };
 use obstacle_geom::Point;
-use obstacle_rtree::RTreeConfig;
+use obstacle_rtree::{Backend, RTreeConfig};
 use obstacle_visibility::EdgeBuilder;
 
 struct Args {
     command: String,
     obstacles: usize,
     seed: u64,
+    backend: Backend,
     entities: usize,
     s_count: usize,
     t_count: usize,
@@ -77,9 +81,12 @@ fn main() {
 }
 
 /// Tree configuration of this invocation: the paper's cost model,
-/// buffer-striped when `--shards` asks for it.
+/// buffer-striped when `--shards` asks for it, on the storage backend
+/// `--backend` selects (paged R*-tree or packed static tree).
 fn tree_config(args: &Args) -> RTreeConfig {
-    RTreeConfig::paper().striped(args.shards)
+    RTreeConfig::paper()
+        .striped(args.shards)
+        .with_backend(args.backend)
 }
 
 fn world(args: &Args) -> (City, ObstacleIndex) {
@@ -105,13 +112,23 @@ fn info(args: &Args) {
     println!("universe: {:?}", city.universe);
     println!("obstacles: {}", city.len());
     println!("total obstacle perimeter: {:.4}", city.total_perimeter());
-    println!(
-        "obstacle R-tree: height {}, {} pages, buffer {} pages",
-        obstacles.tree().height(),
-        obstacles.tree().pages(),
-        obstacles.tree().buffer_capacity()
-    );
-    let cap = obstacles.tree().config().capacity();
+    match obstacles.tree().backend() {
+        Backend::Paged => println!(
+            "obstacle R-tree (paged): height {}, {} pages, buffer {} pages",
+            obstacles.tree().height(),
+            obstacles.tree().pages(),
+            obstacles.tree().buffer_capacity()
+        ),
+        Backend::Packed => println!(
+            "obstacle R-tree (packed): height {}, {} nodes, single buffer (no page cache)",
+            obstacles.tree().height(),
+            obstacles.tree().pages(),
+        ),
+    }
+    let cap = match obstacles.tree().backend() {
+        Backend::Paged => obstacles.tree().config().capacity(),
+        Backend::Packed => obstacles.tree().config().packed_node_size,
+    };
     for (lvl, l) in stats.levels.iter().enumerate() {
         println!(
             "  level {lvl}: {} nodes, {} entries, occupancy {:.1}%",
@@ -476,6 +493,7 @@ fn parse_args() -> Args {
         command: String::new(),
         obstacles: 16_384,
         seed: 0xC17,
+        backend: Backend::Paged,
         entities: 4_096,
         s_count: 2_048,
         t_count: 2_048,
@@ -513,6 +531,10 @@ fn parse_args() -> Args {
                 out.seed = value("--seed")
                     .parse()
                     .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--backend" => {
+                out.backend = Backend::parse(&value("--backend"))
+                    .unwrap_or_else(|| usage("bad --backend (paged|packed)"))
             }
             "--entities" => {
                 out.entities = value("--entities")
@@ -585,7 +607,10 @@ fn usage(err: &str) -> ! {
          \x20 batch [--queries N] [--threads T] [--verify] [--stream]\n\
          \x20       [--schedule input|hilbert] [--clusters N]\n\
          common flags: --obstacles N (16384) --seed S --entities N (4096)\n\
-         \x20              --shards N (1: buffer-pool lock stripes per tree)"
+         \x20              --shards N (1: buffer-pool lock stripes per tree)\n\
+         \x20              --backend paged|packed (paged: the R*-tree over\n\
+         \x20              simulated disk pages; packed: the static\n\
+         \x20              single-buffer tree, lock-free reads)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -4,7 +4,7 @@ use crate::scale::Scale;
 use obstacle_core::{EntityIndex, ObstacleIndex};
 use obstacle_datagen::{query_workload, sample_entities, City, CityConfig};
 use obstacle_geom::Point;
-use obstacle_rtree::RTreeConfig;
+use obstacle_rtree::{RTreeConfig, TreeBackend};
 
 /// A generated city with its obstacle index, shared by all experiments of
 /// one run (the paper uses one obstacle dataset throughout §7).

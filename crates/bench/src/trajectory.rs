@@ -27,7 +27,7 @@ use obstacle_datagen::{
     ClusterSpec,
 };
 use obstacle_geom::Point;
-use obstacle_rtree::{IoStats, RTreeConfig};
+use obstacle_rtree::{Backend, IoStats, RTreeConfig, TreeBackend};
 use obstacle_visibility::EdgeBuilder;
 use std::time::Instant;
 
@@ -54,6 +54,11 @@ pub struct TrajectoryConfig {
     /// Thread counts of the schedule sweep (kept short: the point is the
     /// InputOrder-vs-Hilbert hit-rate split, not another thread ladder).
     pub schedule_threads: Vec<usize>,
+    /// Storage backends to A/B: both sweeps run once per backend over
+    /// the *same* workload, and every run — any backend, any thread
+    /// count, any schedule — must answer identically to the first
+    /// (the cross-backend determinism contract).
+    pub backends: Vec<Backend>,
 }
 
 impl Default for TrajectoryConfig {
@@ -69,24 +74,30 @@ impl Default for TrajectoryConfig {
             clustered_queries: 64,
             clusters: 8,
             schedule_threads: vec![1, 2],
+            backends: vec![Backend::Paged, Backend::Packed],
         }
     }
 }
 
 /// One measured thread count of the throughput sweep.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ThreadPoint {
+    /// `"paged"` or `"packed"` — the storage backend measured.
+    pub backend: String,
     /// Worker threads.
     pub threads: usize,
     /// Batch wall-clock in seconds.
     pub seconds: f64,
     /// Queries per second.
     pub qps: f64,
-    /// Speedup over the 1-thread (first) point.
+    /// Speedup over this backend's first (1-thread) point.
     pub speedup: f64,
-    /// Entity-tree buffer hit rate (hits / fetches) over the batch.
+    /// Entity-tree buffer hit rate (hits / fetches) over the batch. On
+    /// the packed backend every access is a recorded node visit, so
+    /// this is 1.0 by construction — it measures nothing there.
     pub entity_hit_rate: f64,
-    /// Obstacle-tree buffer hit rate over the batch.
+    /// Obstacle-tree buffer hit rate over the batch (packed: 1.0, see
+    /// `entity_hit_rate`).
     pub obstacle_hit_rate: f64,
 }
 
@@ -94,6 +105,8 @@ pub struct ThreadPoint {
 /// under one `(schedule, threads)` pair.
 #[derive(Clone, Debug)]
 pub struct SchedulePoint {
+    /// `"paged"` or `"packed"` — the storage backend measured.
+    pub backend: String,
     /// `"input_order"` or `"hilbert"`.
     pub schedule: String,
     /// Worker threads.
@@ -156,116 +169,136 @@ fn hit_rate(st: IoStats) -> f64 {
     }
 }
 
-/// Runs the full measurement. Panics if any thread count diverges from
-/// the first run's results (the determinism contract of `run_batch`).
+/// Runs the full measurement. Panics if any run diverges from the first
+/// run's results — across thread counts, schedules, *and* storage
+/// backends (the determinism contract of `run_batch` plus the
+/// paged/packed equivalence contract of `AnyTree`).
 pub fn run(config: TrajectoryConfig) -> TrajectoryReport {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    // ---- Throughput sweep.
     let city = City::generate(CityConfig::new(config.obstacles, 0xC17));
-    let tree_config = RTreeConfig::paper().striped(config.buffer_shards);
-    let obstacles = ObstacleIndex::bulk_load(tree_config, city.obstacles.clone());
-    let entities =
-        EntityIndex::bulk_load(tree_config, sample_entities(&city, config.entities, 0xC18));
-    let engine = QueryEngine::new(&entities, &obstacles);
+    let base_tree_config = RTreeConfig::paper().striped(config.buffer_shards);
+    let entity_points = sample_entities(&city, config.entities, 0xC18);
     let queries: Vec<Query> =
         batch_workload(&city, config.queries, 0xC19, BatchMix::point_queries())
             .iter()
             .map(to_core_query)
             .collect();
+    let clustered: Vec<Query> = clustered_batch_workload(
+        &city,
+        config.clustered_queries,
+        0xC1A,
+        BatchMix::point_queries(),
+        ClusterSpec {
+            clusters: config.clusters,
+            spread: 0.005,
+        },
+    )
+    .iter()
+    .map(to_core_query)
+    .collect();
 
-    let mut throughput = Vec::with_capacity(config.threads.len());
-    let mut baseline = None;
-    for &threads in &config.threads {
-        // Cold, identically sized buffers per point: hit rates are then
-        // comparable across thread counts instead of compounding.
-        entities.tree().reset_buffer();
-        obstacles.tree().reset_buffer();
-        entities.tree().reset_io_stats();
-        obstacles.tree().reset_io_stats();
-        let t0 = Instant::now();
-        let answers = engine.run_batch(&queries, threads);
-        let seconds = t0.elapsed().as_secs_f64();
-        match &baseline {
-            None => baseline = Some(answers),
-            Some(base) => {
-                for (i, (a, b)) in answers.iter().zip(base.iter()).enumerate() {
-                    assert!(a.same_results(b), "query {i} diverged at {threads} threads");
-                }
-            }
-        }
-        let first_seconds = throughput
-            .first()
-            .map_or(seconds, |p: &ThreadPoint| p.seconds);
-        throughput.push(ThreadPoint {
-            threads,
-            seconds,
-            qps: queries.len() as f64 / seconds,
-            speedup: first_seconds / seconds,
-            entity_hit_rate: hit_rate(entities.tree().io_stats()),
-            obstacle_hit_rate: hit_rate(obstacles.tree().io_stats()),
-        });
-    }
-
-    // ---- Scheduling sweep: the same clustered batch under both claim
-    // orders. The workload cycles its hotspots round-robin, so input
-    // order is maximally scattered and Hilbert has real locality to
-    // recover; determinism across schedules is asserted on every run.
+    let mut throughput = Vec::new();
     let mut schedules = Vec::new();
-    if config.clustered_queries > 0 {
-        let clustered: Vec<Query> = clustered_batch_workload(
-            &city,
-            config.clustered_queries,
-            0xC1A,
-            BatchMix::point_queries(),
-            ClusterSpec {
-                clusters: config.clusters,
-                spread: 0.005,
-            },
-        )
-        .iter()
-        .map(to_core_query)
-        .collect();
-        let mut schedule_baseline: Option<Vec<obstacle_core::Answer>> = None;
-        for &threads in &config.schedule_threads {
-            for (name, schedule) in [
-                ("input_order", Schedule::InputOrder),
-                ("hilbert", Schedule::Hilbert),
-            ] {
-                entities.tree().reset_buffer();
-                obstacles.tree().reset_buffer();
-                entities.tree().reset_io_stats();
-                obstacles.tree().reset_io_stats();
-                let options = BatchOptions::new(threads).schedule(schedule);
-                let t0 = Instant::now();
-                let (answers, stats) = engine.run_batch_scheduled(&clustered, &options);
-                let seconds = t0.elapsed().as_secs_f64();
-                match &schedule_baseline {
-                    None => schedule_baseline = Some(answers),
-                    Some(base) => {
-                        for (i, (a, b)) in answers.iter().zip(base.iter()).enumerate() {
-                            assert!(
-                                a.same_results(b),
-                                "clustered query {i} diverged under {name} at {threads} threads"
-                            );
-                        }
+    // One baseline per workload, shared across backends: a packed run
+    // must reproduce the paged answers bit for bit.
+    let mut baseline: Option<Vec<obstacle_core::Answer>> = None;
+    let mut schedule_baseline: Option<Vec<obstacle_core::Answer>> = None;
+
+    for &backend in &config.backends {
+        let tree_config = base_tree_config.with_backend(backend);
+        let obstacles = ObstacleIndex::bulk_load(tree_config, city.obstacles.clone());
+        let entities = EntityIndex::bulk_load(tree_config, entity_points.clone());
+        let engine = QueryEngine::new(&entities, &obstacles);
+
+        // ---- Throughput sweep (this backend).
+        let mut first_seconds: Option<f64> = None;
+        for &threads in &config.threads {
+            // Cold, identically sized buffers per point: hit rates are
+            // then comparable across thread counts instead of
+            // compounding (a no-op on the packed backend).
+            entities.tree().reset_buffer();
+            obstacles.tree().reset_buffer();
+            entities.tree().reset_io_stats();
+            obstacles.tree().reset_io_stats();
+            let t0 = Instant::now();
+            let answers = engine.run_batch(&queries, threads);
+            let seconds = t0.elapsed().as_secs_f64();
+            match &baseline {
+                None => baseline = Some(answers),
+                Some(base) => {
+                    for (i, (a, b)) in answers.iter().zip(base.iter()).enumerate() {
+                        assert!(
+                            a.same_results(b),
+                            "query {i} diverged at {threads} threads on the {} backend",
+                            backend.name()
+                        );
                     }
                 }
-                schedules.push(SchedulePoint {
-                    schedule: name.to_string(),
-                    threads,
-                    seconds,
-                    qps: clustered.len() as f64 / seconds,
-                    scene_reuses: stats.scene_reuses,
-                    scene_resets: stats.scene_resets,
-                    entity_hit_rate: hit_rate(entities.tree().io_stats()),
-                    obstacle_hit_rate: hit_rate(obstacles.tree().io_stats()),
-                });
+            }
+            let first_seconds = *first_seconds.get_or_insert(seconds);
+            throughput.push(ThreadPoint {
+                backend: backend.name().to_string(),
+                threads,
+                seconds,
+                qps: queries.len() as f64 / seconds,
+                speedup: first_seconds / seconds,
+                entity_hit_rate: hit_rate(entities.tree().io_stats()),
+                obstacle_hit_rate: hit_rate(obstacles.tree().io_stats()),
+            });
+        }
+
+        // ---- Scheduling sweep: the same clustered batch under both
+        // claim orders. The workload cycles its hotspots round-robin,
+        // so input order is maximally scattered and Hilbert has real
+        // locality to recover; determinism across schedules (and
+        // backends) is asserted on every run.
+        if config.clustered_queries > 0 {
+            for &threads in &config.schedule_threads {
+                for (name, schedule) in [
+                    ("input_order", Schedule::InputOrder),
+                    ("hilbert", Schedule::Hilbert),
+                ] {
+                    entities.tree().reset_buffer();
+                    obstacles.tree().reset_buffer();
+                    entities.tree().reset_io_stats();
+                    obstacles.tree().reset_io_stats();
+                    let options = BatchOptions::new(threads).schedule(schedule);
+                    let t0 = Instant::now();
+                    let (answers, stats) = engine.run_batch_scheduled(&clustered, &options);
+                    let seconds = t0.elapsed().as_secs_f64();
+                    match &schedule_baseline {
+                        None => schedule_baseline = Some(answers),
+                        Some(base) => {
+                            for (i, (a, b)) in answers.iter().zip(base.iter()).enumerate() {
+                                assert!(
+                                    a.same_results(b),
+                                    "clustered query {i} diverged under {name} at {threads} \
+                                     threads on the {} backend",
+                                    backend.name()
+                                );
+                            }
+                        }
+                    }
+                    schedules.push(SchedulePoint {
+                        backend: backend.name().to_string(),
+                        schedule: name.to_string(),
+                        threads,
+                        seconds,
+                        qps: clustered.len() as f64 / seconds,
+                        scene_reuses: stats.scene_reuses,
+                        scene_resets: stats.scene_resets,
+                        entity_hit_rate: hit_rate(entities.tree().io_stats()),
+                        obstacle_hit_rate: hit_rate(obstacles.tree().io_stats()),
+                    });
+                }
             }
         }
     }
 
-    // ---- Path ladder.
+    // ---- Path ladder (paged backend: its budgets date from before the
+    // packed backend existed and gate the lazy-A* engine, not the tree).
+    let tree_config = base_tree_config;
     let mut ladder = Vec::with_capacity(config.ladder.len());
     for &(n, budget_seconds) in &config.ladder {
         let city = City::generate(CityConfig::new(n, 0xC17));
@@ -315,7 +348,7 @@ impl TrajectoryReport {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         s.push_str("  \"schema\": \"obstacle-suite-bench-trajectory\",\n");
-        s.push_str("  \"pr\": 5,\n");
+        s.push_str("  \"pr\": 6,\n");
         s.push_str(&format!(
             "  \"config\": {{\"obstacles\": {}, \"entities\": {}, \"queries\": {}, \
              \"buffer_shards\": {}, \"cores\": {}}},\n",
@@ -332,9 +365,10 @@ impl TrajectoryReport {
         s.push_str("  \"throughput\": [\n");
         for (i, p) in self.throughput.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"threads\": {}, \"seconds\": {:.6}, \"qps\": {:.3}, \
-                 \"speedup\": {:.3}, \"entity_hit_rate\": {:.4}, \
+                "    {{\"backend\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \
+                 \"qps\": {:.3}, \"speedup\": {:.3}, \"entity_hit_rate\": {:.4}, \
                  \"obstacle_hit_rate\": {:.4}}}{}\n",
+                p.backend,
                 p.threads,
                 p.seconds,
                 p.qps,
@@ -352,9 +386,11 @@ impl TrajectoryReport {
         s.push_str("  \"schedules\": [\n");
         for (i, p) in self.schedules.iter().enumerate() {
             s.push_str(&format!(
-                "    {{\"schedule\": \"{}\", \"threads\": {}, \"seconds\": {:.6}, \
-                 \"qps\": {:.3}, \"scene_reuses\": {}, \"scene_resets\": {}, \
-                 \"entity_hit_rate\": {:.4}, \"obstacle_hit_rate\": {:.4}}}{}\n",
+                "    {{\"backend\": \"{}\", \"schedule\": \"{}\", \"threads\": {}, \
+                 \"seconds\": {:.6}, \"qps\": {:.3}, \"scene_reuses\": {}, \
+                 \"scene_resets\": {}, \"entity_hit_rate\": {:.4}, \
+                 \"obstacle_hit_rate\": {:.4}}}{}\n",
+                p.backend,
                 p.schedule,
                 p.threads,
                 p.seconds,
@@ -390,8 +426,11 @@ impl TrajectoryReport {
     /// the trajectory-history gate: q/s on the shared throughput
     /// workload must not regress beyond `tolerance` (a fraction, e.g.
     /// 0.4 = fail below 60 % of the previous number; generous because
-    /// the 1-core CI container is noisy). Points are matched by thread
-    /// count; the diff is skipped (`comparable == false`) when the
+    /// the 1-core CI container is noisy). Points are matched by
+    /// `(backend, thread count)`; artifacts written before the packed
+    /// backend existed carry no `backend` key and their points count as
+    /// `"paged"`, so a fast packed run can never mask a paged
+    /// regression. The diff is skipped (`comparable == false`) when the
     /// baseline measured a different workload configuration, since its
     /// q/s would mean nothing here.
     pub fn diff_against_baseline(&self, baseline_json: &str, tolerance: f64) -> BaselineDiff {
@@ -423,13 +462,16 @@ impl TrajectoryReport {
         diff.comparable = true;
         let baseline = throughput_points(baseline_json);
         for p in &self.throughput {
-            let Some(&(_, base_qps)) = baseline.iter().find(|(t, _)| *t == p.threads) else {
+            let Some((_, _, base_qps)) = baseline
+                .iter()
+                .find(|(b, t, _)| *b == p.backend && *t == p.threads)
+            else {
                 continue;
             };
             let floor = (1.0 - tolerance) * base_qps;
             let line = format!(
-                "throughput @ {} thread(s): {:.1} q/s vs baseline {:.1} q/s (floor {:.1})",
-                p.threads, p.qps, base_qps, floor
+                "throughput [{}] @ {} thread(s): {:.1} q/s vs baseline {:.1} q/s (floor {:.1})",
+                p.backend, p.threads, p.qps, base_qps, floor
             );
             if p.qps < floor {
                 diff.regressions.push(line);
@@ -469,8 +511,19 @@ fn json_number(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// `(threads, qps)` pairs of the artifact's `"throughput"` array.
-fn throughput_points(json: &str) -> Vec<(usize, f64)> {
+/// First `"key": "<string>"` occurrence in `json`.
+fn json_string<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    Some(&rest[..rest.find('"')?])
+}
+
+/// `(backend, threads, qps)` triples of the artifact's `"throughput"`
+/// array. Pre-PR-6 artifacts carry no `backend` key: those points were
+/// measured on the paged tree (the only backend that existed), so they
+/// default to `"paged"`.
+fn throughput_points(json: &str) -> Vec<(String, usize, f64)> {
     let Some(start) = json.find("\"throughput\": [") else {
         return Vec::new();
     };
@@ -481,7 +534,8 @@ fn throughput_points(json: &str) -> Vec<(usize, f64)> {
         if let (Some(threads), Some(qps)) =
             (json_number(entry, "threads"), json_number(entry, "qps"))
         {
-            out.push((threads as usize, qps));
+            let backend = json_string(entry, "backend").unwrap_or("paged");
+            out.push((backend.to_string(), threads as usize, qps));
         }
     }
     out
@@ -503,9 +557,14 @@ mod tests {
             clustered_queries: 12,
             clusters: 3,
             schedule_threads: vec![1],
+            backends: vec![Backend::Paged, Backend::Packed],
         });
-        assert_eq!(report.throughput.len(), 2);
-        assert_eq!(report.schedules.len(), 2, "both schedules at 1 thread");
+        assert_eq!(report.throughput.len(), 4, "2 backends x 2 thread counts");
+        assert_eq!(
+            report.schedules.len(),
+            4,
+            "2 backends x both schedules at 1 thread"
+        );
         assert_eq!(report.ladder.len(), 1);
         assert!(report.determinism_verified);
         assert!(
@@ -526,6 +585,8 @@ mod tests {
             "\"schema\"",
             "\"throughput\"",
             "\"schedules\"",
+            "\"backend\": \"paged\"",
+            "\"backend\": \"packed\"",
             "\"schedule\": \"hilbert\"",
             "\"scene_reuses\"",
             "\"path_ladder\"",
@@ -552,6 +613,7 @@ mod tests {
             clustered_queries: 0, // skip the schedule sweep
             clusters: 1,
             schedule_threads: vec![],
+            backends: vec![Backend::Paged],
         });
         assert!(report.schedules.is_empty());
         assert!(report.budget_violations().is_empty());
@@ -571,16 +633,22 @@ mod tests {
             clustered_queries: 0,
             clusters: 1,
             schedule_threads: vec![],
+            backends: vec![Backend::Paged, Backend::Packed],
         });
 
         // A baseline of the same configuration but absurdly high q/s:
         // every matched point regresses beyond any tolerance.
+        // The baseline predates the backend key: its bare point counts
+        // as paged and must still catch the paged regression (the
+        // packed point finds no match and is skipped, not compared
+        // against the paged number).
         let fast = "{\n  \"config\": {\"obstacles\": 32, \"entities\": 16, \"queries\": 4, \
                     \"buffer_shards\": 1, \"cores\": 1},\n  \"throughput\": [\n    \
                     {\"threads\": 1, \"seconds\": 0.0001, \"qps\": 9999999.0}\n  ]\n}\n";
         let diff = report.diff_against_baseline(fast, 0.4);
         assert!(diff.comparable);
         assert_eq!(diff.regressions.len(), 1, "{diff:?}");
+        assert!(diff.regressions[0].contains("[paged]"), "{diff:?}");
 
         // The report diffed against its own artifact never regresses.
         let self_diff = report.diff_against_baseline(&report.to_json(), 0.4);
@@ -599,12 +667,16 @@ mod tests {
     fn artifact_number_extraction_reads_what_to_json_writes() {
         let json = "{\n  \"config\": {\"obstacles\": 2048, \"queries\": 64},\n  \
                     \"throughput\": [\n    {\"threads\": 1, \"qps\": 17.100},\n    \
-                    {\"threads\": 8, \"qps\": 16.533}\n  ],\n  \"path_ladder\": []\n}\n";
+                    {\"backend\": \"packed\", \"threads\": 8, \"qps\": 16.533}\n  ],\n  \
+                    \"path_ladder\": []\n}\n";
         assert_eq!(json_number(json, "obstacles"), Some(2048.0));
         assert_eq!(json_number(json, "queries"), Some(64.0));
         assert_eq!(
             throughput_points(json),
-            vec![(1usize, 17.1), (8usize, 16.533)]
+            vec![
+                ("paged".to_string(), 1usize, 17.1),
+                ("packed".to_string(), 8usize, 16.533)
+            ]
         );
         assert_eq!(json_number(json, "missing"), None);
         assert!(throughput_points("{}").is_empty());

@@ -5,7 +5,7 @@ use crate::engine::{EngineOptions, EntityIndex, ObstacleIndex};
 use crate::stats::{ClosestPairsResult, QueryStats};
 use crate::QUERY_TAG;
 use obstacle_geom::Point;
-use obstacle_rtree::{ClosestPairs, OrdF64};
+use obstacle_rtree::{AnyTree, ClosestPairs, OrdF64, TreeBackend};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -142,7 +142,7 @@ pub struct IncrementalClosestPairs<'a> {
     t: &'a EntityIndex,
     obstacles: &'a ObstacleIndex,
     options: EngineOptions,
-    euclid: ClosestPairs<'a>,
+    euclid: ClosestPairs<'a, AnyTree, AnyTree>,
     pending: BinaryHeap<Reverse<(OrdF64, u64, u64)>>,
     last_euclid: f64,
     exhausted: bool,

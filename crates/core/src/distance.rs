@@ -20,6 +20,7 @@
 
 use crate::engine::ObstacleIndex;
 use obstacle_geom::{Point, Rect};
+use obstacle_rtree::TreeBackend;
 use obstacle_visibility::{EdgeBuilder, LazyScene, NodeId, PathResult};
 use std::collections::HashSet;
 
@@ -56,7 +57,11 @@ impl LocalGraph {
     /// scene; returns how many were new. The search regions themselves
     /// (disk or ellipse MBR bounds) live in
     /// [`compute_obstructed_path_pruned`], the only absorption driver.
-    fn absorb(&mut self, obstacles: &ObstacleIndex, items: Vec<obstacle_rtree::Item>) -> usize {
+    fn absorb(
+        &mut self,
+        obstacles: &ObstacleIndex,
+        items: impl IntoIterator<Item = obstacle_rtree::Item>,
+    ) -> usize {
         let mut added = 0;
         for item in items {
             if self.present.insert(item.id) {
@@ -197,27 +202,34 @@ pub fn compute_obstructed_path_pruned(
     let mut prefetch = (2.0 * typical_diag).max(1e-3 * euclid);
     graph.absorb(
         obstacles,
-        obstacles.tree().range_by_bound(bound, euclid + prefetch),
+        obstacles
+            .tree()
+            .range_by_bound(&bound, euclid + prefetch)
+            .into_iter()
+            .map(|(item, _)| item),
     );
     loop {
         let path = graph.scene.astar(p, q)?;
         let d = path.distance;
         debug_assert!(d >= euclid - 1e-9 * euclid);
 
-        let fresh: Vec<obstacle_rtree::Item> = obstacles
+        // `range_by_bound` returns each item's bound score, computed once
+        // during the tree descent — the certification test below reuses it
+        // instead of re-evaluating the closure per obstacle.
+        let fresh: Vec<(obstacle_rtree::Item, f64)> = obstacles
             .tree()
-            .range_by_bound(bound, d + prefetch)
+            .range_by_bound(&bound, d + prefetch)
             .into_iter()
-            .filter(|item| !graph.present.contains(&item.id))
+            .filter(|(item, _)| !graph.present.contains(&item.id))
             .collect();
-        if fresh.iter().all(|item| bound(&item.mbr) > d) {
+        if fresh.iter().all(|&(_, b)| b > d) {
             // Every obstacle inside the certified region of size `d` is
             // already in the scene: `d` is exact. The prefetched
             // leftovers (bound in (d, d+prefetch]) are deliberately not
             // absorbed — the scene stays cache-warm for the next query.
             return Some(path);
         }
-        graph.absorb(obstacles, fresh);
+        graph.absorb(obstacles, fresh.into_iter().map(|(item, _)| item));
         prefetch = (d - euclid).max(prefetch * 2.0);
     }
 }

@@ -1,20 +1,26 @@
 //! Indexed datasets and the query engine facade.
 
 use obstacle_geom::{Point, Polygon, Rect};
-use obstacle_rtree::{Item, RTree, RTreeConfig};
+use obstacle_rtree::{AnyTree, Item, RTreeConfig, TreeBackend};
 use obstacle_visibility::EdgeBuilder;
 
-/// An entity dataset (points of interest) with its R*-tree.
+/// An entity dataset (points of interest) with its tree index.
+///
+/// The storage backend (the paper's paged R*-tree or the packed static
+/// tree) is chosen by `config.backend` at build time; every operator runs
+/// on either.
 #[derive(Debug)]
 pub struct EntityIndex {
-    tree: RTree,
+    tree: AnyTree,
     points: Vec<Point>,
 }
 
 impl EntityIndex {
     /// Indexes `points` by one-by-one R* insertion (the paper's setup).
+    /// On the packed backend this is the same Hilbert pack as
+    /// [`EntityIndex::bulk_load`] — a static structure has one build path.
     pub fn build(config: RTreeConfig, points: Vec<Point>) -> Self {
-        let tree = RTree::build(
+        let tree = AnyTree::build(
             config,
             points
                 .iter()
@@ -24,10 +30,10 @@ impl EntityIndex {
         EntityIndex { tree, points }
     }
 
-    /// Indexes `points` with STR bulk loading (faster construction; used
-    /// by large-scale benchmarks).
+    /// Indexes `points` by bulk loading (paged: STR; packed: Hilbert
+    /// pack; used by large-scale benchmarks).
     pub fn bulk_load(config: RTreeConfig, points: Vec<Point>) -> Self {
-        let tree = RTree::bulk_load_str(
+        let tree = AnyTree::bulk_load(
             config,
             points
                 .iter()
@@ -38,8 +44,8 @@ impl EntityIndex {
         EntityIndex { tree, points }
     }
 
-    /// The underlying R*-tree.
-    pub fn tree(&self) -> &RTree {
+    /// The underlying tree index.
+    pub fn tree(&self) -> &AnyTree {
         &self.tree
     }
 
@@ -67,6 +73,8 @@ impl EntityIndex {
     /// the paper builds visibility graphs on-line instead of
     /// materialising them (§2.4) — the R-tree absorbs the insert and
     /// every subsequent query sees the new entity with no rebuild.
+    /// On the packed backend the insert re-packs the tree (O(n log n) —
+    /// see [`AnyTree::insert`]).
     pub fn insert(&mut self, p: Point) -> u64 {
         let id = self.points.len() as u64;
         self.points.push(p);
@@ -79,23 +87,24 @@ impl EntityIndex {
     /// retired ids but no query will return them.
     pub fn delete(&mut self, id: u64) -> bool {
         match self.points.get(id as usize) {
-            Some(&p) => self.tree.delete(&Item::point(p, id)),
+            Some(&p) => self.tree.delete(Item::point(p, id)),
             None => false,
         }
     }
 }
 
-/// The obstacle dataset (simple polygons) with its R*-tree over MBRs.
+/// The obstacle dataset (simple polygons) with its tree index over MBRs.
 #[derive(Debug)]
 pub struct ObstacleIndex {
-    tree: RTree,
+    tree: AnyTree,
     polygons: Vec<Polygon>,
 }
 
 impl ObstacleIndex {
-    /// Indexes `polygons` by one-by-one R* insertion.
+    /// Indexes `polygons` by one-by-one R* insertion (packed backend:
+    /// Hilbert pack, see [`EntityIndex::build`]).
     pub fn build(config: RTreeConfig, polygons: Vec<Polygon>) -> Self {
-        let tree = RTree::build(
+        let tree = AnyTree::build(
             config,
             polygons
                 .iter()
@@ -105,9 +114,10 @@ impl ObstacleIndex {
         ObstacleIndex { tree, polygons }
     }
 
-    /// Indexes `polygons` with STR bulk loading.
+    /// Indexes `polygons` by bulk loading (paged: STR; packed: Hilbert
+    /// pack).
     pub fn bulk_load(config: RTreeConfig, polygons: Vec<Polygon>) -> Self {
-        let tree = RTree::bulk_load_str(
+        let tree = AnyTree::bulk_load(
             config,
             polygons
                 .iter()
@@ -118,8 +128,8 @@ impl ObstacleIndex {
         ObstacleIndex { tree, polygons }
     }
 
-    /// The underlying R*-tree (indexes obstacle MBRs).
-    pub fn tree(&self) -> &RTree {
+    /// The underlying tree index (indexes obstacle MBRs).
+    pub fn tree(&self) -> &AnyTree {
         &self.tree
     }
 
@@ -166,7 +176,7 @@ impl ObstacleIndex {
     /// slot is retired (never reused).
     pub fn delete(&mut self, id: u64) -> bool {
         match self.polygons.get(id as usize) {
-            Some(p) => self.tree.delete(&Item::new(p.bbox(), id)),
+            Some(p) => self.tree.delete(Item::new(p.bbox(), id)),
             None => false,
         }
     }

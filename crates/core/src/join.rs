@@ -6,6 +6,7 @@ use crate::engine::{EngineOptions, EntityIndex, ObstacleIndex};
 use crate::stats::{JoinResult, QueryStats};
 use crate::QUERY_TAG;
 use obstacle_geom::{hilbert_index_unit, Rect};
+use obstacle_rtree::TreeBackend;
 use obstacle_visibility::{NodeId, NodeKind};
 use std::collections::HashMap;
 use std::time::Instant;

@@ -6,7 +6,7 @@ use crate::engine::QueryEngine;
 use crate::stats::{NearestResult, QueryStats};
 use crate::QUERY_TAG;
 use obstacle_geom::Point;
-use obstacle_rtree::{Nearest, OrdF64};
+use obstacle_rtree::{AnyTree, Nearest, OrdF64, TreeBackend};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Instant;
@@ -155,7 +155,7 @@ impl<'a> QueryEngine<'a> {
 /// order; see [`QueryEngine::nearest_incremental`].
 pub struct IncrementalNearest<'a> {
     engine: QueryEngine<'a>,
-    euclid: Nearest<'a>,
+    euclid: Nearest<'a, AnyTree>,
     graph: LocalGraph,
     q_node: obstacle_visibility::NodeId,
     /// Candidates whose obstructed distance is known but not yet safe to

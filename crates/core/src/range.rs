@@ -5,6 +5,7 @@ use crate::engine::QueryEngine;
 use crate::stats::{QueryStats, RangeResult};
 use crate::QUERY_TAG;
 use obstacle_geom::Point;
+use obstacle_rtree::TreeBackend;
 use obstacle_visibility::{NodeId, NodeKind};
 use std::time::Instant;
 

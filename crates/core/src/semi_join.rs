@@ -12,6 +12,7 @@
 use crate::closest_pair::incremental_closest_pairs;
 use crate::engine::{EngineOptions, EntityIndex, ObstacleIndex, QueryEngine};
 use crate::stats::{JoinResult, QueryStats};
+use obstacle_rtree::TreeBackend;
 use std::collections::HashMap;
 use std::time::Instant;
 

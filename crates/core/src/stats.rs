@@ -12,18 +12,34 @@ use std::time::Duration;
 /// * `candidates` vs `results` — Euclidean candidate count vs final
 ///   result count; `false_hits` — candidates eliminated by the obstructed
 ///   metric (for kNN: Euclidean top-k not in the obstructed top-k).
+///
+/// # Storage backends
+///
+/// The IO counters are attributed through the same `IoSnapshot` windows
+/// on either tree backend, but they *mean* different things. On the
+/// paged R*-tree, `*_fetches` are logical page fetches and `*_reads`
+/// the subset that missed the LRU buffer — the paper's metric. The
+/// packed backend has no pages and no buffer: there `*_fetches` counts
+/// **node visits** (the structural analogue, comparable across
+/// backends for the same query) and `*_reads` is honestly zero rather
+/// than a misleading simulated-disk number. Compare `*_reads` only
+/// between runs on the same backend.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct QueryStats {
-    /// Page accesses on the entity R-tree(s) that missed the LRU buffer.
+    /// Page accesses on the entity R-tree(s) that missed the LRU buffer
+    /// (always 0 on the packed backend — it performs no page IO).
     pub entity_reads: u64,
-    /// Page accesses on the obstacle R-tree that missed the LRU buffer.
+    /// Page accesses on the obstacle R-tree that missed the LRU buffer
+    /// (always 0 on the packed backend).
     pub obstacle_reads: u64,
     /// Logical page fetches on the entity R-tree(s) (hits + misses). The
     /// figure harness reports this metric: the paper's per-query access
     /// counts match logical fetches, with the 10 % LRU buffer absorbing
-    /// repeated accesses (tracked by the `*_reads` miss counters).
+    /// repeated accesses (tracked by the `*_reads` miss counters). On
+    /// the packed backend: node visits.
     pub entity_fetches: u64,
-    /// Logical page fetches on the obstacle R-tree (hits + misses).
+    /// Logical page fetches on the obstacle R-tree (hits + misses; node
+    /// visits on the packed backend).
     pub obstacle_fetches: u64,
     /// CPU (wall-clock) time spent processing the query.
     pub cpu: Duration,

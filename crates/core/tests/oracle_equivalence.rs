@@ -7,7 +7,7 @@ use obstacle_core::{
     EntityIndex, ObstacleIndex, QueryEngine,
 };
 use obstacle_datagen::{query_workload, sample_entities, City, CityConfig};
-use obstacle_rtree::RTreeConfig;
+use obstacle_rtree::{RTreeConfig, TreeBackend};
 
 const TOL: f64 = 1e-9;
 

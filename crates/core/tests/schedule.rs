@@ -9,7 +9,7 @@ use obstacle_core::{EntityIndex, ObstacleIndex};
 use obstacle_datagen::{
     clustered_batch_workload, sample_entities, BatchMix, BatchQuery, City, CityConfig, ClusterSpec,
 };
-use obstacle_rtree::RTreeConfig;
+use obstacle_rtree::{RTreeConfig, TreeBackend};
 
 fn world() -> (EntityIndex, ObstacleIndex, City) {
     // Kept deliberately small: debug-mode obstructed queries get steep

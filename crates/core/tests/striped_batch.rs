@@ -4,7 +4,7 @@
 
 use obstacle_core::{Answer, EntityIndex, ObstacleIndex, Query, QueryEngine};
 use obstacle_datagen::{query_workload, sample_entities, City, CityConfig};
-use obstacle_rtree::RTreeConfig;
+use obstacle_rtree::{RTreeConfig, TreeBackend};
 
 fn striped_world(shards: usize) -> (EntityIndex, ObstacleIndex, City) {
     let city = City::generate(CityConfig::new(160, 0x5744));

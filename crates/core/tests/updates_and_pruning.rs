@@ -6,7 +6,7 @@ use obstacle_core::{
 };
 use obstacle_datagen::{sample_entities, City, CityConfig};
 use obstacle_geom::{Point, Polygon, Rect};
-use obstacle_rtree::RTreeConfig;
+use obstacle_rtree::{RTreeConfig, TreeBackend};
 use obstacle_visibility::EdgeBuilder;
 
 fn square(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {

@@ -1,5 +1,42 @@
 //! Tree configuration: the simulated disk-page cost model.
 
+/// Which storage backend a tree is built on.
+///
+/// The engine layer ([`AnyTree::build`](crate::AnyTree::build) and the
+/// indexes on top of it) dispatches on this knob; the CLI exposes it as
+/// `--backend paged|packed`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// The paper's R*-tree over a paged store with an LRU buffer (the
+    /// faithful reproduction; supports insert/delete; IO stats count
+    /// page accesses).
+    #[default]
+    Paged,
+    /// Flatbush-style packed static tree in one contiguous buffer
+    /// (zero locks, zero deserialization; rebuilt on update; IO stats
+    /// count node visits).
+    Packed,
+}
+
+impl Backend {
+    /// `"paged"` or `"packed"` — the tag used by the CLI and benches.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Paged => "paged",
+            Backend::Packed => "packed",
+        }
+    }
+
+    /// Parses a CLI tag (the inverse of [`Backend::name`]).
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "paged" => Some(Backend::Paged),
+            "packed" => Some(Backend::Packed),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of an [`RTree`](crate::RTree).
 ///
 /// The defaults reproduce the experimental setup of the paper (§7):
@@ -37,6 +74,16 @@ pub struct RTreeConfig {
     /// accounting); the hit/miss split can differ from the single-LRU
     /// split because each shard evicts within its own page subset.
     pub buffer_shards: usize,
+    /// Storage backend trees built from this config use. The paged
+    /// fields above (page/buffer geometry, R* parameters) only apply to
+    /// [`Backend::Paged`]; [`Backend::Packed`] uses
+    /// [`RTreeConfig::packed_node_size`].
+    pub backend: Backend,
+    /// Fan-out of the packed backend (entries per packed node). The
+    /// flatbush-lineage default of 16 balances pruning granularity
+    /// against per-node scan cost for in-memory search; the paged
+    /// capacity (204) models a 4 KiB disk page instead.
+    pub packed_node_size: usize,
 }
 
 impl Default for RTreeConfig {
@@ -51,6 +98,8 @@ impl Default for RTreeConfig {
             buffer_ratio: 0.1,
             min_buffer_pages: 1,
             buffer_shards: 1,
+            backend: Backend::Paged,
+            packed_node_size: 16,
         }
     }
 }
@@ -108,6 +157,11 @@ impl RTreeConfig {
             buffer_shards: shards,
             ..self
         }
+    }
+
+    /// This configuration targeting `backend`.
+    pub fn with_backend(self, backend: Backend) -> Self {
+        RTreeConfig { backend, ..self }
     }
 }
 

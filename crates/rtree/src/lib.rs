@@ -27,6 +27,19 @@
 //! coordinates, while the default cost-model node capacity (204 entries)
 //! matches the paper's 4 KiB pages with 20-byte entries.
 //!
+//! # Storage backends
+//!
+//! The read-side query surface is abstracted by [`TreeBackend`] with two
+//! implementations: the paged [`RTree`] above (the faithful reproduction,
+//! with insert/delete and page-access accounting) and the
+//! [`PackedRTree`] — a flatbush-style packed static tree in one
+//! contiguous buffer, built by Hilbert sort, byte-serializable without a
+//! rebuild, and entirely lock-free on the query path (its IO stats count
+//! node visits instead of page accesses). [`AnyTree`] enum-dispatches
+//! between the two, selected by [`RTreeConfig::backend`]. All query
+//! algorithms ([`Nearest`], [`distance_join`], [`ClosestPairs`], the
+//! range searches) are generic over the backend.
+//!
 //! # Example
 //!
 //! ```
@@ -56,20 +69,24 @@ pub mod buffer;
 pub mod codec;
 pub mod sync;
 
+mod backend;
 mod config;
 mod entry;
 mod float;
 mod node;
+mod packed;
 pub mod persist;
 mod query;
 mod stats;
 mod store;
 mod tree;
 
-pub use config::RTreeConfig;
+pub use backend::{AnyTree, NodeRef, TreeBackend};
+pub use config::{Backend, RTreeConfig};
 pub use entry::{Entry, Item, PageId};
 pub use float::OrdF64;
 pub use node::Node;
+pub use packed::PackedRTree;
 pub use query::closest_pairs::ClosestPairs;
 pub use query::join::distance_join;
 pub use query::nn::Nearest;

@@ -130,6 +130,11 @@ impl RTree {
             buffer_ratio: data.get_f64_le(),
             min_buffer_pages: data.get_u32_le() as usize,
             buffer_shards: data.get_u32_le() as usize,
+            // An ORTR image is by definition a paged tree; the packed
+            // backend has its own format (see `crate::packed`). The
+            // backend knobs are not part of the page-image layout.
+            backend: crate::config::Backend::Paged,
+            packed_node_size: RTreeConfig::default().packed_node_size,
         };
         need(data, 4 + 4 + 8 + 4)?;
         let root = data.get_u32_le();

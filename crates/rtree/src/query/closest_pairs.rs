@@ -7,9 +7,12 @@
 //! node with the larger MBR area, per Hjaltason & Samet's unbalanced
 //! expansion). The iterator therefore reports object pairs in
 //! non-decreasing distance order and can be consumed lazily — exactly what
-//! the paper's OCP and iOCP algorithms require.
+//! the paper's OCP and iOCP algorithms require. The two sides are
+//! independently generic over [`TreeBackend`] (defaulting to the paged
+//! [`RTree`]), so the same traversal serves both storage backends.
 
-use crate::entry::{Item, PageId};
+use crate::backend::{NodeRef, TreeBackend};
+use crate::entry::{Entry, Item};
 use crate::float::OrdF64;
 use crate::tree::RTree;
 use obstacle_geom::Rect;
@@ -18,8 +21,17 @@ use std::collections::BinaryHeap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Side {
-    Node(PageId),
+    Node(NodeRef),
     Object(u64),
+}
+
+/// Level of a node side on backend `B` (expansion heuristic helper);
+/// objects rank below every node.
+fn side_level<B: TreeBackend>(tree: &B, side: Side) -> u32 {
+    match side {
+        Side::Node(n) => tree.node_level(n),
+        Side::Object(_) => 0,
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -55,29 +67,35 @@ impl Ord for PairEntry {
 
 /// Incremental closest-pairs iterator; yields `(left_item, right_item,
 /// distance)` in non-decreasing distance order.
-pub struct ClosestPairs<'a> {
-    left: &'a RTree,
-    right: &'a RTree,
+pub struct ClosestPairs<'a, L: TreeBackend = RTree, R: TreeBackend = RTree> {
+    left: &'a L,
+    right: &'a R,
     heap: BinaryHeap<PairEntry>,
+    scratch: Vec<Entry>,
 }
 
-impl<'a> ClosestPairs<'a> {
+impl<'a, L: TreeBackend, R: TreeBackend> ClosestPairs<'a, L, R> {
     /// Starts an incremental closest-pair computation between two trees.
-    pub fn new(left: &'a RTree, right: &'a RTree) -> Self {
+    pub fn new(left: &'a L, right: &'a R) -> Self {
         let mut heap = BinaryHeap::new();
-        if !left.is_empty() && !right.is_empty() {
+        if let (Some(lroot), Some(rroot)) = (left.root_node(), right.root_node()) {
             let lmbr = left.root_mbr();
             let rmbr = right.root_mbr();
             heap.push(PairEntry {
                 dist: Reverse(OrdF64::new(lmbr.mindist_rect(&rmbr))),
                 resolved: false,
-                left: Side::Node(left.root_page()),
-                right: Side::Node(right.root_page()),
+                left: Side::Node(lroot),
+                right: Side::Node(rroot),
                 lmbr,
                 rmbr,
             });
         }
-        ClosestPairs { left, right, heap }
+        ClosestPairs {
+            left,
+            right,
+            heap,
+            scratch: Vec::new(),
+        }
     }
 
     /// Lower bound on the distance of every pair yet to be produced.
@@ -94,8 +112,8 @@ impl<'a> ClosestPairs<'a> {
             (Side::Object(_), Side::Node(_)) => false,
             (Side::Node(_), Side::Node(_)) => {
                 let (ln, rn) = (
-                    self.left.read_page_level(entry.left),
-                    self.right.read_page_level(entry.right),
+                    side_level(self.left, entry.left),
+                    side_level(self.right, entry.right),
                 );
                 match ln.cmp(&rn) {
                     std::cmp::Ordering::Greater => true,
@@ -107,22 +125,17 @@ impl<'a> ClosestPairs<'a> {
         };
 
         if open_left {
-            let Side::Node(page) = entry.left else {
+            let Side::Node(node) = entry.left else {
                 unreachable!()
             };
-            let node = self.left.read_page(page);
-            let children: Vec<(Side, Rect)> = if node.is_leaf() {
-                node.entries
-                    .iter()
-                    .map(|e| (Side::Object(e.ptr), e.mbr))
-                    .collect()
-            } else {
-                node.entries
-                    .iter()
-                    .map(|e| (Side::Node(e.child()), e.mbr))
-                    .collect()
-            };
-            for (side, mbr) in children {
+            let mut entries = std::mem::take(&mut self.scratch);
+            let leaf = self.left.read_node_into(node, &mut entries) == 0;
+            for e in &entries {
+                let (side, mbr) = if leaf {
+                    (Side::Object(e.ptr), e.mbr)
+                } else {
+                    (Side::Node(e.ptr), e.mbr)
+                };
                 let resolved =
                     matches!(side, Side::Object(_)) && matches!(entry.right, Side::Object(_));
                 self.heap.push(PairEntry {
@@ -134,23 +147,19 @@ impl<'a> ClosestPairs<'a> {
                     rmbr: entry.rmbr,
                 });
             }
+            self.scratch = entries;
         } else {
-            let Side::Node(page) = entry.right else {
+            let Side::Node(node) = entry.right else {
                 unreachable!()
             };
-            let node = self.right.read_page(page);
-            let children: Vec<(Side, Rect)> = if node.is_leaf() {
-                node.entries
-                    .iter()
-                    .map(|e| (Side::Object(e.ptr), e.mbr))
-                    .collect()
-            } else {
-                node.entries
-                    .iter()
-                    .map(|e| (Side::Node(e.child()), e.mbr))
-                    .collect()
-            };
-            for (side, mbr) in children {
+            let mut entries = std::mem::take(&mut self.scratch);
+            let leaf = self.right.read_node_into(node, &mut entries) == 0;
+            for e in &entries {
+                let (side, mbr) = if leaf {
+                    (Side::Object(e.ptr), e.mbr)
+                } else {
+                    (Side::Node(e.ptr), e.mbr)
+                };
                 let resolved =
                     matches!(side, Side::Object(_)) && matches!(entry.left, Side::Object(_));
                 self.heap.push(PairEntry {
@@ -162,11 +171,12 @@ impl<'a> ClosestPairs<'a> {
                     rmbr: mbr,
                 });
             }
+            self.scratch = entries;
         }
     }
 }
 
-impl Iterator for ClosestPairs<'_> {
+impl<L: TreeBackend, R: TreeBackend> Iterator for ClosestPairs<'_, L, R> {
     type Item = (Item, Item, f64);
 
     fn next(&mut self) -> Option<(Item, Item, f64)> {
@@ -187,14 +197,6 @@ impl Iterator for ClosestPairs<'_> {
 }
 
 impl RTree {
-    /// Level of a node side (helper for the expansion heuristic).
-    fn read_page_level(&self, side: Side) -> u32 {
-        match side {
-            Side::Node(p) => self.read_page(p).level,
-            Side::Object(_) => 0,
-        }
-    }
-
     /// Incremental closest pairs between `self` (left) and `other`
     /// (right); see [`ClosestPairs`].
     pub fn closest_pairs<'a>(&'a self, other: &'a RTree) -> ClosestPairs<'a> {

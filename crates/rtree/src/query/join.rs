@@ -4,76 +4,76 @@
 //! whose MBR `mindist` does not exceed the join distance `e`. At the leaf
 //! level a plane-sweep along the x axis avoids the full quadratic pairing
 //! of the two nodes' entries. The ODJ algorithm of the paper runs this to
-//! obtain candidate pairs before obstructed-distance refinement.
+//! obtain candidate pairs before obstructed-distance refinement. The two
+//! sides are independently generic over [`TreeBackend`], so a paged tree
+//! can even join against a packed one.
 
-use crate::entry::{Entry, Item, PageId};
-use crate::tree::RTree;
+use crate::backend::{NodeRef, TreeBackend};
+use crate::entry::{Entry, Item};
+use obstacle_geom::Rect;
 
 /// All item pairs `(s, t)` with `mindist(s.mbr, t.mbr) ≤ e` (for point
 /// items this is the exact Euclidean e-distance join of the paper).
 ///
 /// `left` and `right` may be the same tree; self-pairs `(x, x)` are then
 /// included (callers filter as needed).
-pub fn distance_join(left: &RTree, right: &RTree, e: f64) -> Vec<(Item, Item)> {
+pub fn distance_join<L: TreeBackend, R: TreeBackend>(
+    left: &L,
+    right: &R,
+    e: f64,
+) -> Vec<(Item, Item)> {
     let mut out = Vec::new();
-    if left.is_empty() || right.is_empty() {
+    let (Some(lroot), Some(rroot)) = (left.root_node(), right.root_node()) else {
         return out;
-    }
-    join_pages(
-        left,
-        right,
-        left.root_page(),
-        right.root_page(),
-        e,
-        &mut out,
-    );
+    };
+    join_pages(left, right, lroot, rroot, e, &mut out);
     out
 }
 
-fn join_pages(
-    left: &RTree,
-    right: &RTree,
-    lp: PageId,
-    rp: PageId,
+/// MBR of a node given its entries (the entry list is never empty in a
+/// well-formed non-empty tree).
+fn entries_mbr(entries: &[Entry]) -> Rect {
+    entries.iter().fold(Rect::empty(), |u, e| u.union(&e.mbr))
+}
+
+fn join_pages<L: TreeBackend, R: TreeBackend>(
+    left: &L,
+    right: &R,
+    lp: NodeRef,
+    rp: NodeRef,
     e: f64,
     out: &mut Vec<(Item, Item)>,
 ) {
-    let ln = left.read_page(lp);
-    let rn = right.read_page(rp);
+    let mut ln = Vec::new();
+    let mut rn = Vec::new();
+    let l_leaf = left.read_node_into(lp, &mut ln) == 0;
+    let r_leaf = right.read_node_into(rp, &mut rn) == 0;
 
-    match (ln.is_leaf(), rn.is_leaf()) {
+    match (l_leaf, r_leaf) {
         (true, true) => {
-            sweep_leaf_pairs(&ln.entries, &rn.entries, e, out);
+            sweep_leaf_pairs(&ln, &rn, e, out);
         }
         (false, true) => {
             // Descend the left (taller) side only.
-            let rmbr = rn.mbr();
-            let children: Vec<PageId> = ln
-                .entries
-                .iter()
-                .filter(|le| le.mbr.mindist_rect(&rmbr) <= e)
-                .map(|le| le.child())
-                .collect();
-            for lc in children {
-                join_pages(left, right, lc, rp, e, out);
+            let rmbr = entries_mbr(&rn);
+            for le in &ln {
+                if le.mbr.mindist_rect(&rmbr) <= e {
+                    join_pages(left, right, le.ptr, rp, e, out);
+                }
             }
         }
         (true, false) => {
-            let lmbr = ln.mbr();
-            let children: Vec<PageId> = rn
-                .entries
-                .iter()
-                .filter(|re| re.mbr.mindist_rect(&lmbr) <= e)
-                .map(|re| re.child())
-                .collect();
-            for rc in children {
-                join_pages(left, right, lp, rc, e, out);
+            let lmbr = entries_mbr(&ln);
+            for re in &rn {
+                if re.mbr.mindist_rect(&lmbr) <= e {
+                    join_pages(left, right, lp, re.ptr, e, out);
+                }
             }
         }
         (false, false) => {
             // Both internal: pair children with mindist ≤ e. Sorting by
             // x-low lets the scan skip far-apart pairs early.
-            let pairs = qualifying_pairs(&ln.entries, &rn.entries, e);
+            let pairs = qualifying_pairs(&ln, &rn, e);
             for (lc, rc) in pairs {
                 join_pages(left, right, lc, rc, e, out);
             }
@@ -82,7 +82,7 @@ fn join_pages(
 }
 
 /// Child-pair generation for two internal nodes with an x-axis sweep.
-fn qualifying_pairs(ls: &[Entry], rs: &[Entry], e: f64) -> Vec<(PageId, PageId)> {
+fn qualifying_pairs(ls: &[Entry], rs: &[Entry], e: f64) -> Vec<(NodeRef, NodeRef)> {
     let mut l: Vec<&Entry> = ls.iter().collect();
     let mut r: Vec<&Entry> = rs.iter().collect();
     l.sort_by(|a, b| a.mbr.min.x.partial_cmp(&b.mbr.min.x).unwrap());
@@ -99,7 +99,7 @@ fn qualifying_pairs(ls: &[Entry], rs: &[Entry], e: f64) -> Vec<(PageId, PageId)>
                 break;
             }
             if le.mbr.mindist_rect(&re.mbr) <= e {
-                out.push((le.child(), re.child()));
+                out.push((le.ptr, re.ptr));
             }
         }
     }
@@ -132,6 +132,7 @@ fn sweep_leaf_pairs(ls: &[Entry], rs: &[Entry], e: f64, out: &mut Vec<(Item, Ite
 mod tests {
     use super::*;
     use crate::config::RTreeConfig;
+    use crate::tree::RTree;
     use obstacle_geom::Point;
 
     fn points_tree(pts: &[(f64, f64)], cap: usize) -> RTree {

@@ -6,9 +6,12 @@
 //! `d_Emax`. [`Nearest`] is exactly the distance-browsing iterator of
 //! Hjaltason & Samet: a priority queue over nodes and objects keyed by
 //! `mindist` to the query point. It is optimal (visits only pages whose
-//! region is closer than the k-th neighbour) and resumable.
+//! region is closer than the k-th neighbour) and resumable. The iterator
+//! is generic over the storage backend — the same traversal browses the
+//! paged tree's buffered pages or the packed tree's slots.
 
-use crate::entry::{Item, PageId};
+use crate::backend::{NodeRef, TreeBackend};
+use crate::entry::{Entry, Item};
 use crate::float::OrdF64;
 use crate::tree::RTree;
 use obstacle_geom::Point;
@@ -27,7 +30,7 @@ struct HeapEntry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum CandidateKind {
     Object { id: u64, mbr_idx: u32 },
-    Node(PageId),
+    Node(NodeRef),
 }
 
 impl PartialOrd for HeapEntry {
@@ -50,27 +53,31 @@ impl Ord for HeapEntry {
     }
 }
 
-/// Incremental nearest-neighbour iterator over an [`RTree`].
+/// Incremental nearest-neighbour iterator over any [`TreeBackend`]
+/// (defaults to the paged [`RTree`]).
 ///
 /// Yields `(item, distance)` pairs in non-decreasing distance order from
 /// the query point; for point items the distance is the exact Euclidean
 /// distance, for rectangle items it is `mindist` to the MBR.
-pub struct Nearest<'a> {
-    tree: &'a RTree,
+pub struct Nearest<'a, B: TreeBackend = RTree> {
+    tree: &'a B,
     query: Point,
     heap: BinaryHeap<HeapEntry>,
     // Object MBRs are kept out of the heap entry to keep it `Copy`-small;
     // indexed storage of pending object rectangles.
     object_mbrs: Vec<obstacle_geom::Rect>,
+    // Node entries are read into this scratch buffer, one allocation for
+    // the whole iteration.
+    scratch: Vec<Entry>,
 }
 
-impl<'a> Nearest<'a> {
-    pub(crate) fn new(tree: &'a RTree, query: Point) -> Self {
+impl<'a, B: TreeBackend> Nearest<'a, B> {
+    pub(crate) fn new(tree: &'a B, query: Point) -> Self {
         let mut heap = BinaryHeap::new();
-        if !tree.is_empty() {
+        if let Some(root) = tree.root_node() {
             heap.push(HeapEntry {
                 dist: Reverse(OrdF64::new(0.0)),
-                kind: CandidateKind::Node(tree.root_page()),
+                kind: CandidateKind::Node(root),
             });
         }
         Nearest {
@@ -78,6 +85,7 @@ impl<'a> Nearest<'a> {
             query,
             heap,
             object_mbrs: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -100,7 +108,7 @@ impl<'a> Nearest<'a> {
     }
 }
 
-impl Iterator for Nearest<'_> {
+impl<B: TreeBackend> Iterator for Nearest<'_, B> {
     type Item = (Item, f64);
 
     fn next(&mut self) -> Option<(Item, f64)> {
@@ -110,30 +118,23 @@ impl Iterator for Nearest<'_> {
                     let mbr = self.object_mbrs[mbr_idx as usize];
                     return Some((Item::new(mbr, id), dist.0 .0));
                 }
-                CandidateKind::Node(page) => {
-                    let node = self.tree.read_page(page);
-                    if node.is_leaf() {
-                        let objs: Vec<(Item, f64)> = node
-                            .entries
-                            .iter()
-                            .map(|e| (Item::from(*e), e.mbr.mindist_point(self.query)))
-                            .collect();
-                        for (item, d) in objs {
-                            self.push_object(item, d);
+                CandidateKind::Node(node) => {
+                    let mut entries = std::mem::take(&mut self.scratch);
+                    let level = self.tree.read_node_into(node, &mut entries);
+                    if level == 0 {
+                        for e in &entries {
+                            let d = e.mbr.mindist_point(self.query);
+                            self.push_object(Item::from(*e), d);
                         }
                     } else {
-                        let children: Vec<HeapEntry> = node
-                            .entries
-                            .iter()
-                            .map(|e| HeapEntry {
+                        for e in &entries {
+                            self.heap.push(HeapEntry {
                                 dist: Reverse(OrdF64::new(e.mbr.mindist_point(self.query))),
-                                kind: CandidateKind::Node(e.child()),
-                            })
-                            .collect();
-                        for c in children {
-                            self.heap.push(c);
+                                kind: CandidateKind::Node(e.ptr),
+                            });
                         }
                     }
+                    self.scratch = entries;
                 }
             }
         }
@@ -148,6 +149,18 @@ impl RTree {
     }
 
     /// The `k` nearest items to `query` (convenience over [`RTree::nearest`]).
+    pub fn k_nearest(&self, query: Point, k: usize) -> Vec<(Item, f64)> {
+        self.nearest(query).take(k).collect()
+    }
+}
+
+impl crate::packed::PackedRTree {
+    /// Incremental nearest-neighbour iterator from `query` \[HS99\].
+    pub fn nearest(&self, query: Point) -> Nearest<'_, crate::packed::PackedRTree> {
+        Nearest::new(self, query)
+    }
+
+    /// The `k` nearest items to `query`.
     pub fn k_nearest(&self, query: Point, k: usize) -> Vec<(Item, f64)> {
         self.nearest(query).take(k).collect()
     }

@@ -65,38 +65,44 @@ thread_local! {
 ///
 /// The handle is deliberately `!Send`: a query must finish its snapshot on
 /// the thread that opened it (queries do not migrate threads here).
+///
+/// Windows are keyed by the watched backend's *address*, not by a concrete
+/// store type: the paged [`PageStore`] and the packed backend both feed the
+/// same recorder list, so per-query attribution works identically across
+/// backends.
 #[derive(Debug)]
 pub struct IoSnapshot<'a> {
-    store: &'a PageStore,
+    key: usize,
     token: u64,
-    /// Pins the handle to its creating thread.
-    _not_send: PhantomData<*const ()>,
+    /// Ties the window to the borrow of the tree it watches (so the keyed
+    /// address stays stable) and pins the handle to its creating thread.
+    _marker: PhantomData<(&'a (), *const ())>,
 }
 
 impl<'a> IoSnapshot<'a> {
-    fn new(store: &'a PageStore) -> Self {
+    /// Opens a window over the accesses of the backend identified by
+    /// `key` (its address, stable while the `&'a` borrow is alive).
+    pub(crate) fn open(key: usize) -> IoSnapshot<'a> {
         let token = NEXT_TOKEN.with(|t| {
             let v = t.get();
             t.set(v + 1);
             v
         });
-        let key = store as *const PageStore as usize;
         RECORDERS.with(|r| r.borrow_mut().push((key, token, IoStats::default())));
         IoSnapshot {
-            store,
+            key,
             token,
-            _not_send: PhantomData,
+            _marker: PhantomData,
         }
     }
 
     /// The accesses recorded so far without closing the window.
     pub fn so_far(&self) -> IoStats {
-        let key = self.store as *const PageStore as usize;
         RECORDERS.with(|r| {
             r.borrow()
                 .iter()
                 .rev()
-                .find(|(k, t, _)| *k == key && *t == self.token)
+                .find(|(k, t, _)| *k == self.key && *t == self.token)
                 .map(|(_, _, s)| *s)
                 .unwrap_or_default()
         })
@@ -111,17 +117,33 @@ impl<'a> IoSnapshot<'a> {
 
 impl Drop for IoSnapshot<'_> {
     fn drop(&mut self) {
-        let key = self.store as *const PageStore as usize;
         RECORDERS.with(|r| {
             let mut r = r.borrow_mut();
             if let Some(at) = r
                 .iter()
-                .rposition(|(k, t, _)| *k == key && *t == self.token)
+                .rposition(|(k, t, _)| *k == self.key && *t == self.token)
             {
                 r.remove(at);
             }
         });
     }
+}
+
+/// Adds one access to every recorder of this thread watching the backend
+/// at `key` (no-op when none is active — the common single-query case
+/// costs one thread-local read and an empty-vec scan).
+pub(crate) fn record_access(key: usize, hit: bool) {
+    RECORDERS.with(|r| {
+        for (k, _, s) in r.borrow_mut().iter_mut() {
+            if *k == key {
+                if hit {
+                    s.buffer_hits += 1;
+                } else {
+                    s.reads += 1;
+                }
+            }
+        }
+    });
 }
 
 /// One lock stripe of the buffer pool: its slice of the LRU capacity plus
@@ -294,27 +316,15 @@ impl PageStore {
     /// Opens a per-query attribution window over this store's accesses
     /// (see [`IoSnapshot`]).
     pub fn snapshot(&self) -> IoSnapshot<'_> {
-        IoSnapshot::new(self)
+        IoSnapshot::open(self as *const PageStore as usize)
     }
 
     /// Adds one fetch to every recorder of this thread watching this
-    /// store (no-op when none is active — the common single-query case
-    /// costs one thread-local read and an empty-vec scan). Only reads are
-    /// recorded: structural writes require `&mut self`, which cannot
-    /// coexist with a live snapshot borrow of the same store.
+    /// store. Only reads are recorded: structural writes require
+    /// `&mut self`, which cannot coexist with a live snapshot borrow of
+    /// the same store.
     fn record(&self, hit: bool) {
-        let key = self as *const PageStore as usize;
-        RECORDERS.with(|r| {
-            for (k, _, s) in r.borrow_mut().iter_mut() {
-                if *k == key {
-                    if hit {
-                        s.buffer_hits += 1;
-                    } else {
-                        s.reads += 1;
-                    }
-                }
-            }
-        });
+        record_access(self as *const PageStore as usize, hit);
     }
 
     /// Fetches a page for reading, going through the page's buffer shard

@@ -600,25 +600,27 @@ impl RTree {
 
     /// Generic pruned range search: returns all items with
     /// `bound(item.mbr) ≤ threshold`, visiting only subtrees whose node
-    /// MBR satisfies the same predicate.
+    /// MBR satisfies the same predicate. Each qualifying item is returned
+    /// together with its bound value: the closure runs exactly once per
+    /// entry on the descent path, and callers that need the score again
+    /// (the obstructed-distance fixpoint re-checks every fresh obstacle
+    /// against the current radius) reuse it instead of re-evaluating.
     ///
     /// `bound` must be *monotone under containment*: `R ⊆ R'` implies
     /// `bound(R') ≤ bound(R)` (true for any "min distance from the
     /// rectangle to X" metric). Circle ranges use `mindist` to a point;
     /// the ellipse pruning of the obstructed-distance computation uses
     /// the sum of `mindist`s to the two foci.
-    pub fn range_by_bound(&self, bound: impl Fn(&Rect) -> f64, threshold: f64) -> Vec<Item> {
+    pub fn range_by_bound(&self, bound: impl Fn(&Rect) -> f64, threshold: f64) -> Vec<(Item, f64)> {
         let mut out = Vec::new();
         let mut stack = vec![self.root];
         while let Some(page) = stack.pop() {
             let node = self.read_page(page);
             if node.is_leaf() {
-                out.extend(
-                    node.entries
-                        .iter()
-                        .filter(|e| bound(&e.mbr) <= threshold)
-                        .map(|e| Item::from(*e)),
-                );
+                out.extend(node.entries.iter().filter_map(|e| {
+                    let b = bound(&e.mbr);
+                    (b <= threshold).then(|| (Item::from(*e), b))
+                }));
             } else {
                 stack.extend(
                     node.entries

@@ -23,6 +23,13 @@
 //!   no edges are ever materialized; A\* guided by the Euclidean lower
 //!   bound runs one rotational sweep per *settled* node, on demand.
 //!
+//! Scenes are **storage-agnostic**: obstacles arrive as polygons, so the
+//! same scene (and every cached sweep) serves candidates selected by the
+//! paged R*-tree or the packed static tree — the `TreeBackend` choice
+//! upstream never changes what a scene computes, only how the candidate
+//! set was found (the `backend_equivalence` suite in `obstacle-core`
+//! pins the two bit-identical).
+//!
 //! # Lazy vs. materialized
 //!
 //! The two representations answer the same queries with the same results;

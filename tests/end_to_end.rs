@@ -5,7 +5,7 @@
 use obstacle_suite::datagen::{query_workload, sample_entities, City, CityConfig};
 use obstacle_suite::geom::{Point, PointLocation, Polygon, Rect};
 use obstacle_suite::queries::{BruteForce, EntityIndex, ObstacleIndex, QueryEngine};
-use obstacle_suite::rtree::{Item, RTree, RTreeConfig};
+use obstacle_suite::rtree::{Item, RTree, RTreeConfig, TreeBackend};
 
 #[test]
 fn full_pipeline_on_generated_city() {
