@@ -9,8 +9,12 @@
 #   test    full test suite (debug)
 #   path    path-scaling wall-clock gate (release; see path_scaling.rs)
 #   batch   batch-engine determinism + scaling gate (release)
+#   updates interleaved update/query oracle suite: edits through
+#           apply_updates must never leave a stale scene — every answer
+#           bit-identical to a fresh-built engine (release)
 #   bench   performance trajectory: runs the batch sweeps once per
-#           storage backend (paged vs packed A/B), writes BENCH_PR6.json,
+#           storage backend (paged vs packed A/B), plus the interleaved
+#           update/query sweep, writes BENCH_PR7.json,
 #           diffs it per backend against the previous BENCH_*.json
 #           artifact (q/s regression beyond tolerance fails), and
 #           enforces the path-ladder no-regression budgets (release)
@@ -22,7 +26,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(build test path batch bench fmt clippy)
+ALL_STAGES=(build test path batch updates bench fmt clippy)
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
   STAGES=("${ALL_STAGES[@]}")
@@ -54,13 +58,24 @@ stage_batch() {
   cargo test -q --offline --release -p obstacle-core --test batch_scaling -- --ignored --nocapture
 }
 
+stage_updates() {
+  # Update/query interleaving correctness: insert/delete batches mixed
+  # with all six operators (and the batch engine, both backends, both
+  # schedules) must answer bit-identically to an engine freshly built
+  # from the live data after every edit batch, through a scene cache
+  # that survives every edit. Includes the stale-scene repro that fails
+  # with epoch validation disabled.
+  cargo test -q --offline --release -p obstacle-core --test updates_interleaved
+}
+
 stage_bench() {
   # Records the per-PR performance trajectory (throughput + buffer hit
   # rates at 1/2/4/8 threads, InputOrder-vs-Hilbert scheduling on a
-  # clustered workload, path-ladder times) as machine-readable JSON,
+  # clustered workload, the interleaved update/query sweep, path-ladder
+  # times) as machine-readable JSON,
   # then fails on a q/s regression against the previous BENCH_*.json
   # artifact (trajectory history) or a path-ladder budget blowout.
-  local artifact="${OBSTACLE_TRAJECTORY_OUT:-BENCH_PR6.json}"
+  local artifact="${OBSTACLE_TRAJECTORY_OUT:-BENCH_PR7.json}"
   cargo run -q --release --offline -p obstacle-bench --bin bench_trajectory
   if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$artifact"
@@ -80,7 +95,7 @@ stage_clippy() {
 # must not cost a full release build first.
 for s in "${STAGES[@]}"; do
   case "$s" in
-    build|test|path|batch|bench|fmt|clippy) ;;
+    build|test|path|batch|updates|bench|fmt|clippy) ;;
     *)
       echo "ci.sh: unknown stage '$s' (stages: ${ALL_STAGES[*]})" >&2
       exit 2

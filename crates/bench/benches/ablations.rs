@@ -256,11 +256,10 @@ fn loading_strategies(w: &Workbench) {
     // Compare tree quality: pages and range-query I/O for the three
     // construction paths, on a moderate dataset.
     let count = w.scale.entity_count(1.0).min(20_000);
-    let pts = w.entity_index(count, 205).points().to_vec();
-    let items: Vec<Item> = pts
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| Item::point(p, i as u64))
+    let items: Vec<Item> = w
+        .entity_index(count, 205)
+        .live_points()
+        .map(|(id, p)| Item::point(p, id))
         .collect();
     println!("-- R-tree loading strategies ({count} points, paper node capacity) --");
     println!(

@@ -4,8 +4,11 @@
 //! worker threads, determinism-verified) and the InputOrder-vs-Hilbert
 //! scheduling sweep on a clustered workload — both **once per storage
 //! backend** (paged vs packed A/B, every run answer-identical across
-//! backends) — plus the long-path ladder;
-//! writes `BENCH_PR6.json`; then **diffs against the previous
+//! backends) — plus the interleaved update/query sweep (edit batches
+//! through `apply_updates` alternating with point queries over one
+//! long-lived scene cache, every round verified against a fresh-built
+//! engine) and the long-path ladder;
+//! writes `BENCH_PR7.json`; then **diffs against the previous
 //! `BENCH_*.json` artifact** and exits non-zero on a q/s regression
 //! beyond tolerance or a ladder-budget blowout — the no-regression gates
 //! `ci.sh bench` enforces.
@@ -17,7 +20,7 @@
 //! ```
 //!
 //! Knobs (all env vars): `OBSTACLE_TRAJECTORY_OUT` (output path, default
-//! `BENCH_PR6.json`), `_OBSTACLES`, `_ENTITIES`, `_QUERIES`, `_SHARDS`,
+//! `BENCH_PR7.json`), `_OBSTACLES`, `_ENTITIES`, `_QUERIES`, `_SHARDS`,
 //! `_BASELINE` (previous artifact; default: the highest-numbered other
 //! `BENCH_PR*.json` in the working directory), `_QPS_TOLERANCE`
 //! (fractional q/s regression allowance, default 0.4 — generous because
@@ -75,7 +78,7 @@ fn main() {
         ..defaults
     };
     let out =
-        std::env::var("OBSTACLE_TRAJECTORY_OUT").unwrap_or_else(|_| "BENCH_PR6.json".to_string());
+        std::env::var("OBSTACLE_TRAJECTORY_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
     let tolerance = std::env::var("OBSTACLE_TRAJECTORY_QPS_TOLERANCE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
@@ -112,6 +115,21 @@ fn main() {
             p.scene_resets,
             100.0 * p.entity_hit_rate,
             100.0 * p.obstacle_hit_rate
+        );
+    }
+    for p in &report.updates {
+        println!(
+            "  [{:>6}] updates: {} round(s), {} edits in {:>6.3} s  queries {:>6.2} s  \
+             {:>7.1} q/s  invalidations {:>3} / reuses {:>3} / resets {:>3}",
+            p.backend,
+            p.rounds,
+            p.edits,
+            p.edit_seconds,
+            p.seconds,
+            p.qps,
+            p.scene_invalidations,
+            p.scene_reuses,
+            p.scene_resets
         );
     }
     for r in &report.ladder {

@@ -13,6 +13,7 @@
 //! obstacle_cli cp     [--k K] [--s N] [--t N]
 //! obstacle_cli batch  [--queries N] [--threads T] [--verify] [--stream]
 //!                     [--schedule input|hilbert] [--clusters N]
+//! obstacle_cli update [--rounds R] [--edits N] [--queries Q] [--verify]
 //! ```
 //!
 //! `--shards N` stripes each tree's LRU buffer pool across `N` locks
@@ -29,7 +30,7 @@
 use obstacle_bench::batch::{thread_sweep, to_core_query};
 use obstacle_core::{
     closest_pairs, distance_join, shortest_obstructed_path, BatchOptions, EngineOptions,
-    EntityIndex, ObstacleIndex, QueryEngine, QueryStats, Schedule,
+    EntityIndex, ObstacleIndex, QueryEngine, QueryStats, SceneCache, Schedule, Update,
 };
 use obstacle_datagen::{
     batch_workload, clustered_batch_workload, sample_entities, BatchMix, City, CityConfig,
@@ -64,6 +65,10 @@ struct Args {
     /// directly comparable output.
     schedule: Option<Schedule>,
     clusters: usize,
+    /// Edit batches of the `update` command.
+    rounds: usize,
+    /// Edits per batch of the `update` command.
+    edits: usize,
 }
 
 fn main() {
@@ -76,6 +81,7 @@ fn main() {
         "join" => join(&args),
         "cp" => cp(&args),
         "batch" => batch(&args),
+        "update" => update(&args),
         other => usage(&format!("unknown command '{other}'")),
     }
 }
@@ -462,6 +468,96 @@ fn batch_scheduled(
     );
 }
 
+/// `update`: interleaves deterministic edit batches with probe queries
+/// over one scene cache that survives every edit — the staleness
+/// scenario epoch validation exists for, live. Each round re-opens the
+/// obstacles retired the round before (so the set stays disjoint, as
+/// the paper assumes), retires a spread of live obstacles, churns a few
+/// entities, then runs the probes and prints the epochs, edit timings,
+/// and the cache's invalidation economics. `--verify` re-answers every
+/// probe on a fresh scene and asserts identity — the check that fails
+/// if a stale scene ever survives an edit.
+fn update(args: &Args) {
+    let (city, mut obstacles) = world(args);
+    let mut entities = entity_index(args, &city, args.entities, args.seed + 1);
+    let quarter = (args.edits / 4).max(1);
+    let extra = sample_entities(&city, args.rounds * quarter, args.seed + 5);
+    let specs = batch_workload(
+        &city,
+        args.queries,
+        args.seed + 4,
+        BatchMix::point_queries(),
+    );
+    let queries: Vec<obstacle_core::Query> = specs.iter().map(to_core_query).collect();
+    let mut cache = SceneCache::new(EngineOptions::default());
+    let mut retired: Vec<obstacle_geom::Polygon> = Vec::new();
+    println!(
+        "{} round(s) of ~{} edits, each followed by {} probe queries \
+         (one scene cache across all rounds):",
+        args.rounds,
+        args.edits,
+        queries.len()
+    );
+    for round in 0..args.rounds {
+        let mut batch: Vec<Update> = retired.drain(..).map(Update::InsertObstacle).collect();
+        let live_obs: Vec<u64> = obstacles.live_polygons().map(|(id, _)| id).collect();
+        let stride = (live_obs.len() / quarter).max(1);
+        for i in 0..quarter.min(live_obs.len()) {
+            let id = live_obs[i * stride];
+            retired.push(obstacles.polygon(id).clone());
+            batch.push(Update::DeleteObstacle(id));
+        }
+        let live_ent: Vec<u64> = entities.live_points().map(|(id, _)| id).collect();
+        let estride = (live_ent.len() / quarter).max(1);
+        for i in 0..quarter.min(live_ent.len()) {
+            batch.push(Update::DeleteEntity(live_ent[i * estride]));
+        }
+        for p in &extra[round * quarter..(round + 1) * quarter] {
+            batch.push(Update::InsertEntity(*p));
+        }
+        let edits = batch.len();
+        let t0 = std::time::Instant::now();
+        let stats = QueryEngine::apply_updates(&mut entities, &mut obstacles, batch);
+        let edit_elapsed = t0.elapsed();
+        println!(
+            "  round {round}: {edits} edit(s) in {edit_elapsed:.1?} — obstacles +{}/-{}, \
+             entities +{}/-{} (epochs: O {}, P {})",
+            stats.inserted_obstacles.len(),
+            stats.deleted_obstacles,
+            stats.inserted_entities.len(),
+            stats.deleted_entities,
+            stats.obstacle_epoch,
+            stats.entity_epoch
+        );
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let t0 = std::time::Instant::now();
+        let answers: Vec<obstacle_core::Answer> = queries
+            .iter()
+            .map(|q| engine.execute_with(q, &mut cache))
+            .collect();
+        let q_elapsed = t0.elapsed();
+        println!(
+            "    {} queries in {:.1?} ({:.1} queries/sec); scene cache: \
+             {} invalidation(s), {} reuse(s), {} reset(s)",
+            answers.len(),
+            q_elapsed,
+            answers.len() as f64 / q_elapsed.as_secs_f64(),
+            cache.invalidations(),
+            cache.reuses(),
+            cache.resets()
+        );
+        if args.verify {
+            for (i, (q, a)) in queries.iter().zip(&answers).enumerate() {
+                assert!(
+                    engine.execute(q).same_results(a),
+                    "query {i} went stale in round {round}"
+                );
+            }
+            println!("    verified: every answer identical to a fresh-scene execution");
+        }
+    }
+}
+
 fn schedule_name(s: Schedule) -> &'static str {
     match s {
         Schedule::InputOrder => "input-order",
@@ -510,6 +606,8 @@ fn parse_args() -> Args {
         stream: false,
         schedule: None,
         clusters: 0,
+        rounds: 4,
+        edits: 32,
     };
     let mut argv = std::env::args().skip(1);
     out.command = argv.next().unwrap_or_else(|| usage("missing command"));
@@ -585,6 +683,16 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("bad --clusters"))
             }
+            "--rounds" => {
+                out.rounds = value("--rounds")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --rounds"))
+            }
+            "--edits" => {
+                out.edits = value("--edits")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --edits"))
+            }
             other => usage(&format!("unknown flag '{other}'")),
         }
     }
@@ -606,6 +714,10 @@ fn usage(err: &str) -> ! {
          \x20 cp    [--k K] [--s N] [--t N]\n\
          \x20 batch [--queries N] [--threads T] [--verify] [--stream]\n\
          \x20       [--schedule input|hilbert] [--clusters N]\n\
+         \x20 update [--rounds R] [--edits N] [--queries Q] [--verify]\n\
+         \x20       (interleaves edit batches with probe queries over one\n\
+         \x20       long-lived scene cache; --verify checks every answer\n\
+         \x20       against a fresh-scene execution)\n\
          common flags: --obstacles N (16384) --seed S --entities N (4096)\n\
          \x20              --shards N (1: buffer-pool lock stripes per tree)\n\
          \x20              --backend paged|packed (paged: the R*-tree over\n\

@@ -15,18 +15,22 @@
 //!   each with the wall-clock budget the no-regression gate enforces
 //!   (the |O| = 2000 rung carries the same 2 s budget as the
 //!   `path_scaling` test gate).
+//! * **updates** (PR 7): edit batches interleaved with point queries
+//!   over one long-lived scene cache, per backend — edit cost, query
+//!   throughput under churn, and the epoch-invalidation counters, every
+//!   round verified against a fresh-built engine.
 //!
 //! The JSON is hand-rolled (the workspace is offline, no serde); floats
 //! are emitted with fixed precision so the output is always valid JSON.
 
 use crate::batch::to_core_query;
 use obstacle_core::{shortest_obstructed_path, BatchOptions, ObstacleIndex, Schedule};
-use obstacle_core::{EntityIndex, Query, QueryEngine};
+use obstacle_core::{Answer, EngineOptions, EntityIndex, Query, QueryEngine, SceneCache, Update};
 use obstacle_datagen::{
     batch_workload, clustered_batch_workload, sample_entities, BatchMix, City, CityConfig,
     ClusterSpec,
 };
-use obstacle_geom::Point;
+use obstacle_geom::{Point, Polygon};
 use obstacle_rtree::{Backend, IoStats, RTreeConfig, TreeBackend};
 use obstacle_visibility::EdgeBuilder;
 use std::time::Instant;
@@ -59,6 +63,14 @@ pub struct TrajectoryConfig {
     /// count, any schedule — must answer identically to the first
     /// (the cross-backend determinism contract).
     pub backends: Vec<Backend>,
+    /// Edit batches of the interleaved update/query sweep (0 skips it).
+    pub update_rounds: usize,
+    /// Edits per batch (split across obstacle deletes/re-inserts and
+    /// entity deletes/inserts).
+    pub updates_per_round: usize,
+    /// Point queries run through the long-lived scene cache after each
+    /// edit batch (each round verified against a fresh-built engine).
+    pub update_queries: usize,
 }
 
 impl Default for TrajectoryConfig {
@@ -75,6 +87,9 @@ impl Default for TrajectoryConfig {
             clusters: 8,
             schedule_threads: vec![1, 2],
             backends: vec![Backend::Paged, Backend::Packed],
+            update_rounds: 4,
+            updates_per_round: 32,
+            update_queries: 32,
         }
     }
 }
@@ -127,6 +142,35 @@ pub struct SchedulePoint {
     pub obstacle_hit_rate: f64,
 }
 
+/// One backend's interleaved update/query sweep: edit batches applied
+/// through `QueryEngine::apply_updates` alternating with point queries
+/// through one scene cache that lives across every edit (the PR 7
+/// staleness scenario). Every round's answers are verified against an
+/// engine freshly built from the live datasets, and across backends.
+#[derive(Clone, Debug)]
+pub struct UpdatePoint {
+    /// `"paged"` or `"packed"` — the storage backend measured.
+    pub backend: String,
+    /// Edit batches applied.
+    pub rounds: usize,
+    /// Total edits across all batches.
+    pub edits: usize,
+    /// Total `apply_updates` wall-clock in seconds (the packed backend
+    /// pays its one re-pack per touched tree per batch here).
+    pub edit_seconds: f64,
+    /// Total query wall-clock in seconds (across all rounds).
+    pub seconds: f64,
+    /// Queries per second *under edits* (query time only — edit cost is
+    /// reported separately so the two trends stay distinguishable).
+    pub qps: f64,
+    /// Scenes retired by epoch validation over the sweep.
+    pub scene_invalidations: usize,
+    /// Queries answered on a warm scene over the sweep.
+    pub scene_reuses: usize,
+    /// Scenes retired by reuse economics (region jumps / budgets).
+    pub scene_resets: usize,
+}
+
 /// One rung of the path ladder.
 #[derive(Clone, Copy, Debug)]
 pub struct LadderPoint {
@@ -153,6 +197,9 @@ pub struct TrajectoryReport {
     /// Scheduling sweep over the clustered workload, one point per
     /// `(schedule, threads)` pair (empty when `clustered_queries` is 0).
     pub schedules: Vec<SchedulePoint>,
+    /// Interleaved update/query sweep, one point per backend (empty when
+    /// `update_rounds` is 0).
+    pub updates: Vec<UpdatePoint>,
     /// Path ladder rungs.
     pub ladder: Vec<LadderPoint>,
     /// Whether every thread count returned results identical to the
@@ -167,6 +214,46 @@ fn hit_rate(st: IoStats) -> f64 {
     } else {
         st.buffer_hits as f64 / st.fetches() as f64
     }
+}
+
+/// Canonical rows of one answer (see [`canon_point`]); one update-sweep
+/// round collects one `Vec<CanonRows>` per workload query.
+type CanonRows = Vec<(u64, u64, u64)>;
+
+/// Canonical payload of a point-query answer for the update sweep's
+/// oracle checks: sorted `(id, 0, distance bits)` rows, entity ids
+/// remapped through `map` when the answer comes from a fresh-built
+/// engine (fresh entity `i` is original entity `map[i]`). Paths carry
+/// no ids and canonicalise to their exact polyline bits. The update
+/// workload is point queries only, so the join operators cannot appear.
+fn canon_point(a: &Answer, map: Option<&[u64]>) -> CanonRows {
+    let m = |id: u64| map.map_or(id, |map| map[id as usize]);
+    let mut rows: CanonRows = match a {
+        Answer::Range(r) => r
+            .hits
+            .iter()
+            .map(|&(id, d)| (m(id), 0, d.to_bits()))
+            .collect(),
+        Answer::Nearest(r) => r
+            .neighbors
+            .iter()
+            .map(|&(id, d)| (m(id), 0, d.to_bits()))
+            .collect(),
+        Answer::Path(None) => vec![(u64::MAX, u64::MAX, 0)],
+        Answer::Path(Some(p)) => {
+            let mut v = vec![(0, 0, p.distance.to_bits())];
+            v.extend(
+                p.points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| (i as u64 + 1, c.x.to_bits(), c.y.to_bits())),
+            );
+            return v; // polyline order is part of the answer: no sort
+        }
+        _ => unreachable!("update sweep workloads are point queries only"),
+    };
+    rows.sort_unstable();
+    rows
 }
 
 /// Runs the full measurement. Panics if any run diverges from the first
@@ -296,6 +383,150 @@ pub fn run(config: TrajectoryConfig) -> TrajectoryReport {
         }
     }
 
+    // ---- Interleaved update/query sweep: per backend, edit batches
+    // applied through `QueryEngine::apply_updates` alternate with the
+    // point workload over ONE scene cache that survives every edit —
+    // the PR 7 staleness scenario. Each round's answers are checked
+    // bit-identical (after id remapping) to an engine freshly built
+    // from the live data, and the per-round payloads must also agree
+    // across backends.
+    let mut updates = Vec::new();
+    if config.update_rounds > 0 {
+        let quarter = (config.updates_per_round / 4).max(1);
+        // Probes cluster around ONE hotspot: consecutive queries then
+        // share a warm scene (like the Hilbert-scheduled sweep above),
+        // so the edits actually exercise epoch validation — a scattered
+        // workload would retire every scene on region economics alone
+        // and the invalidation counters would measure nothing.
+        let update_queries: Vec<Query> = clustered_batch_workload(
+            &city,
+            config.update_queries,
+            0xC1B,
+            BatchMix::point_queries(),
+            ClusterSpec {
+                clusters: 1,
+                spread: 0.005,
+            },
+        )
+        .iter()
+        .map(to_core_query)
+        .collect();
+        let hotspot = match update_queries[0] {
+            Query::Range { q, .. } | Query::Nearest { q, .. } => q,
+            Query::Path { from, .. } => from,
+            _ => unreachable!("point-query mix"),
+        };
+        let extra_points = sample_entities(&city, config.update_rounds * quarter, 0xC1C);
+        let mut cross_backend: Option<Vec<Vec<CanonRows>>> = None;
+        for &backend in &config.backends {
+            let tree_config = base_tree_config.with_backend(backend);
+            let mut obstacles = ObstacleIndex::bulk_load(tree_config, city.obstacles.clone());
+            let mut entities = EntityIndex::bulk_load(tree_config, entity_points.clone());
+            let mut cache = SceneCache::new(EngineOptions::default());
+            // Polygons retired in earlier rounds: re-inserting them (and
+            // only them) keeps the obstacle set disjoint, as the paper
+            // assumes of its datasets.
+            let mut retired: Vec<Polygon> = Vec::new();
+            let mut rounds_canon: Vec<Vec<CanonRows>> = Vec::new();
+            let (mut edits, mut edit_seconds, mut query_seconds) = (0usize, 0.0f64, 0.0f64);
+            for round in 0..config.update_rounds {
+                // Deterministic batch: re-open the obstacles retired
+                // last round, retire a spread of live ones, churn a few
+                // entities. `live_obs` is snapshotted before the batch
+                // applies, so a re-opened polygon is never deleted in
+                // the same round it returns.
+                let mut batch: Vec<Update> =
+                    retired.drain(..).map(Update::InsertObstacle).collect();
+                let live_obs: Vec<u64> = obstacles.live_polygons().map(|(id, _)| id).collect();
+                let stride = (live_obs.len() / quarter).max(1);
+                let mut doomed: Vec<u64> = (0..quarter.min(live_obs.len()))
+                    .map(|i| live_obs[i * stride])
+                    .collect();
+                // One delete per round is guaranteed *relevant*: the live
+                // obstacle nearest the probe hotspot, whose dirty rect
+                // must retire the warm scene — so the sweep measures the
+                // epoch-revalidation path, not only far-away edits.
+                let near = live_obs
+                    .iter()
+                    .copied()
+                    .min_by(|&a, &b| {
+                        let d = |id: u64| obstacles.polygon(id).bbox().center().dist(hotspot);
+                        d(a).total_cmp(&d(b))
+                    })
+                    .expect("city obstacles never empty out");
+                if !doomed.contains(&near) {
+                    doomed[0] = near;
+                }
+                for id in doomed {
+                    retired.push(obstacles.polygon(id).clone());
+                    batch.push(Update::DeleteObstacle(id));
+                }
+                let live_ent: Vec<u64> = entities.live_points().map(|(id, _)| id).collect();
+                let estride = (live_ent.len() / quarter).max(1);
+                for i in 0..quarter.min(live_ent.len()) {
+                    batch.push(Update::DeleteEntity(live_ent[i * estride]));
+                }
+                for p in &extra_points[round * quarter..(round + 1) * quarter] {
+                    batch.push(Update::InsertEntity(*p));
+                }
+                edits += batch.len();
+                let t0 = Instant::now();
+                let stats = QueryEngine::apply_updates(&mut entities, &mut obstacles, batch);
+                edit_seconds += t0.elapsed().as_secs_f64();
+                assert_eq!(stats.missed_deletes, 0, "update sweep edits must all apply");
+
+                let engine = QueryEngine::new(&entities, &obstacles);
+                let t0 = Instant::now();
+                let answers: Vec<Answer> = update_queries
+                    .iter()
+                    .map(|q| engine.execute_with(q, &mut cache))
+                    .collect();
+                query_seconds += t0.elapsed().as_secs_f64();
+
+                // Oracle: an engine freshly built from the live data
+                // must answer identically (modulo its 0..n numbering).
+                let (map, live_pts): (Vec<u64>, Vec<Point>) = entities.live_points().unzip();
+                let live_polys: Vec<Polygon> =
+                    obstacles.live_polygons().map(|(_, p)| p.clone()).collect();
+                let fresh_entities = EntityIndex::bulk_load(tree_config, live_pts);
+                let fresh_obstacles = ObstacleIndex::bulk_load(tree_config, live_polys);
+                let oracle = QueryEngine::new(&fresh_entities, &fresh_obstacles);
+                let round_canon: Vec<CanonRows> =
+                    answers.iter().map(|a| canon_point(a, None)).collect();
+                for (i, (q, got)) in update_queries.iter().zip(&round_canon).enumerate() {
+                    let want = canon_point(&oracle.execute(q), Some(&map));
+                    assert_eq!(
+                        got,
+                        &want,
+                        "update query {i} went stale in round {round} on the {} backend",
+                        backend.name()
+                    );
+                }
+                rounds_canon.push(round_canon);
+            }
+            match &cross_backend {
+                None => cross_backend = Some(rounds_canon),
+                Some(base) => assert_eq!(
+                    base,
+                    &rounds_canon,
+                    "update sweep diverged on the {} backend",
+                    backend.name()
+                ),
+            }
+            updates.push(UpdatePoint {
+                backend: backend.name().to_string(),
+                rounds: config.update_rounds,
+                edits,
+                edit_seconds,
+                seconds: query_seconds,
+                qps: (config.update_rounds * update_queries.len()) as f64 / query_seconds,
+                scene_invalidations: cache.invalidations(),
+                scene_reuses: cache.reuses(),
+                scene_resets: cache.resets(),
+            });
+        }
+    }
+
     // ---- Path ladder (paged backend: its budgets date from before the
     // packed backend existed and gate the lazy-A* engine, not the tree).
     let tree_config = base_tree_config;
@@ -321,6 +552,7 @@ pub fn run(config: TrajectoryConfig) -> TrajectoryReport {
         cores,
         throughput,
         schedules,
+        updates,
         ladder,
         determinism_verified: true,
     }
@@ -348,7 +580,7 @@ impl TrajectoryReport {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         s.push_str("  \"schema\": \"obstacle-suite-bench-trajectory\",\n");
-        s.push_str("  \"pr\": 6,\n");
+        s.push_str("  \"pr\": 7,\n");
         s.push_str(&format!(
             "  \"config\": {{\"obstacles\": {}, \"entities\": {}, \"queries\": {}, \
              \"buffer_shards\": {}, \"cores\": {}}},\n",
@@ -404,6 +636,26 @@ impl TrajectoryReport {
                 } else {
                     ""
                 }
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"updates\": [\n");
+        for (i, p) in self.updates.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"rounds\": {}, \"edits\": {}, \
+                 \"edit_seconds\": {:.6}, \"seconds\": {:.6}, \"qps\": {:.3}, \
+                 \"scene_invalidations\": {}, \"scene_reuses\": {}, \
+                 \"scene_resets\": {}}}{}\n",
+                p.backend,
+                p.rounds,
+                p.edits,
+                p.edit_seconds,
+                p.seconds,
+                p.qps,
+                p.scene_invalidations,
+                p.scene_reuses,
+                p.scene_resets,
+                if i + 1 < self.updates.len() { "," } else { "" }
             ));
         }
         s.push_str("  ],\n  \"path_ladder\": [\n");
@@ -558,6 +810,9 @@ mod tests {
             clusters: 3,
             schedule_threads: vec![1],
             backends: vec![Backend::Paged, Backend::Packed],
+            update_rounds: 2,
+            updates_per_round: 8,
+            update_queries: 6,
         });
         assert_eq!(report.throughput.len(), 4, "2 backends x 2 thread counts");
         assert_eq!(
@@ -565,6 +820,11 @@ mod tests {
             4,
             "2 backends x both schedules at 1 thread"
         );
+        assert_eq!(report.updates.len(), 2, "one update point per backend");
+        for p in &report.updates {
+            assert_eq!(p.rounds, 2);
+            assert!(p.edits > 0 && p.qps > 0.0, "{p:?}");
+        }
         assert_eq!(report.ladder.len(), 1);
         assert!(report.determinism_verified);
         assert!(
@@ -589,6 +849,9 @@ mod tests {
             "\"backend\": \"packed\"",
             "\"schedule\": \"hilbert\"",
             "\"scene_reuses\"",
+            "\"updates\"",
+            "\"edit_seconds\"",
+            "\"scene_invalidations\"",
             "\"path_ladder\"",
             "\"qps\"",
             "\"entity_hit_rate\"",
@@ -614,8 +877,12 @@ mod tests {
             clusters: 1,
             schedule_threads: vec![],
             backends: vec![Backend::Paged],
+            update_rounds: 0, // skip the update sweep
+            updates_per_round: 0,
+            update_queries: 0,
         });
         assert!(report.schedules.is_empty());
+        assert!(report.updates.is_empty());
         assert!(report.budget_violations().is_empty());
         report.ladder[0].budget_seconds = 0.0;
         assert_eq!(report.budget_violations().len(), 1);
@@ -634,6 +901,9 @@ mod tests {
             clusters: 1,
             schedule_threads: vec![],
             backends: vec![Backend::Paged, Backend::Packed],
+            update_rounds: 0,
+            updates_per_round: 0,
+            update_queries: 0,
         });
 
         // A baseline of the same configuration but absurdly high q/s:

@@ -266,6 +266,11 @@ pub struct BatchStats {
     pub scene_reuses: usize,
     /// Scenes retired (region jump or budget exhaustion), summed.
     pub scene_resets: usize,
+    /// Scenes retired by epoch validation — an obstacle edit after the
+    /// scene's build epoch dirtied a rect intersecting its region —
+    /// summed over workers. Distinct from [`BatchStats::scene_resets`]:
+    /// those are reuse economics, these are correctness.
+    pub scene_invalidations: usize,
 }
 
 /// Iterator over the answers of a streaming batch
@@ -352,6 +357,9 @@ pub struct SceneCache {
     /// Queries that reused a warm scene / scenes retired (diagnostics).
     reuses: usize,
     resets: usize,
+    /// Scenes retired by epoch validation (obsolete geometry, not
+    /// economics — see [`SceneCache::validate`]).
+    invalidations: usize,
 }
 
 impl SceneCache {
@@ -372,6 +380,7 @@ impl SceneCache {
             coverage: Rect::empty(),
             reuses: 0,
             resets: 0,
+            invalidations: 0,
         }
     }
 
@@ -383,6 +392,32 @@ impl SceneCache {
     /// Scenes retired (region jump or budget exhaustion) so far.
     pub fn resets(&self) -> usize {
         self.resets
+    }
+
+    /// Scenes retired by epoch validation so far (see
+    /// [`SceneCache::validate`]).
+    pub fn invalidations(&self) -> usize {
+        self.invalidations
+    }
+
+    /// Validates the cached scene against the current obstacle set:
+    /// retires it iff an edit committed after the scene's epoch stamp
+    /// dirtied a rect intersecting the scene's certified region inflated
+    /// by `slack` (see [`LocalGraph::sync`]). Edits elsewhere leave the
+    /// scene warm — reuse stays legal because every resident obstacle
+    /// intersects that region. Returns whether the scene was retired.
+    /// [`QueryEngine::execute_with`] calls this before every query (the
+    /// `epoch_validation` option gates it, for ablation only); callers
+    /// driving the operators directly against a long-lived cache across
+    /// updates get the same check through the operators' own sync.
+    pub fn validate(&mut self, obstacles: &ObstacleIndex, slack: f64) -> bool {
+        if self.graph.sync(obstacles, slack) {
+            self.coverage = Rect::empty();
+            self.invalidations += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// The reuse distance for a dataset spanning `universe`: queries
@@ -464,7 +499,10 @@ impl QueryEngine<'_> {
         if !self.options.reuse_graph {
             return self.execute(query);
         }
-        let slack = SceneCache::slack_for(&self.obstacles.universe());
+        let slack = SceneCache::slack_for(&self.universe());
+        if self.options.epoch_validation {
+            cache.validate(self.obstacles, slack);
+        }
         match *query {
             Query::Range { q, e } => {
                 let region = Rect::from_coords(q.x - e, q.y - e, q.x + e, q.y + e);
@@ -492,7 +530,7 @@ impl QueryEngine<'_> {
     pub fn schedule_order(&self, queries: &[Query], schedule: Schedule) -> Vec<usize> {
         let mut order: Vec<usize> = (0..queries.len()).collect();
         if schedule == Schedule::Hilbert {
-            let universe = self.obstacles.universe();
+            let universe = self.universe();
             let keys: Vec<u64> = queries.iter().map(|q| hilbert_key(q, &universe)).collect();
             order.sort_by_key(|&i| (keys[i], i));
         }
@@ -547,6 +585,7 @@ impl QueryEngine<'_> {
                 workers: 1,
                 scene_reuses: cache.reuses(),
                 scene_resets: cache.resets(),
+                scene_invalidations: cache.invalidations(),
             };
             let answers = slots
                 .into_iter()
@@ -620,7 +659,7 @@ impl QueryEngine<'_> {
                                 break;
                             }
                         }
-                        (cache.reuses(), cache.resets())
+                        (cache.reuses(), cache.resets(), cache.invalidations())
                     })
                 })
                 .collect();
@@ -636,9 +675,10 @@ impl QueryEngine<'_> {
             };
             let result = consumer(stream);
             for worker in workers {
-                let (reuses, resets) = worker.join().expect("batch worker panicked");
+                let (reuses, resets, invalidations) = worker.join().expect("batch worker panicked");
                 stats.scene_reuses += reuses;
                 stats.scene_resets += resets;
+                stats.scene_invalidations += invalidations;
             }
             result
         });

@@ -32,11 +32,29 @@ use std::collections::HashSet;
 /// absorbed obstacles, their classifications, and all cached visibility
 /// sweeps — is reusable across consecutive distance computations (the
 /// ONN algorithm's add/delete-entity reuse, §4).
-#[derive(Debug, Default)]
+///
+/// # Validity under obstacle updates
+///
+/// The graph stamps the obstacle-set **epoch** it is synchronized with
+/// and the union **region** its absorption drivers certified. Obstacle
+/// *inserts* are absorbed naturally (every driver re-ranges the live
+/// tree), but a *deleted* obstacle resident in the scene would keep
+/// blocking paths — so before reuse, [`LocalGraph::sync`] retires the
+/// scene iff some edit committed after its stamp has a dirty rect
+/// intersecting its (slack-inflated) region. Every resident obstacle
+/// intersects the stamped region (the drivers absorb only obstacles
+/// whose MBR bound fits the certified disk), so a non-intersecting edit
+/// provably cannot involve a resident obstacle and reuse stays legal.
+#[derive(Debug)]
 pub struct LocalGraph {
     /// The underlying lazy scene.
     pub scene: LazyScene,
     present: HashSet<u64>,
+    /// Obstacle-set epoch this graph is synchronized with.
+    epoch: u64,
+    /// Union of the regions certified by absorption drivers (empty until
+    /// the first absorption).
+    region: Rect,
 }
 
 impl LocalGraph {
@@ -45,12 +63,63 @@ impl LocalGraph {
         LocalGraph {
             scene: LazyScene::new(builder),
             present: HashSet::new(),
+            epoch: 0,
+            region: Rect::empty(),
         }
     }
 
     /// Number of obstacles currently in the scene.
     pub fn obstacle_count(&self) -> usize {
         self.present.len()
+    }
+
+    /// The obstacle-set epoch this graph was last synchronized with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Union region certified by the absorption drivers so far (empty
+    /// rect for a fresh or just-reset graph).
+    pub fn region(&self) -> Rect {
+        self.region
+    }
+
+    /// Whether reusing this graph against the current `obstacles` would
+    /// be unsound: some edit after the stamped epoch dirtied a rect
+    /// intersecting the stamped region inflated by `slack` (the same
+    /// slack the scene-reuse cache coalesces regions with).
+    pub fn is_stale(&self, obstacles: &ObstacleIndex, slack: f64) -> bool {
+        obstacles.epoch() > self.epoch
+            && !self.region.is_empty()
+            && obstacles.dirty_intersects(self.epoch, &self.region.expanded(slack))
+    }
+
+    /// Synchronizes the graph with the current obstacle set: resets it if
+    /// [`LocalGraph::is_stale`], then advances the epoch stamp. Returns
+    /// whether a reset happened (the scene was retired by invalidation).
+    /// Callers reusing a graph across queries must sync before adding
+    /// waypoints — a reset invalidates outstanding [`NodeId`]s.
+    pub fn sync(&mut self, obstacles: &ObstacleIndex, slack: f64) -> bool {
+        let stale = self.is_stale(obstacles, slack);
+        if stale {
+            self.reset();
+        }
+        self.epoch = obstacles.epoch();
+        stale
+    }
+
+    /// Discards all scene state (obstacles, waypoints, cached sweeps,
+    /// certified region), keeping only the edge builder.
+    pub fn reset(&mut self) {
+        self.scene = LazyScene::new(self.scene.builder());
+        self.present.clear();
+        self.region = Rect::empty();
+    }
+
+    /// Extends the certified region (called by the absorption drivers
+    /// with a rect covering every obstacle their range could absorb).
+    fn note_region(&mut self, r: Rect) {
+        self.region = self.region.union(&r);
     }
 
     /// Registers every not-yet-present obstacle of `items` with the
@@ -200,6 +269,11 @@ pub fn compute_obstructed_path_pruned(
     let universe = obstacles.universe();
     let typical_diag = (universe.area() / obstacles.len().max(1) as f64).sqrt();
     let mut prefetch = (2.0 * typical_diag).max(1e-3 * euclid);
+    // Every absorbed obstacle has MBR bound ≤ t, hence `mindist(MBR, q)
+    // ≤ t` in both region modes (the ellipse bound dominates the disk
+    // bound) — so the disk around `q` of radius t, boxed, certifies the
+    // round for epoch validation.
+    graph.note_region(Rect::from_point(q_pos).expanded(euclid + prefetch));
     graph.absorb(
         obstacles,
         obstacles
@@ -229,6 +303,7 @@ pub fn compute_obstructed_path_pruned(
             // absorbed — the scene stays cache-warm for the next query.
             return Some(path);
         }
+        graph.note_region(Rect::from_point(q_pos).expanded(d + prefetch));
         graph.absorb(obstacles, fresh.into_iter().map(|(item, _)| item));
         prefetch = (d - euclid).max(prefetch * 2.0);
     }
@@ -256,6 +331,7 @@ pub fn compute_obstructed_range(
 ) -> Vec<(NodeId, f64)> {
     let q_pos = graph.scene.position(q);
     let items = obstacles.tree().range_circle(q_pos, e);
+    graph.note_region(Rect::from_point(q_pos).expanded(e));
     graph.absorb(obstacles, items);
     graph.scene.bounded_expansion(q, e, targets)
 }

@@ -1,8 +1,59 @@
 //! Indexed datasets and the query engine facade.
+//!
+//! Both indexes are **dynamic**: `insert`/`delete`/[`EntityIndex::apply_edits`]
+//! mutate the tree in place, retire id slots by tombstone (ids are never
+//! reused), and advance a per-index **update epoch**. Every epoch window
+//! records the union bounding box of its edits (the *dirty rect*), which
+//! is what lets cached visibility scenes stay legal across updates: a
+//! scene built at epoch `e` over region `R` remains valid iff no dirty
+//! rect recorded after `e` intersects `R` (inflated by the scene-reuse
+//! slack). See `LocalGraph::sync` in `distance.rs` and
+//! `SceneCache::validate` in `batch.rs` for the consumers.
 
 use obstacle_geom::{Point, Polygon, Rect};
 use obstacle_rtree::{AnyTree, Item, RTreeConfig, TreeBackend};
 use obstacle_visibility::EdgeBuilder;
+
+/// Dirty-rect log entries kept per index before the oldest window is
+/// merged. Merging unions old rects under the newest merged epoch — a
+/// purely conservative compaction (it can only over-invalidate scenes
+/// stamped inside the merged range, never under-invalidate).
+const DIRTY_LOG_CAP: usize = 1024;
+
+/// Shared bookkeeping of a dynamic index: the update epoch and the
+/// per-epoch dirty-rect log (ascending by epoch).
+#[derive(Debug, Default)]
+struct EpochLog {
+    epoch: u64,
+    dirty: Vec<(u64, Rect)>,
+}
+
+impl EpochLog {
+    /// Opens a new epoch window covering `dirty` and returns the new
+    /// epoch number.
+    fn commit(&mut self, dirty: Rect) -> u64 {
+        self.epoch += 1;
+        self.dirty.push((self.epoch, dirty));
+        if self.dirty.len() > DIRTY_LOG_CAP {
+            let half = self.dirty.len() / 2;
+            let merged_epoch = self.dirty[half - 1].0;
+            let merged = self.dirty[..half]
+                .iter()
+                .fold(Rect::empty(), |u, (_, r)| u.union(r));
+            self.dirty.splice(..half, [(merged_epoch, merged)]);
+        }
+        self.epoch
+    }
+
+    /// Whether any edit recorded after epoch `since` touched `region`.
+    fn intersects_since(&self, since: u64, region: &Rect) -> bool {
+        self.dirty
+            .iter()
+            .rev()
+            .take_while(|(e, _)| *e > since)
+            .any(|(_, r)| r.intersects(region))
+    }
+}
 
 /// An entity dataset (points of interest) with its tree index.
 ///
@@ -13,6 +64,12 @@ use obstacle_visibility::EdgeBuilder;
 pub struct EntityIndex {
     tree: AnyTree,
     points: Vec<Point>,
+    /// Tombstones: `live[id]` is false once `id` has been deleted. The
+    /// point stays in `points` so `position` keeps answering for retired
+    /// ids, but no public iterator or query ever returns them.
+    live: Vec<bool>,
+    live_count: usize,
+    log: EpochLog,
 }
 
 impl EntityIndex {
@@ -27,7 +84,7 @@ impl EntityIndex {
                 .enumerate()
                 .map(|(i, &p)| Item::point(p, i as u64)),
         );
-        EntityIndex { tree, points }
+        Self::fresh(tree, points)
     }
 
     /// Indexes `points` by bulk loading (paged: STR; packed: Hilbert
@@ -41,7 +98,19 @@ impl EntityIndex {
                 .map(|(i, &p)| Item::point(p, i as u64))
                 .collect(),
         );
-        EntityIndex { tree, points }
+        Self::fresh(tree, points)
+    }
+
+    fn fresh(tree: AnyTree, points: Vec<Point>) -> Self {
+        let live = vec![true; points.len()];
+        let live_count = points.len();
+        EntityIndex {
+            tree,
+            points,
+            live,
+            live_count,
+            log: EpochLog::default(),
+        }
     }
 
     /// The underlying tree index.
@@ -49,55 +118,124 @@ impl EntityIndex {
         &self.tree
     }
 
-    /// Position of entity `id`.
+    /// Position of entity `id` (answers for retired ids too — deleted
+    /// slots keep their last position).
     pub fn position(&self, id: u64) -> Point {
         self.points[id as usize]
     }
 
-    /// All entity positions (ids are indices).
-    pub fn points(&self) -> &[Point] {
-        &self.points
+    /// Whether entity `id` exists and has not been deleted.
+    pub fn is_live(&self, id: u64) -> bool {
+        self.live.get(id as usize).copied().unwrap_or(false)
     }
 
-    /// Number of entities.
+    /// All live entities as `(id, position)`, in id order. Deleted slots
+    /// are skipped — this is the only sanctioned way to enumerate the
+    /// dataset (a raw slice would resurrect tombstoned ids).
+    pub fn live_points(&self) -> impl Iterator<Item = (u64, Point)> + '_ {
+        self.points
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.live[*i])
+            .map(|(i, &p)| (i as u64, p))
+    }
+
+    /// Number of live entities (deletes decrement this).
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.live_count
     }
 
-    /// Whether the dataset is empty.
+    /// Whether the dataset holds no live entities.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.live_count == 0
+    }
+
+    /// Bounding rectangle of the live entities, or `None` when empty.
+    pub fn extent(&self) -> Option<Rect> {
+        (!self.tree.is_empty()).then(|| self.tree.root_mbr())
+    }
+
+    /// Current update epoch (0 for a freshly built index; each committed
+    /// edit batch advances it by exactly 1).
+    pub fn epoch(&self) -> u64 {
+        self.log.epoch
+    }
+
+    /// Whether any edit committed after epoch `since` touched `region`.
+    pub fn dirty_intersects(&self, since: u64, region: &Rect) -> bool {
+        self.log.intersects_since(since, region)
     }
 
     /// Inserts a new entity and returns its id. Updates are the reason
     /// the paper builds visibility graphs on-line instead of
     /// materialising them (§2.4) — the R-tree absorbs the insert and
     /// every subsequent query sees the new entity with no rebuild.
-    /// On the packed backend the insert re-packs the tree (O(n log n) —
-    /// see [`AnyTree::insert`]).
+    /// On the packed backend a single insert re-packs the tree
+    /// (O(n log n) — batch edits through [`EntityIndex::apply_edits`]).
     pub fn insert(&mut self, p: Point) -> u64 {
-        let id = self.points.len() as u64;
-        self.points.push(p);
-        self.tree.insert(Item::point(p, id));
-        id
+        let (ids, _) = self.apply_edits(&[p], &[]);
+        ids[0]
     }
 
-    /// Deletes an entity by id. Returns whether it was present. The id
-    /// slot is retired (never reused); `position` keeps answering for
-    /// retired ids but no query will return them.
+    /// Deletes an entity by id. Returns whether it was present and live.
+    /// The id slot is retired (never reused); `position` keeps answering
+    /// for retired ids but no query will return them.
     pub fn delete(&mut self, id: u64) -> bool {
-        match self.points.get(id as usize) {
-            Some(&p) => self.tree.delete(Item::point(p, id)),
-            None => false,
+        self.apply_edits(&[], &[id]).1 == 1
+    }
+
+    /// Applies a batch of edits in one epoch: tombstones every live id in
+    /// `deletes`, then inserts all of `inserts` (fresh ids, returned in
+    /// order). The tree absorbs the whole batch at once — one re-pack on
+    /// the packed backend — and the epoch advances by exactly 1 when the
+    /// batch changed anything, with the batch's union bbox as the dirty
+    /// rect. Returns `(inserted ids, live deletes performed)`.
+    pub fn apply_edits(&mut self, inserts: &[Point], deletes: &[u64]) -> (Vec<u64>, usize) {
+        let mut dirty = Rect::empty();
+        let mut del_items = Vec::new();
+        for &id in deletes {
+            let i = id as usize;
+            if i < self.points.len() && self.live[i] {
+                self.live[i] = false;
+                self.live_count -= 1;
+                let p = self.points[i];
+                del_items.push(Item::point(p, id));
+                dirty = dirty.union(&Rect::from_point(p));
+            }
         }
+        let mut ids = Vec::with_capacity(inserts.len());
+        let mut ins_items = Vec::with_capacity(inserts.len());
+        for &p in inserts {
+            let id = self.points.len() as u64;
+            self.points.push(p);
+            self.live.push(true);
+            self.live_count += 1;
+            ids.push(id);
+            ins_items.push(Item::point(p, id));
+            dirty = dirty.union(&Rect::from_point(p));
+        }
+        let removed = del_items.len();
+        if removed > 0 || !ins_items.is_empty() {
+            self.tree.apply_edits(ins_items, &del_items);
+            self.log.commit(dirty);
+        }
+        (ids, removed)
     }
 }
 
 /// The obstacle dataset (simple polygons) with its tree index over MBRs.
+///
+/// Dynamic like [`EntityIndex`]; obstacle edits additionally matter to
+/// every cached visibility scene, which is why the epoch/dirty-rect log
+/// exists (see the module docs).
 #[derive(Debug)]
 pub struct ObstacleIndex {
     tree: AnyTree,
     polygons: Vec<Polygon>,
+    /// Tombstones — see [`EntityIndex`].
+    live: Vec<bool>,
+    live_count: usize,
+    log: EpochLog,
 }
 
 impl ObstacleIndex {
@@ -111,7 +249,7 @@ impl ObstacleIndex {
                 .enumerate()
                 .map(|(i, p)| Item::new(p.bbox(), i as u64)),
         );
-        ObstacleIndex { tree, polygons }
+        Self::fresh(tree, polygons)
     }
 
     /// Indexes `polygons` by bulk loading (paged: STR; packed: Hilbert
@@ -125,7 +263,19 @@ impl ObstacleIndex {
                 .map(|(i, p)| Item::new(p.bbox(), i as u64))
                 .collect(),
         );
-        ObstacleIndex { tree, polygons }
+        Self::fresh(tree, polygons)
+    }
+
+    fn fresh(tree: AnyTree, polygons: Vec<Polygon>) -> Self {
+        let live = vec![true; polygons.len()];
+        let live_count = polygons.len();
+        ObstacleIndex {
+            tree,
+            polygons,
+            live,
+            live_count,
+            log: EpochLog::default(),
+        }
     }
 
     /// The underlying tree index (indexes obstacle MBRs).
@@ -133,52 +283,115 @@ impl ObstacleIndex {
         &self.tree
     }
 
-    /// The polygon of obstacle `id`.
+    /// The polygon of obstacle `id` (answers for retired ids too).
     pub fn polygon(&self, id: u64) -> &Polygon {
         &self.polygons[id as usize]
     }
 
-    /// All obstacle polygons (ids are indices).
-    pub fn polygons(&self) -> &[Polygon] {
-        &self.polygons
+    /// Whether obstacle `id` exists and has not been deleted.
+    pub fn is_live(&self, id: u64) -> bool {
+        self.live.get(id as usize).copied().unwrap_or(false)
     }
 
-    /// Number of obstacles.
+    /// All live obstacles as `(id, polygon)`, in id order. Deleted slots
+    /// are skipped — the only sanctioned enumeration of the dataset.
+    pub fn live_polygons(&self) -> impl Iterator<Item = (u64, &Polygon)> + '_ {
+        self.polygons
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| self.live[*i])
+            .map(|(i, p)| (i as u64, p))
+    }
+
+    /// Number of live obstacles (deletes decrement this).
     pub fn len(&self) -> usize {
-        self.polygons.len()
+        self.live_count
     }
 
-    /// Whether the dataset is empty.
+    /// Whether the dataset holds no live obstacles.
     pub fn is_empty(&self) -> bool {
-        self.polygons.is_empty()
+        self.live_count == 0
     }
 
-    /// A rectangle covering the whole obstacle dataset.
+    /// Bounding rectangle of the live obstacles, or `None` when the set
+    /// is (or has become, via deletes) empty.
+    pub fn extent(&self) -> Option<Rect> {
+        (!self.tree.is_empty()).then(|| self.tree.root_mbr())
+    }
+
+    /// A rectangle covering the whole obstacle dataset, with a unit-square
+    /// fallback when empty. Prefer [`QueryEngine::universe`], which falls
+    /// back to the *entity* extent first — Hilbert scheduling over this
+    /// unit square would clamp every real-coordinate query to one corner
+    /// cell.
     pub fn universe(&self) -> Rect {
-        if self.tree.is_empty() {
-            Rect::from_coords(0.0, 0.0, 1.0, 1.0)
-        } else {
-            self.tree.root_mbr()
-        }
+        self.extent()
+            .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 1.0, 1.0))
+    }
+
+    /// Current update epoch (see [`EntityIndex::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.log.epoch
+    }
+
+    /// Whether any edit committed after epoch `since` touched `region`.
+    /// This is the scene-invalidation predicate: a cached scene stamped
+    /// `(since, region)` must be retired iff this returns true for its
+    /// slack-inflated region.
+    pub fn dirty_intersects(&self, since: u64, region: &Rect) -> bool {
+        self.log.intersects_since(since, region)
     }
 
     /// Inserts a new obstacle and returns its id. Queries issued after
     /// the insert immediately respect the new obstacle — the paper's
-    /// argument for on-line local visibility graphs (§2.4).
+    /// argument for on-line local visibility graphs (§2.4). On the packed
+    /// backend a single insert re-packs the tree (batch edits through
+    /// [`ObstacleIndex::apply_edits`]).
     pub fn insert(&mut self, polygon: Polygon) -> u64 {
-        let id = self.polygons.len() as u64;
-        self.tree.insert(Item::new(polygon.bbox(), id));
-        self.polygons.push(polygon);
-        id
+        let (ids, _) = self.apply_edits(vec![polygon], &[]);
+        ids[0]
     }
 
-    /// Deletes an obstacle by id. Returns whether it was present. The id
-    /// slot is retired (never reused).
+    /// Deletes an obstacle by id. Returns whether it was present and
+    /// live. The id slot is retired (never reused).
     pub fn delete(&mut self, id: u64) -> bool {
-        match self.polygons.get(id as usize) {
-            Some(p) => self.tree.delete(Item::new(p.bbox(), id)),
-            None => false,
+        self.apply_edits(Vec::new(), &[id]).1 == 1
+    }
+
+    /// Applies a batch of edits in one epoch — the obstacle-side analogue
+    /// of [`EntityIndex::apply_edits`]. Dirty rect: union of deleted and
+    /// inserted polygon bboxes. Returns `(inserted ids, live deletes)`.
+    pub fn apply_edits(&mut self, inserts: Vec<Polygon>, deletes: &[u64]) -> (Vec<u64>, usize) {
+        let mut dirty = Rect::empty();
+        let mut del_items = Vec::new();
+        for &id in deletes {
+            let i = id as usize;
+            if i < self.polygons.len() && self.live[i] {
+                self.live[i] = false;
+                self.live_count -= 1;
+                let bbox = self.polygons[i].bbox();
+                del_items.push(Item::new(bbox, id));
+                dirty = dirty.union(&bbox);
+            }
         }
+        let mut ids = Vec::with_capacity(inserts.len());
+        let mut ins_items = Vec::with_capacity(inserts.len());
+        for polygon in inserts {
+            let id = self.polygons.len() as u64;
+            let bbox = polygon.bbox();
+            self.polygons.push(polygon);
+            self.live.push(true);
+            self.live_count += 1;
+            ids.push(id);
+            ins_items.push(Item::new(bbox, id));
+            dirty = dirty.union(&bbox);
+        }
+        let removed = del_items.len();
+        if removed > 0 || !ins_items.is_empty() {
+            self.tree.apply_edits(ins_items, &del_items);
+            self.log.commit(dirty);
+        }
+        (ids, removed)
     }
 }
 
@@ -209,6 +422,12 @@ pub struct EngineOptions {
     /// \[PV95\] noted in §2.3; paper: off). Results are identical —
     /// shortest waypoint-to-waypoint paths only turn at tangent vertices.
     pub tangent_filter: bool,
+    /// Validate cached scenes against the obstacle-set epoch before
+    /// reuse, retiring any scene whose region a later edit's dirty rect
+    /// intersects (on — required for correct answers under interleaved
+    /// updates). Off exists only so tests and ablations can demonstrate
+    /// the stale-scene failure mode.
+    pub epoch_validation: bool,
 }
 
 impl Default for EngineOptions {
@@ -221,6 +440,7 @@ impl Default for EngineOptions {
             seed_side_heuristic: true,
             ellipse_pruning: false,
             tangent_filter: false,
+            epoch_validation: true,
         }
     }
 }
@@ -263,6 +483,18 @@ impl<'a> QueryEngine<'a> {
             options,
         }
     }
+
+    /// The working universe: obstacle extent, falling back to the entity
+    /// extent, then to the unit square. Hilbert scheduling and the
+    /// scene-reuse slack are computed over this rect — falling back to
+    /// the unit square while queries carry real coordinates would clamp
+    /// every Hilbert key to one corner cell.
+    pub fn universe(&self) -> Rect {
+        self.obstacles
+            .extent()
+            .or_else(|| self.entities.extent())
+            .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 1.0, 1.0))
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +508,11 @@ mod tests {
         assert_eq!(idx.len(), 2);
         assert_eq!(idx.position(1), pts[1]);
         assert_eq!(idx.tree().len(), 2);
+        assert_eq!(idx.epoch(), 0);
+        assert_eq!(
+            idx.live_points().collect::<Vec<_>>(),
+            vec![(0, pts[0]), (1, pts[1])]
+        );
     }
 
     #[test]
@@ -288,6 +525,7 @@ mod tests {
         assert_eq!(idx.len(), 2);
         assert_eq!(idx.polygon(0), &polys[0]);
         assert_eq!(idx.universe(), Rect::from_coords(0.0, 0.0, 0.6, 0.9));
+        assert_eq!(idx.epoch(), 0);
     }
 
     #[test]
@@ -296,5 +534,56 @@ mod tests {
         assert_eq!(o.builder, EdgeBuilder::RotationalSweep);
         assert!(o.shrink_threshold && o.reuse_graph);
         assert!(o.hilbert_seed_order && o.seed_side_heuristic);
+        assert!(o.epoch_validation, "epoch validation is on by default");
+    }
+
+    #[test]
+    fn edits_advance_epoch_and_record_dirty_rects() {
+        let polys = vec![Polygon::from_rect(Rect::from_coords(0.0, 0.0, 0.2, 0.1))];
+        let mut idx = ObstacleIndex::build(RTreeConfig::tiny(4), polys);
+        let far = Rect::from_coords(5.0, 5.0, 5.2, 5.2);
+        let id = idx.insert(Polygon::from_rect(far));
+        assert_eq!(idx.epoch(), 1);
+        assert!(idx.dirty_intersects(0, &far));
+        assert!(!idx.dirty_intersects(1, &far), "nothing after epoch 1");
+        assert!(!idx.dirty_intersects(0, &Rect::from_coords(2.0, 2.0, 3.0, 3.0)));
+
+        assert!(idx.delete(id));
+        assert_eq!(idx.epoch(), 2);
+        assert!(idx.dirty_intersects(1, &far), "delete dirties its bbox");
+        assert!(!idx.delete(id), "double delete reports absence");
+        assert_eq!(idx.epoch(), 2, "a no-op batch does not open an epoch");
+    }
+
+    #[test]
+    fn batched_edits_commit_one_epoch() {
+        let mut idx = EntityIndex::build(RTreeConfig::tiny(4), vec![Point::new(0.0, 0.0)]);
+        let (ids, removed) = idx.apply_edits(&[Point::new(1.0, 1.0), Point::new(2.0, 2.0)], &[0]);
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(removed, 1);
+        assert_eq!(idx.epoch(), 1, "one epoch for the whole batch");
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_live(0));
+        assert!(idx.is_live(2));
+        assert_eq!(
+            idx.live_points().map(|(id, _)| id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn dirty_log_compaction_stays_conservative() {
+        let mut idx = EntityIndex::build(RTreeConfig::tiny(4), Vec::new());
+        // Blow past the cap; each edit dirties its own location.
+        for i in 0..(DIRTY_LOG_CAP + 200) {
+            idx.insert(Point::new(i as f64, 0.0));
+        }
+        assert!(idx.log.dirty.len() <= DIRTY_LOG_CAP + 1);
+        // Every early edit is still visible to a stale observer (merged,
+        // not dropped).
+        assert!(idx.dirty_intersects(0, &Rect::from_coords(-0.5, -0.5, 0.5, 0.5)));
+        // A fully up-to-date observer sees nothing.
+        let all = Rect::from_coords(-1.0, -1.0, 1e6, 1.0);
+        assert!(!idx.dirty_intersects(idx.epoch(), &all));
     }
 }

@@ -72,7 +72,17 @@ pub fn distance_join(
     let (seed_set, partner_set) = if seed_from_s { (s, t) } else { (t, s) };
 
     // Step 3: Hilbert-order the seeds for obstacle-buffer locality.
-    let universe = obstacles.universe();
+    // Falling back to the entity extent (then the unit square) keeps the
+    // Hilbert order meaningful when the obstacle set is empty or has been
+    // emptied by deletes — an empty tree must not collapse every seed key
+    // to the unit-square clamp.
+    let universe = obstacles
+        .extent()
+        .or_else(|| match (s.extent(), t.extent()) {
+            (Some(a), Some(b)) => Some(a.union(&b)),
+            (a, b) => a.or(b),
+        })
+        .unwrap_or_else(|| Rect::from_coords(0.0, 0.0, 1.0, 1.0));
     let mut seeds: Vec<u64> = groups.keys().copied().collect();
     if options.hilbert_seed_order {
         seeds.sort_by_key(|id| hilbert_index_unit(seed_set.position(*id), &universe));

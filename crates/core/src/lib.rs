@@ -71,6 +71,7 @@ mod path;
 mod range;
 mod semi_join;
 mod stats;
+mod updates;
 
 pub use batch::{
     Answer, BatchOptions, BatchStats, BatchStream, Delivery, Query, SceneBudget, SceneCache,
@@ -88,6 +89,7 @@ pub use nn::IncrementalNearest;
 pub use path::{close_rel, shortest_obstructed_path, shortest_obstructed_path_in};
 pub use semi_join::{semi_join, SemiJoinStrategy};
 pub use stats::{ClosestPairsResult, JoinResult, NearestResult, QueryStats, RangeResult};
+pub use updates::{Update, UpdateStats};
 
 /// Node tag used for query points inside local visibility graphs (entity
 /// tags are dataset object ids, far below this sentinel).

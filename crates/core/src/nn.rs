@@ -36,7 +36,17 @@ impl<'a> QueryEngine<'a> {
     /// waypoints are removed before returning; neighbours are identical
     /// to a fresh-scene run because extra resident obstacles are real
     /// obstacles and every Fig. 8 fixpoint still certifies its region.
+    ///
+    /// A reused graph is first synchronized with the obstacle-set epoch
+    /// ([`LocalGraph::sync`], before any waypoint is added) — see
+    /// [`QueryEngine::range_in`].
     pub fn nearest_in(&self, graph: &mut LocalGraph, q: Point, k: usize) -> NearestResult {
+        if self.options.epoch_validation {
+            graph.sync(
+                self.obstacles,
+                crate::batch::SceneCache::slack_for(&self.universe()),
+            );
+        }
         let t0 = Instant::now();
         let entity_io = self.entities.tree().io_snapshot();
         let obstacle_io = self.obstacles.tree().io_snapshot();

@@ -47,12 +47,24 @@ pub fn shortest_obstructed_path(
 /// before returning (see [`SceneCache`](crate::SceneCache)). The path is
 /// identical to a fresh-scene run — exact ties between equal-length
 /// shortest paths resolve positionally, not by scene numbering.
+///
+/// The reused scene is synchronized with the obstacle-set epoch first
+/// ([`LocalGraph::sync`], before the endpoint waypoints are added):
+/// unlike the engine operators there is no [`EngineOptions`] knob here,
+/// so validation is unconditional — a free-function caller has no
+/// ablation switch and must never see a stale path.
+///
+/// [`EngineOptions`]: crate::EngineOptions
 pub fn shortest_obstructed_path_in(
     g: &mut LocalGraph,
     a: Point,
     b: Point,
     obstacles: &ObstacleIndex,
 ) -> Option<PathResult> {
+    g.sync(
+        obstacles,
+        crate::batch::SceneCache::slack_for(&obstacles.universe()),
+    );
     let na = g.add_waypoint(a, 0);
     let nb = g.add_waypoint(b, QUERY_TAG);
     let path = compute_obstructed_path(g, na, nb, obstacles);

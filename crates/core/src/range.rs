@@ -45,7 +45,19 @@ impl QueryEngine<'_> {
     /// fresh-scene [`QueryEngine::range`]: extra resident obstacles are
     /// real obstacles of the same dataset, and any path of length ≤ `e`
     /// is certified by the disk absorption alone.
+    ///
+    /// A reused graph is first synchronized with the obstacle-set epoch
+    /// ([`LocalGraph::sync`], before any waypoint is added): if an edit
+    /// since its last sync dirtied a rect intersecting its region, the
+    /// scene is retired, so answers always reflect the live obstacle set
+    /// (the `epoch_validation` option disables this for ablation only).
     pub fn range_in(&self, graph: &mut LocalGraph, q: Point, e: f64) -> RangeResult {
+        if self.options.epoch_validation {
+            graph.sync(
+                self.obstacles,
+                crate::batch::SceneCache::slack_for(&self.universe()),
+            );
+        }
         let t0 = Instant::now();
         let entity_io = self.entities.tree().io_snapshot();
         let obstacle_io = self.obstacles.tree().io_snapshot();

@@ -49,11 +49,11 @@ pub fn semi_join(
     match strategy {
         SemiJoinStrategy::PerObjectNn => {
             let engine = QueryEngine::with_options(t, obstacles, options);
-            for (sid, &pos) in s.points().iter().enumerate() {
+            for (sid, pos) in s.live_points() {
                 let r = engine.nearest(pos, 1);
                 distance_computations += r.stats.distance_computations;
                 if let Some(&(tid, d)) = r.neighbors.first() {
-                    pairs.push((sid as u64, tid, d));
+                    pairs.push((sid, tid, d));
                 }
             }
         }

@@ -159,9 +159,8 @@ fn very_large_k_on_obstructed_scene_is_complete() {
         .iter()
         .filter(|p| {
             obstacles
-                .polygons()
-                .iter()
-                .all(|poly| poly.locate(**p) != obstacle_geom::PointLocation::Inside)
+                .live_polygons()
+                .all(|(_, poly)| poly.locate(**p) != obstacle_geom::PointLocation::Inside)
         })
         .count();
     assert!(reachable < 30, "test scene should trap a few entities");

@@ -170,8 +170,9 @@ impl TreeBackend for RTree {
 /// type serves both backends (chosen by [`RTreeConfig::backend`]), without
 /// making every operator and the batch engine generic in the public API.
 /// The paged variant keeps full update support; the packed variant is
-/// static — [`AnyTree::insert`] / [`AnyTree::delete`] rebuild it, which is
-/// O(n) and documented as such.
+/// static — [`AnyTree::insert`] / [`AnyTree::delete`] re-pack the whole
+/// tree per call (O(n log n) *each*), so batched edits must go through
+/// [`AnyTree::apply_edits`], which rebuilds exactly once per batch.
 #[derive(Debug)]
 pub enum AnyTree {
     /// The paper's paged, buffered R*-tree.
@@ -281,24 +282,28 @@ impl AnyTree {
         }
     }
 
-    /// Inserts an item. Paged: the R* insertion of the paper. Packed: the
-    /// backend is static, so the whole tree is re-packed over the old
-    /// items plus `item` — O(n log n), acceptable for the effectively
-    /// immutable per-scene trees the packed backend targets.
+    /// Inserts an item. Paged: the R* insertion of the paper, O(log n).
+    /// Packed: the backend is static, so **every call re-packs the whole
+    /// tree** over the old items plus `item` — a full O(n log n) Hilbert
+    /// sort and bottom-up build, *per call*. A k-edit sequence therefore
+    /// costs k rebuilds through this entry point; batch callers must use
+    /// [`AnyTree::apply_edits`], which collects the edits first and
+    /// rebuilds exactly once.
     pub fn insert(&mut self, item: Item) {
         match self {
             AnyTree::Paged(t) => t.insert(item),
             AnyTree::Packed(t) => {
                 let mut items = t.items_uncounted();
                 items.push(item);
-                *t = PackedRTree::build(*t.config(), items);
+                Self::repack(t, items);
             }
         }
     }
 
     /// Deletes the item with matching `mbr` and `id`; returns whether it
-    /// was present. Packed: re-packs without the item (O(n log n), see
-    /// [`AnyTree::insert`]).
+    /// was present. Packed: re-packs without the item — the same full
+    /// O(n log n) per-call cost as [`AnyTree::insert`]; batch callers
+    /// must use [`AnyTree::apply_edits`].
     pub fn delete(&mut self, item: Item) -> bool {
         match self {
             AnyTree::Paged(t) => t.delete(&item),
@@ -308,11 +313,65 @@ impl AnyTree {
                 items.retain(|i| !(i.id == item.id && i.mbr == item.mbr));
                 let found = items.len() < before;
                 if found {
-                    *t = PackedRTree::build(*t.config(), items);
+                    Self::repack(t, items);
                 }
                 found
             }
         }
+    }
+
+    /// Applies a batch of edits: removes every item matching a `deletes`
+    /// entry (by `id` + `mbr`, as in [`AnyTree::delete`]), then inserts
+    /// all of `inserts`. Returns how many deletes matched.
+    ///
+    /// Paged: per-item R* insert/delete (each O(log n) — there is no
+    /// cheaper batch path on the paged backend). Packed: **one** re-pack
+    /// for the whole batch, amortising the static backend's O(n log n)
+    /// rebuild over k edits instead of paying it k times; the pack's
+    /// [`generation`](PackedRTree::generation) counter advances by
+    /// exactly 1 per non-empty batch.
+    pub fn apply_edits(&mut self, inserts: Vec<Item>, deletes: &[Item]) -> usize {
+        match self {
+            AnyTree::Paged(t) => {
+                let mut removed = 0;
+                for d in deletes {
+                    if t.delete(d) {
+                        removed += 1;
+                    }
+                }
+                for item in inserts {
+                    t.insert(item);
+                }
+                removed
+            }
+            AnyTree::Packed(t) => {
+                let mut items = t.items_uncounted();
+                let mut removed = 0;
+                if !deletes.is_empty() {
+                    // `Rect` is not hashable, so match deletes by id and
+                    // confirm the MBR (ids are unique per engine contract).
+                    let dead: std::collections::HashMap<u64, Rect> =
+                        deletes.iter().map(|d| (d.id, d.mbr)).collect();
+                    let before = items.len();
+                    items.retain(|i| dead.get(&i.id).is_none_or(|mbr| *mbr != i.mbr));
+                    removed = before - items.len();
+                }
+                if removed > 0 || !inserts.is_empty() {
+                    items.extend(inserts);
+                    Self::repack(t, items);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Rebuilds a pack over `items`, carrying the rebuild counter forward
+    /// (+1) — the observable that lets tests assert "one rebuild per
+    /// batch" for [`AnyTree::apply_edits`].
+    fn repack(t: &mut PackedRTree, items: Vec<Item>) {
+        let generation = t.generation + 1;
+        *t = PackedRTree::build(*t.config(), items);
+        t.generation = generation;
     }
 
     /// Incremental nearest-neighbour iterator from `query` (\[HS99\] on
@@ -402,5 +461,84 @@ impl TreeBackend for AnyTree {
 
     fn backend_name(&self) -> &'static str {
         dispatch!(self, t => t.backend_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packed_config() -> RTreeConfig {
+        RTreeConfig {
+            backend: Backend::Packed,
+            packed_node_size: 4,
+            ..RTreeConfig::paper()
+        }
+    }
+
+    fn items(n: usize) -> Vec<Item> {
+        (0..n as u64)
+            .map(|i| Item::point(Point::new((i % 13) as f64 * 0.31, (i % 7) as f64 * 0.53), i))
+            .collect()
+    }
+
+    fn ids(t: &AnyTree) -> Vec<u64> {
+        let mut ids: Vec<u64> = TreeBackend::items(t).into_iter().map(|i| i.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn packed_batch_edits_rebuild_once() {
+        let mut t = AnyTree::bulk_load(packed_config(), items(20));
+        assert_eq!(t.as_packed().unwrap().generation(), 0);
+
+        // One batch of 5 inserts + 3 deletes: exactly one rebuild.
+        let inserts: Vec<Item> = (0..5)
+            .map(|i| Item::point(Point::new(9.0 + i as f64, 9.0), 100 + i as u64))
+            .collect();
+        let deletes: Vec<Item> = items(20).into_iter().filter(|i| i.id < 3).collect();
+        let removed = t.apply_edits(inserts, &deletes);
+        assert_eq!(removed, 3);
+        assert_eq!(t.as_packed().unwrap().generation(), 1);
+        assert_eq!(TreeBackend::len(&t), 22);
+        assert_eq!(ids(&t), (3..20).chain(100..105).collect::<Vec<u64>>());
+
+        // The same edits applied one call at a time cost one rebuild each.
+        let mut s = AnyTree::bulk_load(packed_config(), items(20));
+        for i in 0..5u64 {
+            s.insert(Item::point(Point::new(9.0 + i as f64, 9.0), 100 + i));
+        }
+        for d in items(20).into_iter().filter(|i| i.id < 3) {
+            assert!(s.delete(d));
+        }
+        assert_eq!(s.as_packed().unwrap().generation(), 8);
+        assert_eq!(ids(&s), ids(&t));
+
+        // An empty batch rebuilds nothing.
+        assert_eq!(t.apply_edits(Vec::new(), &[]), 0);
+        assert_eq!(t.as_packed().unwrap().generation(), 1);
+        // A batch of misses (wrong id) rebuilds nothing either.
+        let miss = [Item::point(Point::new(0.0, 0.0), 999)];
+        assert_eq!(t.apply_edits(Vec::new(), &miss), 0);
+        assert_eq!(t.as_packed().unwrap().generation(), 1);
+    }
+
+    #[test]
+    fn paged_batch_edits_match_per_call_path() {
+        let mut t = AnyTree::bulk_load(RTreeConfig::tiny(4), items(20));
+        let deletes: Vec<Item> = items(20).into_iter().filter(|i| i.id % 4 == 0).collect();
+        let inserts: Vec<Item> = (0..2)
+            .map(|i| Item::point(Point::new(5.0, 5.0 + i as f64), 200 + i as u64))
+            .collect();
+        let removed = t.apply_edits(inserts, &deletes);
+        assert_eq!(removed, 5);
+        assert_eq!(
+            ids(&t),
+            (0..20)
+                .filter(|i| i % 4 != 0)
+                .chain(200..202)
+                .collect::<Vec<u64>>()
+        );
     }
 }

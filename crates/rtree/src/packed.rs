@@ -69,6 +69,12 @@ pub struct PackedRTree {
     level_ends: Box<[usize]>,
     /// Relaxed count of nodes visited by queries (the packed cost model).
     visits: AtomicU64,
+    /// How many times this pack has been rebuilt by `AnyTree` updates
+    /// (0 for a fresh build or a deserialized image — the counter is a
+    /// cost observable, not part of the tree, and is not persisted).
+    /// `AnyTree::apply_edits` is asserted to bump it exactly once per
+    /// edit batch.
+    pub(crate) generation: u64,
 }
 
 /// Slot counts per level for `n` items at fan-out `node_size`: items
@@ -162,6 +168,7 @@ impl PackedRTree {
             node_size,
             level_ends: level_ends.into_boxed_slice(),
             visits: AtomicU64::new(0),
+            generation: 0,
         }
     }
 
@@ -187,6 +194,15 @@ impl PackedRTree {
     /// Fan-out of the pack.
     pub fn node_size(&self) -> usize {
         self.node_size
+    }
+
+    /// How many times this pack has been rebuilt by `AnyTree` updates
+    /// since it was first built or deserialized. A batch of k edits
+    /// applied through [`AnyTree::apply_edits`](crate::AnyTree::apply_edits)
+    /// costs exactly one rebuild (generation +1); k single-item
+    /// `insert`/`delete` calls cost k.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of tree nodes (slots above the item level) — the packed
@@ -492,6 +508,7 @@ impl PackedRTree {
             node_size,
             level_ends: level_ends.into_boxed_slice(),
             visits: AtomicU64::new(0),
+            generation: 0,
         })
     }
 
