@@ -18,6 +18,13 @@
 #           diffs it per backend against the previous BENCH_*.json
 #           artifact (q/s regression beyond tolerance fails), and
 #           enforces the path-ladder no-regression budgets (release)
+#   analyze in-tree static analysis: obstacle_lint must report the
+#           workspace clean across all four invariant passes, and the
+#           debug lock-order-cycle / held-lock-across-sweep checker
+#           tests must pass
+#   sanitize optional ThreadSanitizer smoke run of the sync-shim tests;
+#           auto-skipped (with a message) when the toolchain lacks
+#           -Zsanitizer support (stable rustc)
 #   fmt     cargo fmt --check
 #   clippy  cargo clippy --all-targets -D warnings
 #
@@ -26,7 +33,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(build test path batch updates bench fmt clippy)
+ALL_STAGES=(build test path batch updates bench analyze sanitize fmt clippy)
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
   STAGES=("${ALL_STAGES[@]}")
@@ -83,6 +90,37 @@ stage_bench() {
   fi
 }
 
+stage_analyze() {
+  # The in-tree linter (crates/lint) walks every workspace .rs file and
+  # enforces the four invariant passes (tombstone-safety, nan-ordering,
+  # no-unwrap-hot-path, lock-discipline); any violation fails the stage.
+  cargo run -q --offline -p obstacle-lint --bin obstacle_lint
+  # Lint-crate self tests: golden fixtures (each pass trips and passes
+  # on its fixture pair) plus the live-workspace self-check.
+  cargo test -q --offline -p obstacle-lint
+  # Dynamic lock-discipline: the debug-build lock-order checker must
+  # detect a deliberately inverted two-mutex acquisition and enforce the
+  # no-lock-held-across-a-sweep assertion (debug build: the checker
+  # compiles out of release).
+  cargo test -q --offline -p obstacle-rtree --lib sync::
+}
+
+stage_sanitize() {
+  # ThreadSanitizer smoke run over the sync shim's concurrency tests.
+  # -Zsanitizer is nightly-only; probe for it and skip gracefully on a
+  # stable toolchain rather than failing the gate.
+  local target
+  target="$(rustc -vV | sed -n 's/^host: //p')"
+  if RUSTFLAGS="-Zsanitizer=thread" \
+    cargo build -q --offline -p obstacle-rtree --target "$target" \
+    >/dev/null 2>&1; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+      cargo test -q --offline -p obstacle-rtree --lib --target "$target" sync::
+  else
+    echo "sanitize: toolchain lacks -Zsanitizer support; skipping (nightly-only)"
+  fi
+}
+
 stage_fmt() {
   cargo fmt --all --check
 }
@@ -95,7 +133,7 @@ stage_clippy() {
 # must not cost a full release build first.
 for s in "${STAGES[@]}"; do
   case "$s" in
-    build|test|path|batch|updates|bench|fmt|clippy) ;;
+    build|test|path|batch|updates|bench|analyze|sanitize|fmt|clippy) ;;
     *)
       echo "ci.sh: unknown stage '$s' (stages: ${ALL_STAGES[*]})" >&2
       exit 2

@@ -137,7 +137,7 @@ impl Bencher {
             return;
         }
         self.samples_ns
-            .sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+            .sort_by(|a, b| obstacle_geom::total_cmp(*a, *b));
         let min = self.samples_ns[0];
         let median = self.samples_ns[self.samples_ns.len() / 2];
         let mean = self.samples_ns.iter().sum::<f64>() / self.samples_ns.len() as f64;

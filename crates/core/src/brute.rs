@@ -44,7 +44,7 @@ impl BruteForce {
                     .map(|d| (i as u64, d))
             })
             .collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| obstacle_geom::total_cmp(a.1, b.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -69,7 +69,7 @@ impl BruteForce {
                 }
             }
         }
-        out.sort_by(|x, y| x.2.partial_cmp(&y.2).unwrap());
+        out.sort_by(|x, y| obstacle_geom::total_cmp(x.2, y.2));
         out
     }
 
@@ -83,7 +83,7 @@ impl BruteForce {
                 }
             }
         }
-        out.sort_by(|x, y| x.2.partial_cmp(&y.2).unwrap());
+        out.sort_by(|x, y| obstacle_geom::total_cmp(x.2, y.2));
         out.truncate(k);
         out
     }

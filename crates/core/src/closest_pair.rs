@@ -5,10 +5,10 @@ use crate::engine::{EngineOptions, EntityIndex, ObstacleIndex};
 use crate::stats::{ClosestPairsResult, QueryStats};
 use crate::QUERY_TAG;
 use obstacle_geom::Point;
+use obstacle_rtree::sync::Stopwatch;
 use obstacle_rtree::{AnyTree, ClosestPairs, OrdF64, TreeBackend};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::time::Instant;
 
 /// Obstructed distance of one point pair on a fresh local graph.
 fn pair_distance(
@@ -41,7 +41,7 @@ pub fn closest_pairs(
     k: usize,
     options: EngineOptions,
 ) -> ClosestPairsResult {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let same_tree = std::ptr::eq(s, t);
     let s_io = s.tree().io_snapshot();
     let t_io = (!same_tree).then(|| t.tree().io_snapshot());

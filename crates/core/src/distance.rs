@@ -237,6 +237,10 @@ pub fn compute_obstructed_path_pruned(
     obstacles: &ObstacleIndex,
     ellipse: bool,
 ) -> Option<PathResult> {
+    // A sweep's A* expansion is unbounded and re-enters the buffer pool:
+    // entering one while holding a shard lock is a deadlock waiting for
+    // contention. Debug builds enforce that invariant here.
+    obstacle_rtree::sync::assert_unlocked("LazyScene sweep (obstructed path)");
     let p_pos = graph.scene.position(p);
     let q_pos = graph.scene.position(q);
     let euclid = p_pos.dist(q_pos);
@@ -329,6 +333,7 @@ pub fn compute_obstructed_range(
     obstacles: &ObstacleIndex,
     e: f64,
 ) -> Vec<(NodeId, f64)> {
+    obstacle_rtree::sync::assert_unlocked("LazyScene sweep (obstructed range)");
     let q_pos = graph.scene.position(q);
     let items = obstacles.tree().range_circle(q_pos, e);
     graph.note_region(Rect::from_point(q_pos).expanded(e));

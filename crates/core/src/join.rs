@@ -6,10 +6,10 @@ use crate::engine::{EngineOptions, EntityIndex, ObstacleIndex};
 use crate::stats::{JoinResult, QueryStats};
 use crate::QUERY_TAG;
 use obstacle_geom::{hilbert_index_unit, Rect};
+use obstacle_rtree::sync::Stopwatch;
 use obstacle_rtree::TreeBackend;
 use obstacle_visibility::{NodeId, NodeKind};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// All pairs `(s, t) ∈ S × T` with obstructed distance at most `e`.
 ///
@@ -42,7 +42,7 @@ pub fn distance_join(
     e: f64,
     options: EngineOptions,
 ) -> JoinResult {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let same_tree = std::ptr::eq(s, t);
     let s_io = s.tree().io_snapshot();
     let t_io = (!same_tree).then(|| t.tree().io_snapshot());

@@ -6,10 +6,10 @@ use crate::engine::QueryEngine;
 use crate::stats::{NearestResult, QueryStats};
 use crate::QUERY_TAG;
 use obstacle_geom::Point;
+use obstacle_rtree::sync::Stopwatch;
 use obstacle_rtree::{AnyTree, Nearest, OrdF64, TreeBackend};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::time::Instant;
 
 impl<'a> QueryEngine<'a> {
     /// The `k` entities with the smallest obstructed distance from `q`,
@@ -47,7 +47,7 @@ impl<'a> QueryEngine<'a> {
                 crate::batch::SceneCache::slack_for(&self.universe()),
             );
         }
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let entity_io = self.entities.tree().io_snapshot();
         let obstacle_io = self.obstacles.tree().io_snapshot();
 

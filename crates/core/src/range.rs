@@ -5,9 +5,9 @@ use crate::engine::QueryEngine;
 use crate::stats::{QueryStats, RangeResult};
 use crate::QUERY_TAG;
 use obstacle_geom::Point;
+use obstacle_rtree::sync::Stopwatch;
 use obstacle_rtree::TreeBackend;
 use obstacle_visibility::{NodeId, NodeKind};
-use std::time::Instant;
 
 impl QueryEngine<'_> {
     /// All entities within **obstructed** distance `e` of `q`, with their
@@ -58,7 +58,7 @@ impl QueryEngine<'_> {
                 crate::batch::SceneCache::slack_for(&self.universe()),
             );
         }
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let entity_io = self.entities.tree().io_snapshot();
         let obstacle_io = self.obstacles.tree().io_snapshot();
 

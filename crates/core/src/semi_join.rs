@@ -12,9 +12,9 @@
 use crate::closest_pair::incremental_closest_pairs;
 use crate::engine::{EngineOptions, EntityIndex, ObstacleIndex, QueryEngine};
 use crate::stats::{JoinResult, QueryStats};
+use obstacle_rtree::sync::Stopwatch;
 use obstacle_rtree::TreeBackend;
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Semi-join evaluation strategy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,7 +37,7 @@ pub fn semi_join(
     strategy: SemiJoinStrategy,
     options: EngineOptions,
 ) -> JoinResult {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let same_tree = std::ptr::eq(s, t);
     let s_io = s.tree().io_snapshot();
     let t_io = (!same_tree).then(|| t.tree().io_snapshot());

@@ -18,8 +18,8 @@
 
 use obstacle_core::{EntityIndex, ObstacleIndex, Query, QueryEngine};
 use obstacle_datagen::{query_workload, sample_entities, City, CityConfig};
+use obstacle_rtree::sync::Stopwatch;
 use obstacle_rtree::RTreeConfig;
-use std::time::Instant;
 
 #[test]
 #[ignore = "wall-clock gate; run in release mode via ci.sh"]
@@ -51,10 +51,10 @@ fn eight_thread_batch_beats_one_thread() {
 
     // Warm-up (buffers), then measure.
     let _ = engine.run_batch(&queries[..8], 1);
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let sequential = engine.run_batch(&queries, 1);
     let one = t0.elapsed();
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let parallel = engine.run_batch(&queries, 8);
     let eight = t0.elapsed();
 

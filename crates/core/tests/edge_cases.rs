@@ -33,7 +33,7 @@ fn without_obstacles_everything_is_euclidean() {
         .enumerate()
         .map(|(i, p)| (i as u64, p.dist(q)))
         .collect();
-    expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    expect.sort_by(|a, b| obstacle_geom::total_cmp(a.1, b.1));
     for (g, x) in nn.neighbors.iter().zip(expect.iter()) {
         assert!((g.1 - x.1).abs() < 1e-12);
     }

@@ -17,9 +17,10 @@
 use obstacle_core::{shortest_obstructed_path, ObstacleIndex};
 use obstacle_datagen::{City, CityConfig};
 use obstacle_geom::Point;
+use obstacle_rtree::sync::Stopwatch;
 use obstacle_rtree::RTreeConfig;
 use obstacle_visibility::EdgeBuilder;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 #[test]
 #[ignore = "wall-clock gate; run in release mode via ci.sh"]
@@ -29,7 +30,7 @@ fn corner_to_corner_2000_obstacles_under_two_seconds() {
     let a = Point::new(0.01, 0.01);
     let b = Point::new(0.99, 0.99);
 
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let path = shortest_obstructed_path(a, b, &obstacles, EdgeBuilder::RotationalSweep)
         .expect("corners of the unit square are connected");
     let elapsed = t0.elapsed();

@@ -94,9 +94,7 @@ impl PartialOrd for Block {
 }
 impl Ord for Block {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.weight
-            .partial_cmp(&other.weight)
-            .unwrap_or(Ordering::Equal)
+        obstacle_geom::total_cmp(self.weight, other.weight)
     }
 }
 
@@ -326,12 +324,29 @@ mod tests {
         // largest obstacle should dwarf the smallest.
         let c = City::generate(CityConfig::new(1000, 5));
         let mut areas: Vec<f64> = c.rects.iter().map(|r| r.area()).collect();
-        areas.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        areas.sort_by(|a, b| obstacle_geom::total_cmp(*a, *b));
         let small = areas[areas.len() / 20]; // 5th percentile
         let large = areas[areas.len() * 19 / 20]; // 95th percentile
         assert!(
             large > small * 3.0,
             "expected heavy-tailed areas, got p5 {small} vs p95 {large}"
         );
+    }
+
+    #[test]
+    fn block_heap_order_tolerates_nan_weight() {
+        // Regression for the NaN burn-down: a NaN split weight must order
+        // deterministically instead of panicking inside the BinaryHeap.
+        let r = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let nan = Block {
+            rect: r,
+            weight: f64::NAN,
+        };
+        let one = Block {
+            rect: r,
+            weight: 1.0,
+        };
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(one < nan); // NaN sorts greatest → split first, harmless
     }
 }

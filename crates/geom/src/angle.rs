@@ -67,7 +67,7 @@ pub fn angular_cmp(pivot: Point, a: Point, b: Point) -> Ordering {
             // Same half and collinear through the pivot ⇒ same ray.
             let da = pivot.dist_sq(a);
             let db = pivot.dist_sq(b);
-            da.partial_cmp(&db).unwrap()
+            crate::total_cmp(da, db)
         }
     }
 }

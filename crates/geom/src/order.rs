@@ -1,0 +1,107 @@
+//! NaN-safe total ordering for floats.
+//!
+//! The paper's Fig. 8 correctness argument assumes distance bounds are
+//! *totally ordered*: every comparison in the fixpoint loop, every
+//! priority-queue pop, and every plane-sweep status sort must agree on a
+//! single consistent order or the pruning invariants silently break. The
+//! historical idiom `a.partial_cmp(&b).unwrap()` only delivers that when
+//! no NaN ever reaches a comparator — and panics (mid-query, mid-batch)
+//! the first time one does.
+//!
+//! This module is the one sanctioned way to compare floats in the
+//! workspace. The `nan-ordering` lint pass (`crates/lint`) forbids
+//! `.partial_cmp(..)` everywhere else.
+//!
+//! # NaN policy
+//!
+//! [`total_cmp`] delegates to [`f64::total_cmp`] (IEEE 754
+//! `totalOrder`): `-NaN < -inf < … < -0.0 < +0.0 < … < +inf < +NaN`.
+//! A NaN produced by a degenerate geometry therefore sorts
+//! deterministically to one end instead of aborting the whole query.
+//! Callers that must *reject* NaN (e.g. tree keys) still use
+//! `debug_assert!(x.is_finite())` at the construction boundary; the
+//! comparator itself never panics.
+
+use std::cmp::Ordering;
+
+/// Total order on `f64`, never panics. See the module docs for the NaN
+/// policy. This is the comparator every sort / heap / status structure
+/// in the workspace goes through.
+#[inline]
+pub fn total_cmp(a: f64, b: f64) -> Ordering {
+    a.total_cmp(&b)
+}
+
+/// Sort a slice by an `f64` key under [`total_cmp`] (stable).
+///
+/// Replaces the `v.sort_by(|a, b| key(a).partial_cmp(&key(b)).unwrap())`
+/// idiom: same order for finite keys, deterministic (not panicking) when
+/// a key is NaN.
+#[inline]
+pub fn sort_by_f64_key<T, F: FnMut(&T) -> f64>(v: &mut [T], mut key: F) {
+    v.sort_by(|a, b| total_cmp(key(a), key(b)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cmp_agrees_with_partial_cmp_on_finite_inputs() {
+        let xs = [-3.5, -1.0, -0.0, 0.0, 0.25, 1.0, 1e300, f64::INFINITY];
+        for &a in &xs {
+            for &b in &xs {
+                if a == b && a.is_sign_positive() != b.is_sign_positive() {
+                    // -0.0 vs +0.0: totalOrder distinguishes, PartialOrd
+                    // does not. Any consistent answer is fine; just make
+                    // sure it is antisymmetric.
+                    assert_eq!(total_cmp(a, b), total_cmp(b, a).reverse());
+                    continue;
+                }
+                assert_eq!(total_cmp(a, b), a.partial_cmp(&b).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn nan_inputs_do_not_panic_and_sort_to_the_ends() {
+        let mut v = [1.0, f64::NAN, -2.0, -f64::NAN, 0.0, f64::INFINITY];
+        v.sort_by(|a, b| total_cmp(*a, *b));
+        assert!(v[0].is_nan() && v[0].is_sign_negative());
+        assert!(v[5].is_nan() && v[5].is_sign_positive());
+        assert_eq!(&v[1..5], &[-2.0, 0.0, 1.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn total_cmp_is_a_total_order() {
+        // Reflexive / antisymmetric / transitive over a NaN-laced set.
+        let xs = [f64::NAN, -f64::NAN, -1.0, 0.0, 2.0, f64::NEG_INFINITY];
+        for &a in &xs {
+            assert_eq!(total_cmp(a, a), Ordering::Equal);
+            for &b in &xs {
+                assert_eq!(total_cmp(a, b), total_cmp(b, a).reverse());
+                for &c in &xs {
+                    if total_cmp(a, b) == Ordering::Less && total_cmp(b, c) == Ordering::Less {
+                        assert_eq!(total_cmp(a, c), Ordering::Less);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_sort_handles_nan_keys() {
+        let mut pts = vec![(0u32, 2.0), (1, f64::NAN), (2, -1.0), (3, 0.5)];
+        sort_by_f64_key(&mut pts, |p| p.1);
+        let ids: Vec<u32> = pts.iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![2, 3, 0, 1]); // NaN key sorts last, no panic
+    }
+
+    #[test]
+    fn keyed_sort_is_stable() {
+        let mut pts = vec![(0u32, 1.0), (1, 1.0), (2, 0.0), (3, 1.0)];
+        sort_by_f64_key(&mut pts, |p| p.1);
+        let ids: Vec<u32> = pts.iter().map(|p| p.0).collect();
+        assert_eq!(ids, vec![2, 0, 1, 3]);
+    }
+}

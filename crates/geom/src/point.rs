@@ -79,13 +79,12 @@ impl Point {
     }
 
     /// Lexicographic comparison (by `x`, then `y`); a total order for
-    /// finite points, used to canonicalise polygon vertex orders in tests.
+    /// all points (NaN coordinates sort deterministically under
+    /// [`crate::total_cmp`]), used to canonicalise polygon vertex orders
+    /// in tests.
     #[inline]
     pub fn lex_cmp(&self, other: &Point) -> std::cmp::Ordering {
-        self.x
-            .partial_cmp(&other.x)
-            .unwrap()
-            .then(self.y.partial_cmp(&other.y).unwrap())
+        crate::total_cmp(self.x, other.x).then(crate::total_cmp(self.y, other.y))
     }
 }
 
@@ -176,5 +175,17 @@ mod tests {
         assert_eq!(a.lex_cmp(&b), Ordering::Less);
         assert_eq!(a.lex_cmp(&c), Ordering::Less);
         assert_eq!(a.lex_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn lex_cmp_with_nan_coordinates_is_total_not_panicking() {
+        use std::cmp::Ordering;
+        let nan = Point::new(f64::NAN, 0.0);
+        let a = Point::new(1.0, 1.0);
+        // NaN sorts to the positive end under totalOrder; the historical
+        // `partial_cmp(..).unwrap()` comparator aborted here.
+        assert_eq!(nan.lex_cmp(&nan), Ordering::Equal);
+        assert_eq!(a.lex_cmp(&nan), Ordering::Less);
+        assert_eq!(nan.lex_cmp(&a), Ordering::Greater);
     }
 }

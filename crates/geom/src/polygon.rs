@@ -265,7 +265,7 @@ impl Polygon {
                 cuts.push(t);
             }
         }
-        cuts.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        cuts.sort_by(|x, y| crate::total_cmp(*x, *y));
         cuts.dedup_by(|a, b| (*a - *b).abs() <= EPS);
         for w in cuts.windows(2) {
             let (t0, t1) = (w[0], w[1]);

@@ -1,0 +1,17 @@
+// Golden fixture: MUST pass `lock-discipline`. The shim mutex (with its
+// debug lock-order checker), scoped threads, and the Stopwatch facade.
+use obstacle_rtree::sync::{Mutex, Stopwatch};
+
+fn shard_work(shard: &Mutex<u64>) {
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            *shard.lock() += 1;
+        });
+    });
+}
+
+fn time_it(shard: &Mutex<u64>) -> std::time::Duration {
+    let t0 = Stopwatch::start();
+    shard_work(shard);
+    t0.elapsed()
+}

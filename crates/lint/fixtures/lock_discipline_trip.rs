@@ -1,0 +1,12 @@
+// Golden fixture: MUST trip `lock-discipline` three times — raw mutex,
+// free-running thread, raw clock.
+use std::sync::Mutex;
+
+fn spawn_worker() {
+    std::thread::spawn(|| {});
+}
+
+fn time_it() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

@@ -1,0 +1,9 @@
+// Golden fixture: MUST trip `nan-ordering` twice — a panicking float
+// sort and a comparator unwrap, both of which abort on the first NaN.
+fn panicking_sort(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn panicking_key(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).expect("finite")
+}

@@ -1,0 +1,20 @@
+// Golden fixture: MUST pass `no-unwrap-hot-path`. Option flow on the
+// hot path; unwraps confined to the `#[cfg(test)]` module; one
+// invariant-documented expect carrying an inline allow.
+fn frontier_pop(heap: &mut std::collections::BinaryHeap<u64>) -> Option<u64> {
+    heap.pop()
+}
+
+fn documented(v: Option<f64>) -> f64 {
+    // lint:allow(no-unwrap-hot-path): v is Some by the fixpoint invariant
+    v.expect("fixpoint invariant")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_are_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,9 @@
+// Golden fixture: MUST trip `no-unwrap-hot-path` twice when linted as a
+// core operator module — a bare unwrap and a bare expect on the hot path.
+fn frontier_pop(heap: &mut std::collections::BinaryHeap<u64>) -> u64 {
+    heap.pop().unwrap()
+}
+
+fn bound(v: Option<f64>) -> f64 {
+    v.expect("bound computed above")
+}

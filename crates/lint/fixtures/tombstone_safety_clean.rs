@@ -1,0 +1,12 @@
+// Golden fixture: MUST pass `tombstone-safety`. Live-only enumeration
+// through the sanctioned accessors; mentioning polygons() in a comment
+// or "polygons()" in a string is also fine.
+fn live_enumeration(obstacles: &ObstacleIndex) -> usize {
+    let msg = "never call .polygons() directly";
+    let _ = msg;
+    obstacles.live_polygons().count()
+}
+
+fn live_points(entities: &EntityIndex) -> usize {
+    entities.live_points().count()
+}

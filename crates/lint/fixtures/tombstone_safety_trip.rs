@@ -1,0 +1,10 @@
+// Golden fixture: MUST trip `tombstone-safety` (linted as if it were a
+// core operator module). This is the exact shape of the PR 7 bug —
+// enumerating the raw obstacle vec, which still contains tombstoned ids.
+fn stale_enumeration(obstacles: &ObstacleIndex) -> usize {
+    obstacles.polygons().len()
+}
+
+fn stale_points(entities: &EntityIndex) -> usize {
+    entities.points().len()
+}

@@ -1,0 +1,73 @@
+//! CLI for the in-tree invariant linter.
+//!
+//! ```text
+//! obstacle_lint [--root <dir>] [--list]
+//! ```
+//!
+//! Exit status: 0 when the tree is clean, 1 when any pass fires, 2 on
+//! usage or IO errors. Violations print as `file:line: [pass] message`,
+//! one per line, sorted — stable enough to diff in CI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("obstacle_lint: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list" => {
+                for p in obstacle_lint::PASS_NAMES {
+                    println!("{p}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("obstacle_lint: unknown argument '{other}' (usage: obstacle_lint [--root <dir>] [--list])");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace the binary was built from — correct
+    // both for `cargo run -p obstacle-lint` and for `./ci.sh analyze`.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    match obstacle_lint::run_workspace(&root) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "obstacle_lint: {} files clean across {} passes",
+                    report.files_scanned,
+                    obstacle_lint::PASS_NAMES.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "obstacle_lint: {} violation(s) in {} files scanned",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("obstacle_lint: IO error walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! A hand-rolled Rust lexer — just enough fidelity for invariant passes.
+//!
+//! The passes only need identifier/punctuation token streams with source
+//! lines, plus the comment list (for inline `lint:allow` annotations).
+//! Everything that could *hide* a token — string literals (including raw
+//! and byte strings), char literals, lifetimes, comments — is consumed
+//! and discarded so that `".partial_cmp("` inside a string or doc
+//! comment never trips a pass, and so that brace matching over the token
+//! stream (used to find `#[cfg(test)]` regions) is never thrown off by a
+//! `'{'` in a literal.
+
+/// What a token is: an identifier/keyword, or a single punctuation char.
+/// Literals and comments are consumed by the lexer and never tokenized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `partial_cmp`, …).
+    Ident(String),
+    /// One punctuation character (`.`, `:`, `(`, `{`, …).
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Identifier or punctuation.
+    pub kind: TokKind,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// A comment (line or block) with the 1-based line it starts on; the
+/// text includes the `//` / `/*` markers.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// Raw comment text.
+    pub text: String,
+}
+
+/// Lexer output: the token stream and the comment list.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Identifier/punctuation tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Never fails: unterminated literals simply consume
+/// to end of input (the compiler, not the linter, owns syntax errors).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut out = Lexed::default();
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comment (Rust block comments nest).
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let (start, start_line) = (i, line);
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if b[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: b[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Raw strings (r"…", r#"…"#) and byte-string prefixes (b"…",
+        // br"…", b'…'). Only commit when the prefix is actually followed
+        // by a quote — otherwise `rects`/`bound` lex as plain idents.
+        if c == 'r' || c == 'b' {
+            let mut j = i;
+            if b[j] == 'b' {
+                j += 1;
+            }
+            let raw = j < n && b[j] == 'r';
+            if raw {
+                j += 1;
+                let mut hashes = 0usize;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    j += 1;
+                    while j < n {
+                        if b[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                        } else if b[j] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && j + 1 + k < n && b[j + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            j += 1 + k;
+                            if k == hashes {
+                                break;
+                            }
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    i = j;
+                    continue;
+                }
+            } else if c == 'b' && j < n && (b[j] == '"' || b[j] == '\'') {
+                // Skip the `b`; the quote is handled on the next pass.
+                i = j;
+                continue;
+            }
+            // Plain identifier starting with r/b: fall through.
+        }
+        // String literal.
+        if c == '"' {
+            i += 1;
+            while i < n {
+                match b[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            continue;
+        }
+        // Lifetime/label vs char literal: `'a` is a lifetime unless a
+        // closing quote follows immediately (`'a'`).
+        if c == '\'' {
+            let lifetime = i + 1 < n
+                && (b[i + 1].is_alphabetic() || b[i + 1] == '_')
+                && !(i + 2 < n && b[i + 2] == '\'');
+            if lifetime {
+                i += 1;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                i += 1;
+                while i < n {
+                    match b[i] {
+                        '\\' => i += 2,
+                        '\'' => {
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            // Malformed literal; resync at the newline.
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            continue;
+        }
+        // Number literal (digits, hex, suffixes, simple floats). Junk
+        // like exponent signs splits into extra punct tokens — harmless.
+        if c.is_ascii_digit() {
+            i += 1;
+            while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident(b[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokKind::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated item (typically a
+/// `mod tests { … }`) so passes can exempt test code. Brace matching
+/// runs over the token stream, which the lexer keeps literal-free.
+pub fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_cfg_test_attr(tokens, i) {
+            i += 1;
+            continue;
+        }
+        // Skip this attribute (7 tokens) and any further `#[…]` attrs.
+        let mut j = i + 7;
+        while matches!(tokens.get(j).map(|t| &t.kind), Some(TokKind::Punct('#'))) {
+            j += 1; // at '['
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                match tokens[j].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Item header up to its body brace; a `;` first means a bodyless
+        // item (`#[cfg(test)] use …;`) — mask through the semicolon.
+        let mut k = j;
+        let mut body = None;
+        while k < tokens.len() {
+            match tokens[k].kind {
+                TokKind::Punct('{') => {
+                    body = Some(k);
+                    break;
+                }
+                TokKind::Punct(';') => break,
+                _ => k += 1,
+            }
+        }
+        let end = match body {
+            None => k,
+            Some(open) => {
+                let mut depth = 0usize;
+                let mut m = open;
+                while m < tokens.len() {
+                    match tokens[m].kind {
+                        TokKind::Punct('{') => depth += 1,
+                        TokKind::Punct('}') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                m
+            }
+        };
+        let end = end.min(tokens.len().saturating_sub(1));
+        mask[i..=end].fill(true);
+        i = end + 1;
+    }
+    mask
+}
+
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let want: [&TokKind; 7] = [
+        &TokKind::Punct('#'),
+        &TokKind::Punct('['),
+        &TokKind::Ident(String::new()), // cfg — checked below
+        &TokKind::Punct('('),
+        &TokKind::Ident(String::new()), // test — checked below
+        &TokKind::Punct(')'),
+        &TokKind::Punct(']'),
+    ];
+    if i + want.len() > tokens.len() {
+        return false;
+    }
+    for (off, w) in want.iter().enumerate() {
+        let got = &tokens[i + off].kind;
+        match (off, w, got) {
+            (2, _, TokKind::Ident(s)) if s == "cfg" => {}
+            (4, _, TokKind::Ident(s)) if s == "test" => {}
+            (2 | 4, _, _) => return false,
+            (_, TokKind::Punct(a), TokKind::Punct(b)) if a == b => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_comments_and_chars_hide_their_contents() {
+        let src = r###"
+            let a = "partial_cmp inside a string";
+            // partial_cmp inside a line comment
+            /* partial_cmp inside a /* nested */ block */
+            let b = 'x';
+            let c = r#"raw "quoted" partial_cmp"#;
+            let d = b"bytes partial_cmp";
+            real_ident();
+        "###;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|s| s == "partial_cmp"), "{ids:?}");
+        assert!(ids.iter().any(|s| s == "real_ident"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_start_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'b';");
+        assert!(ids.iter().any(|s| s == "str"));
+        // 'b' is a char literal, not a lifetime then a stray quote.
+        assert!(!ids.iter().any(|s| s == "b"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"line\n\nspanning\";\nvictim();";
+        let lexed = lex(src);
+        let v = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokKind::Ident("victim".into()))
+            .unwrap();
+        assert_eq!(v.line, 4);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_masked() {
+        let src = r#"
+            fn live() { hot(); }
+            #[cfg(test)]
+            mod tests {
+                fn inner() { cold(); }
+            }
+            fn live2() { hot2(); }
+        "#;
+        let lexed = lex(src);
+        let mask = test_region_mask(&lexed.tokens);
+        for (t, &m) in lexed.tokens.iter().zip(&mask) {
+            if let TokKind::Ident(s) = &t.kind {
+                match s.as_str() {
+                    "cold" | "inner" | "tests" => assert!(m, "{s} should be test code"),
+                    "hot" | "hot2" | "live" | "live2" => {
+                        assert!(!m, "{s} should be live code")
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}

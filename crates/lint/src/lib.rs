@@ -1,0 +1,67 @@
+//! `obstacle_lint` — the workspace's in-tree invariant linter.
+//!
+//! Project invariants that used to live only in reviewers' heads are
+//! enforced here as named, allow-listable passes over a hand-rolled
+//! lexer (no registry dependencies, per the offline policy):
+//!
+//! | pass | invariant |
+//! |------|-----------|
+//! | `tombstone-safety` | raw `points()`/`polygons()` enumeration is forbidden outside the index module — the PR 7 stale-id bug class |
+//! | `nan-ordering` | float comparison goes through `obstacle_geom::total_cmp`, never `.partial_cmp(..).unwrap()` |
+//! | `no-unwrap-hot-path` | `unwrap()`/`expect()` are forbidden in operator hot paths outside tests |
+//! | `lock-discipline` | raw `std::sync::Mutex`/`thread::spawn`/`Instant::now` only in the `sync` shim and the bench crate |
+//!
+//! The static passes pair with the *dynamic* lock-order checker inside
+//! `obstacle_rtree::sync` (debug builds): held-lock stacks feeding an
+//! acquisition-order graph that panics on a lock-order cycle.
+//!
+//! Run it via the `obstacle_lint` binary (wired into `./ci.sh analyze`)
+//! or the library API: [`lint_source`] for one buffer, [`run_workspace`]
+//! for the whole tree. The golden-fixture suite under `fixtures/` pins
+//! one tripping and one passing input per pass, and a self-check test
+//! asserts the live workspace is lint-clean.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod passes;
+mod walk;
+
+pub use passes::{
+    Violation, LOCK_DISCIPLINE, NAN_ORDERING, NO_UNWRAP_HOT_PATH, PASS_NAMES, TOMBSTONE_SAFETY,
+};
+
+use std::path::Path;
+
+/// Lints one source buffer as if it lived at the workspace-relative path
+/// `file` (the allow-lists key on that path).
+pub fn lint_source(file: &str, src: &str) -> Vec<Violation> {
+    let lexed = lexer::lex(src);
+    let mask = lexer::test_region_mask(&lexed.tokens);
+    passes::run_passes(file, &lexed.tokens, &lexed.comments, &mask)
+}
+
+/// A whole-workspace lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+    /// Every violation, sorted by `(file, line, pass)`.
+    pub violations: Vec<Violation>,
+}
+
+/// Lints every `.rs` file under `root` (skipping build artifacts and the
+/// lint fixtures, which violate the rules on purpose).
+pub fn run_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = walk::rust_files(root)?;
+    let mut violations = Vec::new();
+    for (abs, rel) in &files {
+        let src = std::fs::read_to_string(abs)?;
+        violations.extend(lint_source(rel, &src));
+    }
+    violations.sort();
+    Ok(Report {
+        files_scanned: files.len(),
+        violations,
+    })
+}

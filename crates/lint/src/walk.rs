@@ -1,0 +1,56 @@
+//! Workspace file walker: every `.rs` file, no build artifacts, no
+//! lint fixtures (they violate the rules on purpose).
+
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into, wherever they appear.
+const SKIP_DIRS: &[&str] = &["target", ".git"];
+
+/// Workspace-relative path prefixes excluded from linting.
+const SKIP_PREFIXES: &[&str] = &["crates/lint/fixtures"];
+
+/// Collects every lintable `.rs` file under `root`, returned as
+/// `(absolute path, workspace-relative '/'-separated path)` sorted by
+/// relative path for deterministic reports.
+pub fn rust_files(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ty = entry.file_type()?;
+            if ty.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                let rel = rel_path(root, &path);
+                if SKIP_PREFIXES
+                    .iter()
+                    .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if ty.is_file() && name.ends_with(".rs") {
+                let rel = rel_path(root, &path);
+                if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                    continue;
+                }
+                out.push((path, rel));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,28 @@
+//! Self-check: the live workspace this linter ships in must be
+//! lint-clean. This is the regression gate — any future reintroduction
+//! of a raw accessor, panicking float sort, hot-path unwrap, or
+//! undisciplined lock/clock fails this test (and `ci.sh analyze`).
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = obstacle_lint::run_workspace(&root).expect("workspace walk failed");
+    assert!(
+        report.files_scanned > 30,
+        "walker found only {} files — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.violations.is_empty(),
+        "workspace has {} lint violation(s):\n{}",
+        report.violations.len(),
+        report
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

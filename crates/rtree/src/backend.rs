@@ -372,6 +372,11 @@ impl AnyTree {
         let generation = t.generation + 1;
         *t = PackedRTree::build(*t.config(), items);
         t.generation = generation;
+        debug_assert_eq!(
+            t.validate(),
+            Ok(()),
+            "apply_edits re-pack produced an invalid tree"
+        );
     }
 
     /// Incremental nearest-neighbour iterator from `query` (\[HS99\] on

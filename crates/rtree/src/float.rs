@@ -7,7 +7,7 @@ use std::cmp::Ordering;
 /// All distances flowing through the query priority queues are finite and
 /// non-NaN by construction (they are Euclidean distances of finite
 /// coordinates); the wrapper asserts that in debug builds and falls back to
-/// a total order treating NaN as greatest otherwise.
+/// the IEEE `totalOrder` of [`obstacle_geom::total_cmp`] otherwise.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OrdF64(pub f64);
 
@@ -32,16 +32,9 @@ impl PartialOrd for OrdF64 {
 impl Ord for OrdF64 {
     #[inline]
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or_else(|| {
-            // NaN-tolerant total order (NaN sorts last) — unreachable in
-            // practice, see type docs.
-            match (self.0.is_nan(), other.0.is_nan()) {
-                (true, true) => Ordering::Equal,
-                (true, false) => Ordering::Greater,
-                (false, true) => Ordering::Less,
-                (false, false) => unreachable!(),
-            }
-        })
+        // IEEE totalOrder — NaN keys (unreachable in practice, see type
+        // docs) sort deterministically instead of panicking.
+        obstacle_geom::total_cmp(self.0, other.0)
     }
 }
 
@@ -67,5 +60,20 @@ mod tests {
         assert_eq!(h.pop().unwrap().0 .0, 1.0);
         assert_eq!(h.pop().unwrap().0 .0, 2.0);
         assert_eq!(h.pop().unwrap().0 .0, 3.0);
+    }
+
+    #[test]
+    fn nan_keys_order_deterministically_without_panicking() {
+        // Regression for the NaN burn-down: a NaN key reaching the heap
+        // (bypassing `new`'s debug assert) must not abort the query.
+        let nan = OrdF64(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(OrdF64(1.0) < nan);
+        assert!(OrdF64(f64::INFINITY) < nan);
+        let mut v = [nan, OrdF64(2.0), OrdF64(-1.0)];
+        v.sort();
+        assert_eq!(v[0].0, -1.0);
+        assert_eq!(v[1].0, 2.0);
+        assert!(v[2].0.is_nan());
     }
 }

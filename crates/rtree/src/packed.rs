@@ -161,7 +161,7 @@ impl PackedRTree {
             child_start = child_end;
         }
 
-        PackedRTree {
+        let tree = PackedRTree {
             config,
             words,
             num_items: n,
@@ -169,7 +169,9 @@ impl PackedRTree {
             level_ends: level_ends.into_boxed_slice(),
             visits: AtomicU64::new(0),
             generation: 0,
-        }
+        };
+        debug_assert_eq!(tree.validate(), Ok(()), "freshly packed tree must validate");
+        tree
     }
 
     // -----------------------------------------------------------------
@@ -437,6 +439,137 @@ impl PackedRTree {
             }
         }
         stats
+    }
+
+    // -----------------------------------------------------------------
+    // Structural validation
+    // -----------------------------------------------------------------
+
+    /// Deep structural check of the packed image. Verifies, in order:
+    ///
+    /// * **header sanity** — fan-out ≥ 2, the level layout matches a
+    ///   recomputation from `(num_items, node_size)`, and the word buffer
+    ///   has exactly `slots × (BOX_WORDS + 1)` words;
+    /// * **level monotonicity** — each node level is `ceil(below /
+    ///   node_size)` wide, shrinking to a single root (implied by the
+    ///   layout recomputation, asserted explicitly for the root);
+    /// * **item boxes** — every item MBR is finite and non-inverted;
+    /// * **child coverage and index bounds** — each node's child pointer
+    ///   lands exactly where the left-to-right pack put it, ranges tile
+    ///   the level below with no gap, overlap, or out-of-bounds slot;
+    /// * **child MBR containment** — every node box is *bit-exactly* the
+    ///   union of its children's boxes (the build computes it that way,
+    ///   so any drift is corruption, not rounding).
+    ///
+    /// Runs in `O(slots)` and is called via `debug_assert!` after every
+    /// build and every `AnyTree::apply_edits` re-pack; a corrupted image
+    /// yields a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.node_size < 2 {
+            return Err(format!("fan-out {} < 2", self.node_size));
+        }
+        let counts = level_counts(self.num_items, self.node_size);
+        let mut expect_ends = Vec::with_capacity(counts.len());
+        let mut total = 0usize;
+        for c in &counts {
+            total += c;
+            expect_ends.push(total);
+        }
+        if *self.level_ends != *expect_ends.as_slice() {
+            return Err(format!(
+                "level layout {:?} does not match recomputation {:?} for {} items at fan-out {}",
+                self.level_ends, expect_ends, self.num_items, self.node_size
+            ));
+        }
+        if self.words.len() != total * (BOX_WORDS + 1) {
+            return Err(format!(
+                "word buffer holds {} words, layout needs {}",
+                self.words.len(),
+                total * (BOX_WORDS + 1)
+            ));
+        }
+        if self.num_items == 0 {
+            return Ok(());
+        }
+        if counts.last() != Some(&1) {
+            return Err(format!("top level has {:?} slots, want 1", counts.last()));
+        }
+        for slot in 0..self.num_items {
+            // Read the raw words: `slot_box` round-trips through
+            // `Rect::new`, whose f64::min/max would silently launder a
+            // NaN coordinate into a finite box.
+            let w = slot * BOX_WORDS;
+            let coords = [
+                f64::from_bits(self.words[w]),
+                f64::from_bits(self.words[w + 1]),
+                f64::from_bits(self.words[w + 2]),
+                f64::from_bits(self.words[w + 3]),
+            ];
+            if coords.iter().any(|v| !v.is_finite()) {
+                return Err(format!("item slot {slot} has non-finite box {coords:?}"));
+            }
+            if coords[0] > coords[2] || coords[1] > coords[3] {
+                return Err(format!("item slot {slot} has inverted box {coords:?}"));
+            }
+        }
+        for level in 1..self.level_ends.len() {
+            let child_lo = if level >= 2 {
+                self.level_ends[level - 2]
+            } else {
+                0
+            };
+            let child_hi = self.level_ends[level - 1];
+            let mut expect_first = child_lo;
+            for slot in self.level_ends[level - 1]..self.level_ends[level] {
+                let first = self.slot_index(slot) as usize;
+                if first != expect_first {
+                    return Err(format!(
+                        "node slot {slot} (level {level}) points at child {first}, \
+                         left-to-right packing requires {expect_first}"
+                    ));
+                }
+                let children = first..(first + self.node_size).min(child_hi);
+                if children.is_empty() {
+                    return Err(format!("node slot {slot} (level {level}) has no children"));
+                }
+                let parent = self.slot_box(slot);
+                let mut union = Rect::empty();
+                for c in children.clone() {
+                    let cb = self.slot_box(c);
+                    if cb.min.x < parent.min.x
+                        || cb.min.y < parent.min.y
+                        || cb.max.x > parent.max.x
+                        || cb.max.y > parent.max.y
+                    {
+                        return Err(format!(
+                            "child slot {c} box {cb:?} escapes parent slot {slot} box {parent:?}"
+                        ));
+                    }
+                    union = union.union(&cb);
+                }
+                let pw = slot * BOX_WORDS;
+                let union_bits = [
+                    union.min.x.to_bits(),
+                    union.min.y.to_bits(),
+                    union.max.x.to_bits(),
+                    union.max.y.to_bits(),
+                ];
+                if self.words[pw..pw + BOX_WORDS] != union_bits {
+                    return Err(format!(
+                        "node slot {slot} box {parent:?} is not the exact union {union:?} \
+                         of its children"
+                    ));
+                }
+                expect_first = children.end;
+            }
+            if expect_first != child_hi {
+                return Err(format!(
+                    "level {level} covers children only up to slot {expect_first}, \
+                     level below ends at {child_hi}"
+                ));
+            }
+        }
+        Ok(())
     }
 
     // -----------------------------------------------------------------
@@ -782,5 +915,50 @@ mod tests {
         // Hilbert packing fills every node except possibly the last per
         // level, so occupancy is near 1.
         assert!(s.leaves().occupancy(4) > 0.9);
+    }
+
+    #[test]
+    fn validate_accepts_fresh_and_roundtripped_packs() {
+        for n in [0usize, 1, 4, 17, 321] {
+            let t = PackedRTree::build(packed_config(4), sample_items(n));
+            assert_eq!(t.validate(), Ok(()), "fresh pack of {n} items");
+            let back = PackedRTree::from_bytes(&t.to_bytes()).unwrap();
+            assert_eq!(back.validate(), Ok(()), "roundtripped pack of {n} items");
+        }
+    }
+
+    #[test]
+    fn validate_detects_corrupted_words_and_layout() {
+        // Shrink the root box: its children escape it.
+        let mut t = PackedRTree::build(packed_config(4), sample_items(50));
+        let root = t.total_slots() - 1;
+        t.words[root * BOX_WORDS + 2] = 0.0f64.to_bits(); // max.x := 0
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("escapes parent"), "got: {err}");
+
+        // Point a node at the wrong child slot: packing contiguity broken.
+        let mut t = PackedRTree::build(packed_config(4), sample_items(50));
+        let first_node = t.num_items;
+        let idx = t.total_slots() * BOX_WORDS + first_node;
+        t.words[idx] += 1;
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("left-to-right packing"), "got: {err}");
+
+        // NaN a leaf item's coordinate: non-finite box.
+        let mut t = PackedRTree::build(packed_config(4), sample_items(50));
+        t.words[0] = f64::NAN.to_bits();
+        let err = t.validate().unwrap_err();
+        assert!(
+            err.contains("non-finite") || err.contains("escapes parent"),
+            "got: {err}"
+        );
+
+        // Tamper with the recorded level layout: header sanity.
+        let mut t = PackedRTree::build(packed_config(4), sample_items(50));
+        let mut ends = t.level_ends.to_vec();
+        ends[0] += 1;
+        t.level_ends = ends.into_boxed_slice();
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("level layout"), "got: {err}");
     }
 }

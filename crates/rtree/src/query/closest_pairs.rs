@@ -226,7 +226,7 @@ mod tests {
                 d.push(Point::new(ax, ay).dist(Point::new(bx, by)));
             }
         }
-        d.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        d.sort_by(|x, y| obstacle_geom::total_cmp(*x, *y));
         d
     }
 

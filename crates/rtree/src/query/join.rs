@@ -85,8 +85,8 @@ fn join_pages<L: TreeBackend, R: TreeBackend>(
 fn qualifying_pairs(ls: &[Entry], rs: &[Entry], e: f64) -> Vec<(NodeRef, NodeRef)> {
     let mut l: Vec<&Entry> = ls.iter().collect();
     let mut r: Vec<&Entry> = rs.iter().collect();
-    l.sort_by(|a, b| a.mbr.min.x.partial_cmp(&b.mbr.min.x).unwrap());
-    r.sort_by(|a, b| a.mbr.min.x.partial_cmp(&b.mbr.min.x).unwrap());
+    l.sort_by(|a, b| obstacle_geom::total_cmp(a.mbr.min.x, b.mbr.min.x));
+    r.sort_by(|a, b| obstacle_geom::total_cmp(a.mbr.min.x, b.mbr.min.x));
     let mut out = Vec::new();
     let mut start = 0usize;
     for le in &l {
@@ -110,8 +110,8 @@ fn qualifying_pairs(ls: &[Entry], rs: &[Entry], e: f64) -> Vec<(NodeRef, NodeRef
 fn sweep_leaf_pairs(ls: &[Entry], rs: &[Entry], e: f64, out: &mut Vec<(Item, Item)>) {
     let mut l: Vec<&Entry> = ls.iter().collect();
     let mut r: Vec<&Entry> = rs.iter().collect();
-    l.sort_by(|a, b| a.mbr.min.x.partial_cmp(&b.mbr.min.x).unwrap());
-    r.sort_by(|a, b| a.mbr.min.x.partial_cmp(&b.mbr.min.x).unwrap());
+    l.sort_by(|a, b| obstacle_geom::total_cmp(a.mbr.min.x, b.mbr.min.x));
+    r.sort_by(|a, b| obstacle_geom::total_cmp(a.mbr.min.x, b.mbr.min.x));
     let mut start = 0usize;
     for le in &l {
         while start < r.len() && r[start].mbr.max.x < le.mbr.min.x - e {

@@ -210,7 +210,7 @@ mod tests {
                 (i, p.dist(q))
             })
             .collect();
-        expect.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        expect.sort_by(|a, b| obstacle_geom::total_cmp(a.1, b.1));
         for (g, e) in got.iter().zip(expect.iter()) {
             assert!((g.1 - e.1).abs() < 1e-12);
         }

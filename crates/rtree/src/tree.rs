@@ -306,7 +306,7 @@ impl RTree {
             order.sort_by(|&a, &b| {
                 let ea = node.entries[a].mbr.enlargement(mbr);
                 let eb = node.entries[b].mbr.enlargement(mbr);
-                ea.partial_cmp(&eb).unwrap()
+                obstacle_geom::total_cmp(ea, eb)
             });
             order.truncate(CHOOSE_SUBTREE_P);
         }
@@ -341,7 +341,7 @@ impl RTree {
         node.entries.sort_by(|a, b| {
             let da = a.mbr.center().dist_sq(center);
             let db = b.mbr.center().dist_sq(center);
-            da.partial_cmp(&db).unwrap()
+            obstacle_geom::total_cmp(da, db)
         });
         let keep = node.len() - p;
         let mut victims = node.entries.split_off(keep);
@@ -499,10 +499,10 @@ impl RTree {
         let node_count = n.div_ceil(cap);
         let slices = (node_count as f64).sqrt().ceil() as usize;
         let slice_len = slices * cap;
-        entries.sort_by(|a, b| a.mbr.center().x.partial_cmp(&b.mbr.center().x).unwrap());
+        entries.sort_by(|a, b| obstacle_geom::total_cmp(a.mbr.center().x, b.mbr.center().x));
         let mut parents = Vec::with_capacity(node_count);
         for slab in entries.chunks_mut(slice_len.max(1)) {
-            slab.sort_by(|a, b| a.mbr.center().y.partial_cmp(&b.mbr.center().y).unwrap());
+            slab.sort_by(|a, b| obstacle_geom::total_cmp(a.mbr.center().y, b.mbr.center().y));
             for chunk in slab.chunks(cap) {
                 parents.push(self.pack_node(chunk, level));
             }
@@ -761,7 +761,7 @@ fn rstar_split(entries: Vec<Entry>, min_fill: usize) -> (Vec<Entry>, Vec<Entry>)
             v.sort_by(|a, b| {
                 let ka = sort_key(&a.mbr, axis, bound);
                 let kb = sort_key(&b.mbr, axis, bound);
-                ka.partial_cmp(&kb).unwrap()
+                obstacle_geom::total_cmp(ka.0, kb.0).then(obstacle_geom::total_cmp(ka.1, kb.1))
             });
             orderings.push(v);
         }

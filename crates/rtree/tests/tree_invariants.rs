@@ -274,7 +274,7 @@ fn random_build_query_delete_cycle() {
         let k = (n / 3).max(1);
         let knn: Vec<f64> = t.k_nearest(q, k).iter().map(|(_, d)| *d).collect();
         let mut dists: Vec<f64> = points.iter().map(|p| p.dist(q)).collect();
-        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists.sort_by(|a, b| obstacle_geom::total_cmp(*a, *b));
         for (knn_d, scan_d) in knn.iter().zip(dists.iter()) {
             assert!((knn_d - scan_d).abs() < 1e-12);
         }

@@ -55,7 +55,7 @@ impl PartialOrd for D {
 }
 impl Ord for D {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN A* key")
+        obstacle_geom::total_cmp(self.0, other.0)
     }
 }
 
@@ -966,11 +966,16 @@ impl BboxTree {
                 .collect()
         };
         let leaf_mbrs: Vec<Rect> = ids.iter().map(|&i| rects[i as usize]).collect();
-        let mut levels = vec![group(&leaf_mbrs)];
-        while levels.last().unwrap().len() > 1 {
-            let next = group(levels.last().unwrap());
-            levels.push(next);
+        // Accumulate bottom-up in `top` so no level is ever re-fetched
+        // from the vec (Option-free; `top` is non-empty by construction).
+        let mut levels = Vec::new();
+        let mut top = group(&leaf_mbrs);
+        while top.len() > 1 {
+            let next = group(&top);
+            levels.push(top);
+            top = next;
         }
+        levels.push(top);
         BboxTree {
             leaf_id: ids,
             levels,

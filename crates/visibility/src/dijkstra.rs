@@ -26,7 +26,7 @@ impl PartialOrd for D {
 }
 impl Ord for D {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN distance")
+        obstacle_geom::total_cmp(self.0, other.0)
     }
 }
 
@@ -255,5 +255,18 @@ mod tests {
             [(Point::new(0.0, 0.0), 0), (Point::new(3.0, 4.0), 1)],
         );
         assert_eq!(dijkstra_distance(&g, wps[0], wps[1]), Some(5.0));
+    }
+
+    #[test]
+    fn heap_key_tolerates_nan_without_panicking() {
+        // Regression for the NaN burn-down: a NaN distance key must order
+        // deterministically (totalOrder) instead of aborting the search.
+        let mut h = std::collections::BinaryHeap::new();
+        for v in [f64::NAN, 1.0, 0.5] {
+            h.push(std::cmp::Reverse(D(v)));
+        }
+        assert_eq!(h.pop().unwrap().0 .0, 0.5);
+        assert_eq!(h.pop().unwrap().0 .0, 1.0);
+        assert!(h.pop().unwrap().0 .0.is_nan());
     }
 }

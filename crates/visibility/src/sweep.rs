@@ -273,9 +273,10 @@ pub fn visible_set_prepared(
     }
     let init_dir = Point::new(pivot.x + 1.0, pivot.y);
     status.sort_by(|&x, &y| {
-        ray_t(pivot, init_dir, &edges[x])
-            .partial_cmp(&ray_t(pivot, init_dir, &edges[y]))
-            .unwrap()
+        obstacle_geom::total_cmp(
+            ray_t(pivot, init_dir, &edges[x]),
+            ray_t(pivot, init_dir, &edges[y]),
+        )
     });
 
     // ---- Sweep.
@@ -601,9 +602,10 @@ pub fn visible_set_windowed(
         }
     }
     status.sort_by(|&x, &y| {
-        ray_t(pivot, init_dir, &edges[x])
-            .partial_cmp(&ray_t(pivot, init_dir, &edges[y]))
-            .unwrap()
+        obstacle_geom::total_cmp(
+            ray_t(pivot, init_dir, &edges[x]),
+            ray_t(pivot, init_dir, &edges[y]),
+        )
     });
 
     // Openness test: is the nearest properly-crossing edge along the ray

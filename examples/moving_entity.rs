@@ -11,11 +11,11 @@
 //! cargo run --release --example moving_entity
 //! ```
 
+use obstacle_rtree::sync::Stopwatch;
 use obstacle_suite::datagen::{sample_entities, City, CityConfig};
 use obstacle_suite::geom::Point;
 use obstacle_suite::queries::{EntityIndex, ObstacleIndex, QueryEngine};
 use obstacle_suite::rtree::RTreeConfig;
-use std::time::Instant;
 
 fn main() {
     let city = City::generate(CityConfig::new(1_200, 5));
@@ -31,7 +31,7 @@ fn main() {
 
     let mut prev: Vec<u64> = Vec::new();
     let mut changes = 0;
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     println!("courier route: {start} -> {end} in {steps} steps, k = 3\n");
     for i in 0..=steps {
         let t = i as f64 / steps as f64;

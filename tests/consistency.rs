@@ -150,7 +150,7 @@ fn closest_pairs_agree_with_join_at_matching_range() {
     let join = distance_join(&s, &t, &w.obstacles, kth + 1e-9, EngineOptions::default());
     assert!(join.pairs.len() >= k);
     let mut join_d: Vec<f64> = join.pairs.iter().map(|(_, _, d)| *d).collect();
-    join_d.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    join_d.sort_by(|a, b| obstacle_geom::total_cmp(*a, *b));
     for (i, (_, _, d)) in cp.pairs.iter().enumerate() {
         assert!((d - join_d[i]).abs() < TOL, "pair {i}");
     }
