@@ -12,12 +12,20 @@
 #   updates interleaved update/query oracle suite: edits through
 #           apply_updates must never leave a stale scene — every answer
 #           bit-identical to a fresh-built engine (release)
+#   serve   resident-service gate (release): the soak suite (concurrent
+#           submitters x apply_updates on both backends, every answer
+#           bit-identical to a sequential replay; exact admission
+#           counts; ticket cancellation) plus an obstacle_cli serve
+#           smoke run over both the stdin protocol and the open-loop
+#           generator
 #   bench   performance trajectory: runs the batch sweeps once per
 #           storage backend (paged vs packed A/B), plus the interleaved
-#           update/query sweep, writes BENCH_PR7.json,
+#           update/query sweep and the open-loop service saturation
+#           sweep, writes BENCH_PR9.json,
 #           diffs it per backend against the previous BENCH_*.json
-#           artifact (q/s regression beyond tolerance fails), and
-#           enforces the path-ladder no-regression budgets (release)
+#           artifact (q/s regression beyond tolerance or a service-p99
+#           blowout fails), and enforces the path-ladder no-regression
+#           budgets (release)
 #   analyze in-tree static analysis: obstacle_lint must report the
 #           workspace clean across all four invariant passes, and the
 #           debug lock-order-cycle / held-lock-across-sweep checker
@@ -33,7 +41,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(build test path batch updates bench analyze sanitize fmt clippy)
+ALL_STAGES=(build test path batch updates serve bench analyze sanitize fmt clippy)
 STAGES=("$@")
 if [ ${#STAGES[@]} -eq 0 ]; then
   STAGES=("${ALL_STAGES[@]}")
@@ -75,6 +83,33 @@ stage_updates() {
   cargo test -q --offline --release -p obstacle-core --test updates_interleaved
 }
 
+stage_serve() {
+  # The resident QueryService: soak + admission + cancellation suite in
+  # release (the soak races submitter threads against edit batches), then
+  # an end-to-end CLI smoke: the stdin line protocol must answer every
+  # line, and the open-loop generator must sustain an offered load with
+  # the bounded queue without wedging.
+  cargo test -q --offline --release -p obstacle-core --test service
+  local out
+  out="$(printf 'nn 0.5 0.5 3\nrange 0.25 0.25 0.1\npath 0.1 0.1 0.9 0.9\n' | \
+    cargo run -q --release --offline -p obstacle-bench --bin obstacle_cli -- \
+    serve --obstacles 512 --entities 256 --threads 2 --depth 8)"
+  echo "$out"
+  echo "$out" | grep -q "answered in" || {
+    echo "serve: stdin protocol produced no answers" >&2; exit 1;
+  }
+  echo "$out" | grep -q "3 submitted, 3 answered" || {
+    echo "serve: expected 3/3 answered over stdin" >&2; exit 1;
+  }
+  out="$(cargo run -q --release --offline -p obstacle-bench --bin obstacle_cli -- \
+    serve --obstacles 512 --entities 256 --threads 1 --depth 4 \
+    --admission shed --generate 32 --rate 200)"
+  echo "$out"
+  echo "$out" | grep -q "completions/sec end to end" || {
+    echo "serve: open-loop generator did not complete" >&2; exit 1;
+  }
+}
+
 stage_bench() {
   # Records the per-PR performance trajectory (throughput + buffer hit
   # rates at 1/2/4/8 threads, InputOrder-vs-Hilbert scheduling on a
@@ -82,7 +117,7 @@ stage_bench() {
   # times) as machine-readable JSON,
   # then fails on a q/s regression against the previous BENCH_*.json
   # artifact (trajectory history) or a path-ladder budget blowout.
-  local artifact="${OBSTACLE_TRAJECTORY_OUT:-BENCH_PR7.json}"
+  local artifact="${OBSTACLE_TRAJECTORY_OUT:-BENCH_PR9.json}"
   cargo run -q --release --offline -p obstacle-bench --bin bench_trajectory
   if command -v python3 >/dev/null 2>&1; then
     python3 -c "import json, sys; json.load(open(sys.argv[1]))" "$artifact"
@@ -133,7 +168,7 @@ stage_clippy() {
 # must not cost a full release build first.
 for s in "${STAGES[@]}"; do
   case "$s" in
-    build|test|path|batch|updates|bench|analyze|sanitize|fmt|clippy) ;;
+    build|test|path|batch|updates|serve|bench|analyze|sanitize|fmt|clippy) ;;
     *)
       echo "ci.sh: unknown stage '$s' (stages: ${ALL_STAGES[*]})" >&2
       exit 2

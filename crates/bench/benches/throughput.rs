@@ -56,7 +56,10 @@ fn main() {
 
     // Warm-up: populate LRU buffers and lazy-scene-independent caches so
     // the 1-thread baseline is not penalised by cold buffers.
-    let _ = engine.run_batch(&queries[..queries.len().min(16)], 1);
+    let _ = engine
+        .batch(&queries[..queries.len().min(16)])
+        .threads(1)
+        .collect();
 
     let counts = [1usize, 2, 4, 8];
     let (points, _answers) = thread_sweep(&engine, &queries, &counts, true);

@@ -57,7 +57,7 @@ pub fn thread_sweep(
     let mut out = Vec::with_capacity(thread_counts.len());
     for &threads in thread_counts {
         let t0 = Instant::now();
-        let answers = engine.run_batch(queries, threads);
+        let (answers, _) = engine.batch(queries).threads(threads).collect();
         let elapsed = t0.elapsed();
         if verify {
             match &baseline {

@@ -7,11 +7,14 @@
 //! backends) — plus the interleaved update/query sweep (edit batches
 //! through `apply_updates` alternating with point queries over one
 //! long-lived scene cache, every round verified against a fresh-built
-//! engine) and the long-path ladder;
-//! writes `BENCH_PR7.json`; then **diffs against the previous
+//! engine), the open-loop service saturation sweep (offered-load ladder
+//! through the resident `QueryService`, p50/p90/p99 time-to-answer and
+//! shed counts per backend), and the long-path ladder;
+//! writes `BENCH_PR9.json`; then **diffs against the previous
 //! `BENCH_*.json` artifact** and exits non-zero on a q/s regression
-//! beyond tolerance or a ladder-budget blowout — the no-regression gates
-//! `ci.sh bench` enforces.
+//! beyond tolerance, a service p99 blowout beyond its own tolerance, or
+//! a ladder-budget blowout — the no-regression gates `ci.sh bench`
+//! enforces.
 //!
 //! ```sh
 //! cargo run --release -p obstacle-bench --bin bench_trajectory
@@ -20,11 +23,13 @@
 //! ```
 //!
 //! Knobs (all env vars): `OBSTACLE_TRAJECTORY_OUT` (output path, default
-//! `BENCH_PR7.json`), `_OBSTACLES`, `_ENTITIES`, `_QUERIES`, `_SHARDS`,
-//! `_BASELINE` (previous artifact; default: the highest-numbered other
-//! `BENCH_PR*.json` in the working directory), `_QPS_TOLERANCE`
-//! (fractional q/s regression allowance, default 0.4 — generous because
-//! the 1-core CI container is noisy).
+//! `BENCH_PR9.json`), `_OBSTACLES`, `_ENTITIES`, `_QUERIES`, `_SHARDS`,
+//! `_SERVICE_QUERIES`, `_BASELINE` (previous artifact; default: the
+//! highest-numbered other `BENCH_PR*.json` in the working directory),
+//! `_QPS_TOLERANCE` (fractional q/s regression allowance, default 0.4 —
+//! generous because the 1-core CI container is noisy), `_P99_TOLERANCE`
+//! (fractional service-p99 allowance, default 1.0: fail only when tail
+//! latency more than doubles — queue-wait tails swing wider than q/s).
 
 use obstacle_bench::trajectory::{run, TrajectoryConfig};
 use std::path::PathBuf;
@@ -75,14 +80,22 @@ fn main() {
         entities: env_usize("OBSTACLE_TRAJECTORY_ENTITIES", defaults.entities),
         queries: env_usize("OBSTACLE_TRAJECTORY_QUERIES", defaults.queries),
         buffer_shards: env_usize("OBSTACLE_TRAJECTORY_SHARDS", defaults.buffer_shards),
+        service_queries: env_usize(
+            "OBSTACLE_TRAJECTORY_SERVICE_QUERIES",
+            defaults.service_queries,
+        ),
         ..defaults
     };
     let out =
-        std::env::var("OBSTACLE_TRAJECTORY_OUT").unwrap_or_else(|_| "BENCH_PR7.json".to_string());
+        std::env::var("OBSTACLE_TRAJECTORY_OUT").unwrap_or_else(|_| "BENCH_PR9.json".to_string());
     let tolerance = std::env::var("OBSTACLE_TRAJECTORY_QPS_TOLERANCE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(0.4);
+    let p99_tolerance = std::env::var("OBSTACLE_TRAJECTORY_P99_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(1.0);
 
     println!(
         "bench_trajectory: |O| = {}, |P| = {}, {} queries, {} buffer shard(s)",
@@ -132,6 +145,21 @@ fn main() {
             p.scene_resets
         );
     }
+    for p in &report.service {
+        println!(
+            "  [{:>6}] service @ {:>4} load: offered {:>7.1} q/s  achieved {:>7.1} q/s  \
+             answered {:>3} / shed {:>3}  p50 {:>8.2} ms  p90 {:>8.2} ms  p99 {:>8.2} ms",
+            p.backend,
+            p.load,
+            p.offered_qps,
+            p.achieved_qps,
+            p.answered,
+            p.shed,
+            p.p50_ms,
+            p.p90_ms,
+            p.p99_ms
+        );
+    }
     for r in &report.ladder {
         println!(
             "  path |O| {:>6}: {:>6.2} s (budget {:.1} s)  d = {:.6}",
@@ -148,7 +176,7 @@ fn main() {
     match find_baseline(&out) {
         Some(path) => match std::fs::read_to_string(&path) {
             Ok(baseline) => {
-                let diff = report.diff_against_baseline(&baseline, tolerance);
+                let diff = report.diff_against_baseline(&baseline, tolerance, p99_tolerance);
                 println!(
                     "bench_trajectory: baseline {} ({}comparable)",
                     path.display(),

@@ -14,6 +14,8 @@
 //! obstacle_cli batch  [--queries N] [--threads T] [--verify] [--stream]
 //!                     [--schedule input|hilbert] [--clusters N]
 //! obstacle_cli update [--rounds R] [--edits N] [--queries Q] [--verify]
+//! obstacle_cli serve  [--depth N] [--admission block|reject|shed]
+//!                     [--generate N --rate R] [--listen HOST:PORT]
 //! ```
 //!
 //! `--shards N` stripes each tree's LRU buffer pool across `N` locks
@@ -26,26 +28,105 @@
 //! finish them instead of waiting for the whole batch, and
 //! `--clusters N` draws the workload around `N` hotspots (the
 //! obstructed-clustering access pattern) instead of scattering it.
+//!
+//! `serve` starts a resident [`QueryService`]: `--threads` workers stay
+//! up for the whole session, stdin lines (`nn X Y [K]`, `range X Y E`,
+//! `path X1 Y1 X2 Y2`) are submitted as they arrive and answered as
+//! workers finish, the queue is bounded at `--depth` with the
+//! `--admission` policy deciding what happens when it fills. `--generate
+//! N --rate R` replaces stdin with an open-loop Poisson arrival schedule
+//! (queries fired on time whether or not earlier ones finished — the
+//! saturation regime), and `--listen` additionally accepts the same line
+//! protocol over blocking TCP connections until the process is killed.
 
 use obstacle_bench::batch::{thread_sweep, to_core_query};
 use obstacle_core::{
-    closest_pairs, distance_join, shortest_obstructed_path, BatchOptions, EngineOptions,
-    EntityIndex, ObstacleIndex, QueryEngine, QueryStats, SceneCache, Schedule, Update,
+    closest_pairs, distance_join, shortest_obstructed_path, Admission, BatchOptions, Completion,
+    EngineOptions, EntityIndex, ObstacleIndex, Outcome, QueryEngine, QueryService, QueryStats,
+    SceneCache, Schedule, ServiceConfig, SubmitError, Update,
 };
 use obstacle_datagen::{
-    batch_workload, clustered_batch_workload, sample_entities, BatchMix, City, CityConfig,
-    ClusterSpec,
+    batch_workload, clustered_batch_workload, open_loop_arrivals, sample_entities, BatchMix, City,
+    CityConfig, ClusterSpec,
 };
 use obstacle_geom::Point;
+use obstacle_rtree::sync::Mutex;
 use obstacle_rtree::{Backend, RTreeConfig};
 use obstacle_visibility::EdgeBuilder;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
-struct Args {
-    command: String,
+/// Flags shared by every subcommand — world shape, tree configuration,
+/// and worker-pool sizing are parsed once here, so a new subcommand
+/// (like `serve`) never grows its own copy of the parser.
+struct CommonOpts {
     obstacles: usize,
     seed: u64,
     backend: Backend,
     entities: usize,
+    threads: usize,
+    shards: usize,
+    /// `None` = flag absent. For `batch` that selects the legacy
+    /// thread-sweep path (passing `--schedule`, either value, selects
+    /// the scheduled single-run path, so `--schedule input` and
+    /// `--schedule hilbert` produce directly comparable output); for
+    /// `serve` the default is the service's Hilbert claim order.
+    schedule: Option<Schedule>,
+}
+
+impl CommonOpts {
+    /// Consume `flag` if it is one of the shared flags; `value` pulls
+    /// the flag's argument from the command line. Returns `false` when
+    /// the flag belongs to a subcommand instead.
+    fn accept(&mut self, flag: &str, value: &mut dyn FnMut(&str) -> String) -> bool {
+        match flag {
+            "--obstacles" => {
+                self.obstacles = value("--obstacles")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --obstacles"))
+            }
+            "--seed" => {
+                self.seed = value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --seed"))
+            }
+            "--backend" => {
+                self.backend = Backend::parse(&value("--backend"))
+                    .unwrap_or_else(|| usage("bad --backend (paged|packed)"))
+            }
+            "--entities" => {
+                self.entities = value("--entities")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --entities"))
+            }
+            "--threads" => {
+                self.threads = value("--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --threads"))
+            }
+            "--shards" => {
+                self.shards = value("--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --shards"))
+            }
+            "--schedule" => {
+                self.schedule = Some(match value("--schedule").as_str() {
+                    "input" | "input-order" | "input_order" => Schedule::InputOrder,
+                    "hilbert" => Schedule::Hilbert,
+                    _ => usage("bad --schedule (input|hilbert)"),
+                })
+            }
+            _ => return false,
+        }
+        true
+    }
+}
+
+struct Args {
+    command: String,
+    common: CommonOpts,
     s_count: usize,
     t_count: usize,
     k: usize,
@@ -55,20 +136,23 @@ struct Args {
     to: Option<Point>,
     paths: bool,
     queries: usize,
-    threads: usize,
-    shards: usize,
     verify: bool,
     stream: bool,
-    /// `None` = flag absent: the legacy thread-sweep path. Passing
-    /// `--schedule` (either value) selects the scheduled single-run
-    /// path, so `--schedule input` and `--schedule hilbert` produce
-    /// directly comparable output.
-    schedule: Option<Schedule>,
     clusters: usize,
     /// Edit batches of the `update` command.
     rounds: usize,
     /// Edits per batch of the `update` command.
     edits: usize,
+    /// Queue depth bound of the `serve` command.
+    depth: usize,
+    /// What `serve` does when the queue is full.
+    admission: Admission,
+    /// `serve --listen HOST:PORT`: also accept the line protocol over TCP.
+    listen: Option<String>,
+    /// `serve --generate N`: self-drive with an open-loop workload.
+    generate: usize,
+    /// Offered arrival rate (queries/sec) of `serve --generate`.
+    rate: f64,
 }
 
 fn main() {
@@ -82,6 +166,7 @@ fn main() {
         "cp" => cp(&args),
         "batch" => batch(&args),
         "update" => update(&args),
+        "serve" => serve(&args),
         other => usage(&format!("unknown command '{other}'")),
     }
 }
@@ -91,18 +176,18 @@ fn main() {
 /// `--backend` selects (paged R*-tree or packed static tree).
 fn tree_config(args: &Args) -> RTreeConfig {
     RTreeConfig::paper()
-        .striped(args.shards)
-        .with_backend(args.backend)
+        .striped(args.common.shards)
+        .with_backend(args.common.backend)
 }
 
 fn world(args: &Args) -> (City, ObstacleIndex) {
     let t0 = std::time::Instant::now();
-    let city = City::generate(CityConfig::new(args.obstacles, args.seed));
+    let city = City::generate(CityConfig::new(args.common.obstacles, args.common.seed));
     let obstacles = ObstacleIndex::bulk_load(tree_config(args), city.obstacles.clone());
     eprintln!(
         "[city: {} obstacles, seed {:#x}, built in {:.1?}]",
         city.len(),
-        args.seed,
+        args.common.seed,
         t0.elapsed()
     );
     (city, obstacles)
@@ -148,7 +233,7 @@ fn info(args: &Args) {
 fn nn(args: &Args) {
     let q = args.at.unwrap_or_else(|| usage("nn needs --at X,Y"));
     let (city, obstacles) = world(args);
-    let entities = entity_index(args, &city, args.entities, args.seed + 1);
+    let entities = entity_index(args, &city, args.common.entities, args.common.seed + 1);
     let engine = QueryEngine::new(&entities, &obstacles);
     let r = engine.nearest(q, args.k);
     println!(
@@ -177,7 +262,7 @@ fn range(args: &Args) {
         usage("range needs --e > 0");
     }
     let (city, obstacles) = world(args);
-    let entities = entity_index(args, &city, args.entities, args.seed + 1);
+    let entities = entity_index(args, &city, args.common.entities, args.common.seed + 1);
     let engine = QueryEngine::new(&entities, &obstacles);
     let r = engine.range(q, args.e);
     println!(
@@ -225,8 +310,8 @@ fn join(args: &Args) {
         usage("join needs --e > 0");
     }
     let (city, obstacles) = world(args);
-    let s = entity_index(args, &city, args.s_count, args.seed + 2);
-    let t = entity_index(args, &city, args.t_count, args.seed + 3);
+    let s = entity_index(args, &city, args.s_count, args.common.seed + 2);
+    let t = entity_index(args, &city, args.t_count, args.common.seed + 3);
     let r = distance_join(&s, &t, &obstacles, args.e, EngineOptions::default());
     println!(
         "obstructed e-distance join (e = {}): {} pairs from |S| = {}, |T| = {}",
@@ -246,8 +331,8 @@ fn join(args: &Args) {
 
 fn cp(args: &Args) {
     let (city, obstacles) = world(args);
-    let s = entity_index(args, &city, args.s_count, args.seed + 2);
-    let t = entity_index(args, &city, args.t_count, args.seed + 3);
+    let s = entity_index(args, &city, args.s_count, args.common.seed + 2);
+    let t = entity_index(args, &city, args.t_count, args.common.seed + 3);
     let r = closest_pairs(&s, &t, &obstacles, args.k, EngineOptions::default());
     println!(
         "obstructed {}-closest pairs over |S| = {}, |T| = {}:",
@@ -263,13 +348,13 @@ fn cp(args: &Args) {
 
 fn batch(args: &Args) {
     let (city, obstacles) = world(args);
-    let entities = entity_index(args, &city, args.entities, args.seed + 1);
+    let entities = entity_index(args, &city, args.common.entities, args.common.seed + 1);
     let engine = QueryEngine::new(&entities, &obstacles);
     let specs = if args.clusters > 0 {
         clustered_batch_workload(
             &city,
             args.queries,
-            args.seed + 4,
+            args.common.seed + 4,
             BatchMix::default(),
             ClusterSpec {
                 clusters: args.clusters,
@@ -277,20 +362,25 @@ fn batch(args: &Args) {
             },
         )
     } else {
-        batch_workload(&city, args.queries, args.seed + 4, BatchMix::default())
+        batch_workload(
+            &city,
+            args.queries,
+            args.common.seed + 4,
+            BatchMix::default(),
+        )
     };
     let queries: Vec<obstacle_core::Query> = specs.iter().map(to_core_query).collect();
     if args.stream {
         return batch_streaming(args, &engine, &queries);
     }
-    if let Some(schedule) = args.schedule {
+    if let Some(schedule) = args.common.schedule {
         return batch_scheduled(args, schedule, &engine, &queries);
     }
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Verification needs a second (sequential) run to compare against;
     // with one worker thread the run *is* sequential, so there is
     // nothing to verify and the flag is reported as inapplicable.
-    let verifying = args.verify && args.threads > 1;
+    let verifying = args.verify && args.common.threads > 1;
     if args.verify && !verifying {
         eprintln!("[--verify: nothing to verify with 1 worker thread — the run is sequential]");
     }
@@ -299,7 +389,7 @@ fn batch(args: &Args) {
          ({} core(s) available){}:",
         queries.len(),
         entities.len(),
-        args.threads,
+        args.common.threads,
         cores,
         if verifying {
             ", verifying against sequential"
@@ -308,9 +398,9 @@ fn batch(args: &Args) {
         }
     );
     let counts: Vec<usize> = if verifying {
-        vec![1, args.threads]
+        vec![1, args.common.threads]
     } else {
-        vec![args.threads]
+        vec![args.common.threads]
     };
     let (points, answers) = thread_sweep(&engine, &queries, &counts, verifying);
     for p in &points {
@@ -345,19 +435,19 @@ fn batch(args: &Args) {
 /// interesting numbers are time-to-first-answer vs total wall clock and
 /// the scene-cache economics of the chosen schedule.
 fn batch_streaming(args: &Args, engine: &QueryEngine<'_>, queries: &[obstacle_core::Query]) {
-    let schedule = args.schedule.unwrap_or_default();
+    let schedule = args.common.schedule.unwrap_or_default();
     println!(
         "streaming batch of {} queries, {} worker thread(s), {} schedule:",
         queries.len(),
-        args.threads,
+        args.common.threads,
         schedule_name(schedule)
     );
-    let options = BatchOptions::new(args.threads).schedule(schedule);
+    let options = BatchOptions::new(args.common.threads).schedule(schedule);
     let progress_every = (queries.len() / 8).max(1);
     let t0 = std::time::Instant::now();
     let mut first = None;
     let mut agg = QueryStats::default();
-    let ((count, results), stats) = engine.run_batch_streaming(queries, &options, |stream| {
+    let ((count, results), stats) = engine.batch(queries).options(options).stream(|stream| {
         let mut count = 0usize;
         let mut results = 0usize;
         for (i, answer) in stream {
@@ -401,8 +491,8 @@ fn batch_streaming(args: &Args, engine: &QueryEngine<'_>, queries: &[obstacle_co
         agg.entity_fetches, agg.obstacle_fetches, agg.candidates, agg.results
     );
     if args.verify {
-        let sequential = engine.run_batch(queries, 1);
-        let (streamed, _) = engine.run_batch_streaming(queries, &options, |stream| {
+        let (sequential, _) = engine.batch(queries).threads(1).collect();
+        let (streamed, _) = engine.batch(queries).options(options).stream(|stream| {
             let mut v: Vec<(usize, obstacle_core::Answer)> = stream.collect();
             v.sort_by_key(|(i, _)| *i);
             v
@@ -431,12 +521,12 @@ fn batch_scheduled(
     println!(
         "batch of {} queries, {} worker thread(s), {} schedule:",
         queries.len(),
-        args.threads,
+        args.common.threads,
         schedule_name(schedule)
     );
-    let options = BatchOptions::new(args.threads).schedule(schedule);
+    let options = BatchOptions::new(args.common.threads).schedule(schedule);
     let t0 = std::time::Instant::now();
-    let (answers, stats) = engine.run_batch_scheduled(queries, &options);
+    let (answers, stats) = engine.batch(queries).options(options).collect();
     let elapsed = t0.elapsed();
     println!(
         "  {:>10.2?} total, {:>8.1} queries/sec; scene caches: {} reuse(s), {} reset(s)",
@@ -446,7 +536,7 @@ fn batch_scheduled(
         stats.scene_resets
     );
     if args.verify {
-        let sequential = engine.run_batch(queries, 1);
+        let (sequential, _) = engine.batch(queries).threads(1).collect();
         for (i, (a, s)) in answers.iter().zip(sequential.iter()).enumerate() {
             assert!(
                 a.same_results(s),
@@ -479,13 +569,13 @@ fn batch_scheduled(
 /// if a stale scene ever survives an edit.
 fn update(args: &Args) {
     let (city, mut obstacles) = world(args);
-    let mut entities = entity_index(args, &city, args.entities, args.seed + 1);
+    let mut entities = entity_index(args, &city, args.common.entities, args.common.seed + 1);
     let quarter = (args.edits / 4).max(1);
-    let extra = sample_entities(&city, args.rounds * quarter, args.seed + 5);
+    let extra = sample_entities(&city, args.rounds * quarter, args.common.seed + 5);
     let specs = batch_workload(
         &city,
         args.queries,
-        args.seed + 4,
+        args.common.seed + 4,
         BatchMix::point_queries(),
     );
     let queries: Vec<obstacle_core::Query> = specs.iter().map(to_core_query).collect();
@@ -558,6 +648,301 @@ fn update(args: &Args) {
     }
 }
 
+/// `serve`: stand up a resident [`QueryService`] over the generated
+/// world and feed it from stdin, an open-loop generator, or TCP
+/// connections. The worker pool, the bounded queue, and the admission
+/// policy all come from the service — this function is only a client.
+fn serve(args: &Args) {
+    let (city, obstacles) = world(args);
+    let entities = entity_index(args, &city, args.common.entities, args.common.seed + 1);
+    let schedule = args.common.schedule.unwrap_or(Schedule::Hilbert);
+    let cfg = ServiceConfig::default()
+        .workers(args.common.threads)
+        .queue_depth(args.depth)
+        .admission(args.admission)
+        .schedule(schedule);
+    eprintln!(
+        "[serve: {} worker(s), queue depth {}, {} admission, {} claim order]",
+        args.common.threads,
+        args.depth,
+        admission_name(args.admission),
+        schedule_name(schedule)
+    );
+    let run = QueryService::run(entities, obstacles, EngineOptions::default(), cfg, |svc| {
+        if let Some(addr) = &args.listen {
+            serve_tcp(svc, addr);
+        } else if args.generate > 0 {
+            serve_generated(args, &city, svc);
+        } else {
+            serve_stdin(svc);
+        }
+    });
+    let stats = &run.stats;
+    println!(
+        "service: {} submitted, {} answered, {} shed, {} rejected, {} cancelled",
+        stats.submitted, stats.answered, stats.shed, stats.rejected, stats.cancelled
+    );
+    println!(
+        "latency: p50 {:.2?}  p90 {:.2?}  p99 {:.2?}  max {:.2?} over {} answer(s)",
+        stats.latency.p50(),
+        stats.latency.p90(),
+        stats.latency.p99(),
+        stats.latency.max(),
+        stats.latency.count()
+    );
+    eprintln!(
+        "[scene caches: {} reuse(s), {} reset(s), {} invalidation(s)]",
+        stats.scene_reuses, stats.scene_resets, stats.scene_invalidations
+    );
+}
+
+/// Read the line protocol from stdin, submitting as lines arrive and
+/// printing completions as workers produce them; at EOF, drain what is
+/// still in flight. One completion comes back per admitted submission
+/// (answered or shed), so the drain loop counts instead of guessing.
+fn serve_stdin(svc: &QueryService<'_>) {
+    let stdin = std::io::stdin();
+    let mut submitted = 0u64;
+    let mut done = 0u64;
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_default();
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_query_line(line) {
+            Ok(q) => match svc.submit(q) {
+                Ok(ticket) => {
+                    submitted += 1;
+                    println!("#{} queued: {line}", ticket.detach());
+                }
+                Err(e) => println!("!not admitted: {e}"),
+            },
+            Err(msg) => println!("!parse error: {msg} (in '{line}')"),
+        }
+        while let Some(c) = svc.try_recv() {
+            done += 1;
+            print_completion(&c);
+        }
+    }
+    drain(svc, submitted, &mut done);
+}
+
+/// `serve --generate N --rate R`: submit a deterministic point-query
+/// workload on an open-loop Poisson schedule — arrivals fire on time
+/// whether or not earlier queries finished, so offered load above the
+/// service rate actually queues (and sheds/rejects/blocks, per the
+/// admission policy) instead of silently throttling the client.
+fn serve_generated(args: &Args, city: &City, svc: &QueryService<'_>) {
+    let specs = batch_workload(
+        city,
+        args.generate,
+        args.common.seed + 4,
+        BatchMix::point_queries(),
+    );
+    let queries: Vec<obstacle_core::Query> = specs.iter().map(to_core_query).collect();
+    let arrivals = open_loop_arrivals(args.rate, queries.len(), args.common.seed + 6);
+    println!(
+        "open-loop: {} queries offered at {:.1}/sec (schedule spans {:.2?})",
+        queries.len(),
+        args.rate,
+        arrivals.last().copied().unwrap_or_default()
+    );
+    let mut submitted = 0u64;
+    let mut rejected = 0u64;
+    let mut done = 0u64;
+    let t0 = std::time::Instant::now();
+    for (q, at) in queries.iter().zip(&arrivals) {
+        // Wait out the gap to this arrival instant, consuming
+        // completions while we wait instead of busy-spinning.
+        loop {
+            let now = t0.elapsed();
+            if now >= *at {
+                break;
+            }
+            let patience = (*at - now).min(Duration::from_millis(5));
+            if let Some(c) = svc.recv_timeout(patience) {
+                done += 1;
+                print_completion(&c);
+            }
+        }
+        match svc.submit(*q) {
+            Ok(ticket) => {
+                submitted += 1;
+                ticket.detach();
+            }
+            Err(SubmitError::Rejected) => rejected += 1,
+            Err(e) => {
+                println!("!not admitted: {e}");
+                break;
+            }
+        }
+    }
+    drain(svc, submitted, &mut done);
+    let elapsed = t0.elapsed();
+    println!(
+        "offered {:.1}/sec for {:.2?}: {} admitted, {} rejected at the gate, \
+         {:.1} completions/sec end to end",
+        args.rate,
+        elapsed,
+        submitted,
+        rejected,
+        done as f64 / elapsed.as_secs_f64()
+    );
+}
+
+/// `serve --listen HOST:PORT`: blocking TCP front end speaking the same
+/// line protocol, one reader thread per connection plus one dispatcher
+/// routing completions back to the socket that submitted them. Serves
+/// until the process is killed (the accept loop never returns).
+fn serve_tcp(svc: &QueryService<'_>, addr: &str) {
+    let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
+        eprintln!("error: cannot listen on {addr}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("[listening on {addr}; line protocol: nn X Y [K] | range X Y E | path X1 Y1 X2 Y2]");
+    let routes: Mutex<HashMap<u64, TcpStream>> = Mutex::new(HashMap::new());
+    std::thread::scope(|s| {
+        s.spawn(|| loop {
+            if let Some(c) = svc.recv_timeout(Duration::from_millis(200)) {
+                let target = routes.lock().remove(&c.id);
+                match target {
+                    Some(mut stream) => {
+                        let _ = writeln!(stream, "{}", completion_line(&c));
+                    }
+                    None => print_completion(&c),
+                }
+            }
+        });
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { continue };
+            let routes = &routes;
+            s.spawn(move || {
+                let Ok(reader) = stream.try_clone() else {
+                    return;
+                };
+                let mut reply = stream;
+                for line in BufReader::new(reader).lines() {
+                    let Ok(line) = line else { break };
+                    let line = line.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    match parse_query_line(line) {
+                        Ok(q) => {
+                            // The routes lock is held across submit so the
+                            // dispatcher cannot look up a completion before
+                            // its reply route is registered — a worker can
+                            // answer a cheap query faster than two more
+                            // statements run here, and an unrouted answer
+                            // would fall back to the server console. Only
+                            // reader threads take routes before the queue
+                            // lock inside submit; nothing orders them the
+                            // other way round.
+                            let mut guard = routes.lock();
+                            let submitted = svc.submit(q);
+                            match submitted {
+                                Ok(ticket) => {
+                                    let id = ticket.detach();
+                                    if let Ok(route) = reply.try_clone() {
+                                        guard.insert(id, route);
+                                    }
+                                    drop(guard);
+                                    let _ = writeln!(reply, "#{id} queued");
+                                }
+                                Err(e) => {
+                                    drop(guard);
+                                    let _ = writeln!(reply, "!not admitted: {e}");
+                                }
+                            }
+                        }
+                        Err(msg) => {
+                            let _ = writeln!(reply, "!parse error: {msg}");
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Collect the remaining in-flight completions after the input source
+/// is exhausted. Bounded patience: a worker answering a pathological
+/// query still gets minutes, but a lost completion cannot hang the CLI.
+fn drain(svc: &QueryService<'_>, submitted: u64, done: &mut u64) {
+    let t0 = std::time::Instant::now();
+    while *done < submitted && t0.elapsed() < Duration::from_secs(300) {
+        if let Some(c) = svc.recv_timeout(Duration::from_millis(200)) {
+            *done += 1;
+            print_completion(&c);
+        }
+    }
+    if *done < submitted {
+        eprintln!(
+            "[drain gave up: {} of {submitted} completions arrived]",
+            *done
+        );
+    }
+}
+
+/// One line of the `serve` protocol: `nn X Y [K]`, `range X Y E`, or
+/// `path X1 Y1 X2 Y2` (whitespace-separated, `#` starts a comment).
+fn parse_query_line(line: &str) -> Result<obstacle_core::Query, String> {
+    let mut parts = line.split_whitespace();
+    let head = parts.next().unwrap_or_default();
+    let mut num = |what: &str| -> Result<f64, String> {
+        parts
+            .next()
+            .ok_or_else(|| format!("missing {what}"))?
+            .parse()
+            .map_err(|_| format!("bad {what}"))
+    };
+    match head {
+        "nn" => {
+            let (x, y) = (num("x")?, num("y")?);
+            let k = num("k").unwrap_or(1.0) as usize;
+            Ok(obstacle_core::Query::Nearest {
+                q: Point::new(x, y),
+                k: k.max(1),
+            })
+        }
+        "range" => Ok(obstacle_core::Query::Range {
+            q: Point::new(num("x")?, num("y")?),
+            e: num("e")?,
+        }),
+        "path" => Ok(obstacle_core::Query::Path {
+            from: Point::new(num("x1")?, num("y1")?),
+            to: Point::new(num("x2")?, num("y2")?),
+        }),
+        other => Err(format!("unknown query '{other}' (nn|range|path)")),
+    }
+}
+
+fn print_completion(c: &Completion) {
+    println!("{}", completion_line(c));
+}
+
+fn completion_line(c: &Completion) -> String {
+    match &c.outcome {
+        Outcome::Answered { answer, .. } => format!(
+            "#{} answered in {:.2?}: {} result row(s)",
+            c.id,
+            c.latency,
+            answer.result_count()
+        ),
+        Outcome::Shed => format!("#{} shed after {:.2?} (queue full)", c.id, c.latency),
+        Outcome::Cancelled => format!("#{} cancelled", c.id),
+    }
+}
+
+fn admission_name(a: Admission) -> &'static str {
+    match a {
+        Admission::Block => "block",
+        Admission::Reject => "reject",
+        Admission::ShedOldest => "shed-oldest",
+    }
+}
+
 fn schedule_name(s: Schedule) -> &'static str {
     match s {
         Schedule::InputOrder => "input-order",
@@ -587,10 +972,15 @@ fn parse_point(s: &str) -> Option<Point> {
 fn parse_args() -> Args {
     let mut out = Args {
         command: String::new(),
-        obstacles: 16_384,
-        seed: 0xC17,
-        backend: Backend::Paged,
-        entities: 4_096,
+        common: CommonOpts {
+            obstacles: 16_384,
+            seed: 0xC17,
+            backend: Backend::Paged,
+            entities: 4_096,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            shards: 1,
+            schedule: None,
+        },
         s_count: 2_048,
         t_count: 2_048,
         k: 5,
@@ -600,14 +990,16 @@ fn parse_args() -> Args {
         to: None,
         paths: false,
         queries: 128,
-        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        shards: 1,
         verify: false,
         stream: false,
-        schedule: None,
         clusters: 0,
         rounds: 4,
         edits: 32,
+        depth: 64,
+        admission: Admission::Block,
+        listen: None,
+        generate: 0,
+        rate: 50.0,
     };
     let mut argv = std::env::args().skip(1);
     out.command = argv.next().unwrap_or_else(|| usage("missing command"));
@@ -619,26 +1011,10 @@ fn parse_args() -> Args {
             argv.next()
                 .unwrap_or_else(|| usage(&format!("missing value for {what}")))
         };
+        if out.common.accept(flag.as_str(), &mut value) {
+            continue;
+        }
         match flag.as_str() {
-            "--obstacles" => {
-                out.obstacles = value("--obstacles")
-                    .parse()
-                    .unwrap_or_else(|_| usage("bad --obstacles"))
-            }
-            "--seed" => {
-                out.seed = value("--seed")
-                    .parse()
-                    .unwrap_or_else(|_| usage("bad --seed"))
-            }
-            "--backend" => {
-                out.backend = Backend::parse(&value("--backend"))
-                    .unwrap_or_else(|| usage("bad --backend (paged|packed)"))
-            }
-            "--entities" => {
-                out.entities = value("--entities")
-                    .parse()
-                    .unwrap_or_else(|_| usage("bad --entities"))
-            }
             "--s" => out.s_count = value("--s").parse().unwrap_or_else(|_| usage("bad --s")),
             "--t" => out.t_count = value("--t").parse().unwrap_or_else(|_| usage("bad --t")),
             "--k" => out.k = value("--k").parse().unwrap_or_else(|_| usage("bad --k")),
@@ -659,25 +1035,8 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("bad --queries"))
             }
-            "--shards" => {
-                out.shards = value("--shards")
-                    .parse()
-                    .unwrap_or_else(|_| usage("bad --shards"))
-            }
-            "--threads" => {
-                out.threads = value("--threads")
-                    .parse()
-                    .unwrap_or_else(|_| usage("bad --threads"))
-            }
             "--verify" => out.verify = true,
             "--stream" => out.stream = true,
-            "--schedule" => {
-                out.schedule = Some(match value("--schedule").as_str() {
-                    "input" | "input-order" | "input_order" => Schedule::InputOrder,
-                    "hilbert" => Schedule::Hilbert,
-                    _ => usage("bad --schedule (input|hilbert)"),
-                })
-            }
             "--clusters" => {
                 out.clusters = value("--clusters")
                     .parse()
@@ -692,6 +1051,30 @@ fn parse_args() -> Args {
                 out.edits = value("--edits")
                     .parse()
                     .unwrap_or_else(|_| usage("bad --edits"))
+            }
+            "--depth" => {
+                out.depth = value("--depth")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --depth"))
+            }
+            "--admission" => {
+                out.admission = match value("--admission").as_str() {
+                    "block" => Admission::Block,
+                    "reject" => Admission::Reject,
+                    "shed" | "shed-oldest" | "shed_oldest" => Admission::ShedOldest,
+                    _ => usage("bad --admission (block|reject|shed)"),
+                }
+            }
+            "--listen" => out.listen = Some(value("--listen")),
+            "--generate" => {
+                out.generate = value("--generate")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --generate"))
+            }
+            "--rate" => {
+                out.rate = value("--rate")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --rate"))
             }
             other => usage(&format!("unknown flag '{other}'")),
         }
@@ -718,7 +1101,15 @@ fn usage(err: &str) -> ! {
          \x20       (interleaves edit batches with probe queries over one\n\
          \x20       long-lived scene cache; --verify checks every answer\n\
          \x20       against a fresh-scene execution)\n\
+         \x20 serve [--depth N (64)] [--admission block|reject|shed]\n\
+         \x20       [--generate N --rate R] [--listen HOST:PORT]\n\
+         \x20       (resident query service, --threads workers; reads\n\
+         \x20       'nn X Y [K]' | 'range X Y E' | 'path X1 Y1 X2 Y2'\n\
+         \x20       lines from stdin, or self-drives an open-loop Poisson\n\
+         \x20       workload with --generate/--rate; prints p50/p90/p99\n\
+         \x20       time-to-answer at exit)\n\
          common flags: --obstacles N (16384) --seed S --entities N (4096)\n\
+         \x20              --threads T --schedule input|hilbert\n\
          \x20              --shards N (1: buffer-pool lock stripes per tree)\n\
          \x20              --backend paged|packed (paged: the R*-tree over\n\
          \x20              simulated disk pages; packed: the static\n\

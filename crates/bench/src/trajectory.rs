@@ -19,21 +19,29 @@
 //!   over one long-lived scene cache, per backend — edit cost, query
 //!   throughput under churn, and the epoch-invalidation counters, every
 //!   round verified against a fresh-built engine.
+//! * **service** (PR 9): open-loop saturation sweep of the resident
+//!   `QueryService` — the same point workload offered at multiples of
+//!   the measured sequential capacity through a bounded queue with
+//!   `ShedOldest` admission, recording achieved q/s, p50/p90/p99
+//!   time-to-answer, and the shed count per (backend, offered load).
 //!
 //! The JSON is hand-rolled (the workspace is offline, no serde); floats
 //! are emitted with fixed precision so the output is always valid JSON.
 
 use crate::batch::to_core_query;
-use obstacle_core::{shortest_obstructed_path, BatchOptions, ObstacleIndex, Schedule};
+use obstacle_core::{
+    shortest_obstructed_path, Admission, BatchOptions, ObstacleIndex, QueryService, Schedule,
+    ServiceConfig, SubmitError,
+};
 use obstacle_core::{Answer, EngineOptions, EntityIndex, Query, QueryEngine, SceneCache, Update};
 use obstacle_datagen::{
-    batch_workload, clustered_batch_workload, sample_entities, BatchMix, City, CityConfig,
-    ClusterSpec,
+    batch_workload, clustered_batch_workload, open_loop_arrivals, sample_entities, BatchMix, City,
+    CityConfig, ClusterSpec,
 };
 use obstacle_geom::{Point, Polygon};
 use obstacle_rtree::{Backend, IoStats, RTreeConfig, TreeBackend};
 use obstacle_visibility::EdgeBuilder;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What to measure; the defaults keep the release-mode CI stage under a
 /// couple of minutes on one core while still exercising every mechanism.
@@ -71,6 +79,16 @@ pub struct TrajectoryConfig {
     /// Point queries run through the long-lived scene cache after each
     /// edit batch (each round verified against a fresh-built engine).
     pub update_queries: usize,
+    /// Queries per saturation point of the service sweep (0 skips it).
+    pub service_queries: usize,
+    /// Offered-load ladder of the service sweep, as multiples of the
+    /// measured sequential capacity (so the same rungs mean the same
+    /// queueing regime on any machine: below 1.0 the queue is mostly
+    /// empty, above it the open-loop client genuinely overloads the
+    /// worker and admission control has to act).
+    pub service_loads: Vec<f64>,
+    /// Queue-depth bound of the service under test.
+    pub service_depth: usize,
 }
 
 impl Default for TrajectoryConfig {
@@ -90,6 +108,9 @@ impl Default for TrajectoryConfig {
             update_rounds: 4,
             updates_per_round: 32,
             update_queries: 32,
+            service_queries: 48,
+            service_loads: vec![0.5, 2.0, 8.0],
+            service_depth: 16,
         }
     }
 }
@@ -171,6 +192,33 @@ pub struct UpdatePoint {
     pub scene_resets: usize,
 }
 
+/// One saturation point of the resident-service sweep: the point
+/// workload offered open-loop at a multiple of the measured sequential
+/// capacity, through a bounded queue with `ShedOldest` admission.
+#[derive(Clone, Debug)]
+pub struct ServicePoint {
+    /// `"paged"` or `"packed"` — the storage backend measured.
+    pub backend: String,
+    /// Offered-load rung, e.g. `"2x"` — the stable identity a later
+    /// artifact diff matches on (absolute rates vary with the machine).
+    pub load: String,
+    /// Offered arrival rate in queries/sec (capacity × multiplier).
+    pub offered_qps: f64,
+    /// Completions per second over the whole run including the drain —
+    /// tracks `offered_qps` below saturation, the service rate above it.
+    pub achieved_qps: f64,
+    /// Queries answered.
+    pub answered: u64,
+    /// Queries shed by admission control (queue full, oldest evicted).
+    pub shed: u64,
+    /// Median time-to-answer (queue wait + execution) in milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile time-to-answer in milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile time-to-answer in milliseconds.
+    pub p99_ms: f64,
+}
+
 /// One rung of the path ladder.
 #[derive(Clone, Copy, Debug)]
 pub struct LadderPoint {
@@ -200,6 +248,9 @@ pub struct TrajectoryReport {
     /// Interleaved update/query sweep, one point per backend (empty when
     /// `update_rounds` is 0).
     pub updates: Vec<UpdatePoint>,
+    /// Service saturation sweep, one point per (backend, offered load)
+    /// (empty when `service_queries` is 0).
+    pub service: Vec<ServicePoint>,
     /// Path ladder rungs.
     pub ladder: Vec<LadderPoint>,
     /// Whether every thread count returned results identical to the
@@ -309,7 +360,7 @@ pub fn run(config: TrajectoryConfig) -> TrajectoryReport {
             entities.tree().reset_io_stats();
             obstacles.tree().reset_io_stats();
             let t0 = Instant::now();
-            let answers = engine.run_batch(&queries, threads);
+            let (answers, _) = engine.batch(&queries).threads(threads).collect();
             let seconds = t0.elapsed().as_secs_f64();
             match &baseline {
                 None => baseline = Some(answers),
@@ -352,7 +403,7 @@ pub fn run(config: TrajectoryConfig) -> TrajectoryReport {
                     obstacles.tree().reset_io_stats();
                     let options = BatchOptions::new(threads).schedule(schedule);
                     let t0 = Instant::now();
-                    let (answers, stats) = engine.run_batch_scheduled(&clustered, &options);
+                    let (answers, stats) = engine.batch(&clustered).options(options).collect();
                     let seconds = t0.elapsed().as_secs_f64();
                     match &schedule_baseline {
                         None => schedule_baseline = Some(answers),
@@ -527,6 +578,108 @@ pub fn run(config: TrajectoryConfig) -> TrajectoryReport {
         }
     }
 
+    // ---- Service saturation sweep: the resident `QueryService` fed by
+    // an open-loop Poisson client. Rates are anchored to the *measured*
+    // sequential capacity of each backend, so the "2x" rung means "twice
+    // what one worker can do" on every machine — the regime, not the
+    // absolute rate, is what later artifact diffs compare.
+    let mut service = Vec::new();
+    if config.service_queries > 0 {
+        let service_queries: Vec<Query> = batch_workload(
+            &city,
+            config.service_queries,
+            0xC1D,
+            BatchMix::point_queries(),
+        )
+        .iter()
+        .map(to_core_query)
+        .collect();
+        for &backend in &config.backends {
+            let tree_config = base_tree_config.with_backend(backend);
+            let obstacles = ObstacleIndex::bulk_load(tree_config, city.obstacles.clone());
+            let entities = EntityIndex::bulk_load(tree_config, entity_points.clone());
+
+            // Capacity: the same workload, sequentially, warm start.
+            let t0 = Instant::now();
+            let _ = QueryEngine::new(&entities, &obstacles)
+                .batch(&service_queries)
+                .threads(1)
+                .collect();
+            let capacity_qps = service_queries.len() as f64 / t0.elapsed().as_secs_f64();
+
+            for &multiplier in &config.service_loads {
+                let offered_qps = capacity_qps * multiplier;
+                let arrivals = open_loop_arrivals(offered_qps, service_queries.len(), 0xC1E);
+                // Fresh indexes per point: the service takes ownership.
+                let obstacles = ObstacleIndex::bulk_load(tree_config, city.obstacles.clone());
+                let entities = EntityIndex::bulk_load(tree_config, entity_points.clone());
+                let service_config = ServiceConfig::default()
+                    .workers(1)
+                    .queue_depth(config.service_depth)
+                    .admission(Admission::ShedOldest)
+                    .schedule(Schedule::Hilbert);
+                let t0 = Instant::now();
+                let run = QueryService::run(
+                    entities,
+                    obstacles,
+                    EngineOptions::default(),
+                    service_config,
+                    |svc| {
+                        let mut submitted = 0u64;
+                        let mut done = 0u64;
+                        for (q, at) in service_queries.iter().zip(&arrivals) {
+                            // Hold to the arrival schedule, consuming
+                            // completions instead of busy-waiting.
+                            loop {
+                                let now = t0.elapsed();
+                                if now >= *at {
+                                    break;
+                                }
+                                let gap = (*at - now).min(Duration::from_millis(5));
+                                if svc.recv_timeout(gap).is_some() {
+                                    done += 1;
+                                }
+                            }
+                            match svc.submit(*q) {
+                                Ok(ticket) => {
+                                    ticket.detach();
+                                    submitted += 1;
+                                }
+                                Err(SubmitError::Rejected) => {}
+                                Err(e) => unreachable!("service closed mid-sweep: {e}"),
+                            }
+                        }
+                        while done < submitted {
+                            if svc.recv_timeout(Duration::from_millis(50)).is_some() {
+                                done += 1;
+                            }
+                        }
+                        done
+                    },
+                );
+                let elapsed = t0.elapsed().as_secs_f64();
+                let stats = &run.stats;
+                assert_eq!(
+                    stats.answered + stats.shed,
+                    run.output,
+                    "every admitted query completes exactly once"
+                );
+                let ms = |d: Duration| d.as_secs_f64() * 1e3;
+                service.push(ServicePoint {
+                    backend: backend.name().to_string(),
+                    load: format!("{multiplier}x"),
+                    offered_qps,
+                    achieved_qps: stats.answered as f64 / elapsed,
+                    answered: stats.answered,
+                    shed: stats.shed,
+                    p50_ms: ms(stats.latency.p50()),
+                    p90_ms: ms(stats.latency.p90()),
+                    p99_ms: ms(stats.latency.p99()),
+                });
+            }
+        }
+    }
+
     // ---- Path ladder (paged backend: its budgets date from before the
     // packed backend existed and gate the lazy-A* engine, not the tree).
     let tree_config = base_tree_config;
@@ -553,6 +706,7 @@ pub fn run(config: TrajectoryConfig) -> TrajectoryReport {
         throughput,
         schedules,
         updates,
+        service,
         ladder,
         determinism_verified: true,
     }
@@ -580,14 +734,17 @@ impl TrajectoryReport {
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\n");
         s.push_str("  \"schema\": \"obstacle-suite-bench-trajectory\",\n");
-        s.push_str("  \"pr\": 7,\n");
+        s.push_str("  \"pr\": 9,\n");
         s.push_str(&format!(
             "  \"config\": {{\"obstacles\": {}, \"entities\": {}, \"queries\": {}, \
-             \"buffer_shards\": {}, \"cores\": {}}},\n",
+             \"buffer_shards\": {}, \"service_queries\": {}, \"service_depth\": {}, \
+             \"cores\": {}}},\n",
             self.config.obstacles,
             self.config.entities,
             self.config.queries,
             self.config.buffer_shards,
+            self.config.service_queries,
+            self.config.service_depth,
             self.cores
         ));
         s.push_str(&format!(
@@ -658,6 +815,24 @@ impl TrajectoryReport {
                 if i + 1 < self.updates.len() { "," } else { "" }
             ));
         }
+        s.push_str("  ],\n  \"service\": [\n");
+        for (i, p) in self.service.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"backend\": \"{}\", \"load\": \"{}\", \"offered_qps\": {:.3}, \
+                 \"achieved_qps\": {:.3}, \"answered\": {}, \"shed\": {}, \
+                 \"p50_ms\": {:.4}, \"p90_ms\": {:.4}, \"p99_ms\": {:.4}}}{}\n",
+                p.backend,
+                p.load,
+                p.offered_qps,
+                p.achieved_qps,
+                p.answered,
+                p.shed,
+                p.p50_ms,
+                p.p90_ms,
+                p.p99_ms,
+                if i + 1 < self.service.len() { "," } else { "" }
+            ));
+        }
         s.push_str("  ],\n  \"path_ladder\": [\n");
         for (i, r) in self.ladder.iter().enumerate() {
             s.push_str(&format!(
@@ -685,7 +860,21 @@ impl TrajectoryReport {
     /// regression. The diff is skipped (`comparable == false`) when the
     /// baseline measured a different workload configuration, since its
     /// q/s would mean nothing here.
-    pub fn diff_against_baseline(&self, baseline_json: &str, tolerance: f64) -> BaselineDiff {
+    ///
+    /// Service points are additionally diffed on **p99 time-to-answer**,
+    /// matched by `(backend, load rung)`: the current p99 must stay
+    /// under `(1 + p99_tolerance) ×` the baseline's (e.g. 1.0 = fail
+    /// only when tail latency more than doubles — queue-wait tails on a
+    /// noisy 1-core container swing far wider than throughput does).
+    /// Baselines that predate the service sweep (or measured a different
+    /// `service_queries`/`service_depth`) skip only this part, with a
+    /// note — they stay comparable on throughput.
+    pub fn diff_against_baseline(
+        &self,
+        baseline_json: &str,
+        tolerance: f64,
+        p99_tolerance: f64,
+    ) -> BaselineDiff {
         let mut diff = BaselineDiff {
             comparable: false,
             notes: Vec::new(),
@@ -734,6 +923,43 @@ impl TrajectoryReport {
         if baseline.is_empty() {
             diff.notes
                 .push("baseline artifact has no throughput points".to_string());
+        }
+
+        // ---- Service p99 gate (tail latency is the service's contract;
+        // q/s alone would let a regression hide in the queue).
+        let base_service = service_points(baseline_json);
+        let service_config_matches = [
+            ("service_queries", self.config.service_queries),
+            ("service_depth", self.config.service_depth),
+        ]
+        .iter()
+        .all(|&(key, current)| json_number(baseline_json, key) == Some(current as f64));
+        if base_service.is_empty() || !service_config_matches {
+            if !self.service.is_empty() {
+                diff.notes.push(
+                    "baseline has no comparable service sweep — p99 diff skipped".to_string(),
+                );
+            }
+        } else {
+            for p in &self.service {
+                let Some((_, _, base_p99, base_shed)) = base_service
+                    .iter()
+                    .find(|(b, l, _, _)| *b == p.backend && *l == p.load)
+                else {
+                    continue;
+                };
+                let ceiling = (1.0 + p99_tolerance) * base_p99;
+                let line = format!(
+                    "service [{} @ {}]: p99 {:.1} ms vs baseline {:.1} ms (ceiling {:.1}), \
+                     shed {} vs {}",
+                    p.backend, p.load, p.p99_ms, base_p99, ceiling, p.shed, base_shed
+                );
+                if p.p99_ms > ceiling {
+                    diff.regressions.push(line);
+                } else {
+                    diff.notes.push(line);
+                }
+            }
         }
         diff
     }
@@ -793,6 +1019,28 @@ fn throughput_points(json: &str) -> Vec<(String, usize, f64)> {
     out
 }
 
+/// `(backend, load, p99_ms, shed)` rows of the artifact's `"service"`
+/// array (empty for artifacts that predate the service sweep).
+fn service_points(json: &str) -> Vec<(String, String, f64, f64)> {
+    let Some(start) = json.find("\"service\": [") else {
+        return Vec::new();
+    };
+    let body = &json[start..];
+    let end = body.find(']').unwrap_or(body.len());
+    let mut out = Vec::new();
+    for entry in body[..end].split('{').skip(1) {
+        if let (Some(backend), Some(load), Some(p99), Some(shed)) = (
+            json_string(entry, "backend"),
+            json_string(entry, "load"),
+            json_number(entry, "p99_ms"),
+            json_number(entry, "shed"),
+        ) {
+            out.push((backend.to_string(), load.to_string(), p99, shed));
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -813,6 +1061,9 @@ mod tests {
             update_rounds: 2,
             updates_per_round: 8,
             update_queries: 6,
+            service_queries: 6,
+            service_loads: vec![0.5, 4.0],
+            service_depth: 4,
         });
         assert_eq!(report.throughput.len(), 4, "2 backends x 2 thread counts");
         assert_eq!(
@@ -824,6 +1075,12 @@ mod tests {
         for p in &report.updates {
             assert_eq!(p.rounds, 2);
             assert!(p.edits > 0 && p.qps > 0.0, "{p:?}");
+        }
+        assert_eq!(report.service.len(), 4, "2 backends x 2 load rungs");
+        for p in &report.service {
+            assert_eq!(p.answered + p.shed, 6, "{p:?}");
+            assert!(p.offered_qps > 0.0 && p.achieved_qps > 0.0, "{p:?}");
+            assert!(p.p50_ms <= p.p90_ms && p.p90_ms <= p.p99_ms, "{p:?}");
         }
         assert_eq!(report.ladder.len(), 1);
         assert!(report.determinism_verified);
@@ -852,6 +1109,10 @@ mod tests {
             "\"updates\"",
             "\"edit_seconds\"",
             "\"scene_invalidations\"",
+            "\"service\"",
+            "\"offered_qps\"",
+            "\"p99_ms\"",
+            "\"shed\"",
             "\"path_ladder\"",
             "\"qps\"",
             "\"entity_hit_rate\"",
@@ -880,9 +1141,13 @@ mod tests {
             update_rounds: 0, // skip the update sweep
             updates_per_round: 0,
             update_queries: 0,
+            service_queries: 0, // skip the service sweep
+            service_loads: vec![],
+            service_depth: 0,
         });
         assert!(report.schedules.is_empty());
         assert!(report.updates.is_empty());
+        assert!(report.service.is_empty());
         assert!(report.budget_violations().is_empty());
         report.ladder[0].budget_seconds = 0.0;
         assert_eq!(report.budget_violations().len(), 1);
@@ -904,6 +1169,9 @@ mod tests {
             update_rounds: 0,
             updates_per_round: 0,
             update_queries: 0,
+            service_queries: 2,
+            service_loads: vec![2.0],
+            service_depth: 2,
         });
 
         // A baseline of the same configuration but absurdly high q/s:
@@ -915,20 +1183,20 @@ mod tests {
         let fast = "{\n  \"config\": {\"obstacles\": 32, \"entities\": 16, \"queries\": 4, \
                     \"buffer_shards\": 1, \"cores\": 1},\n  \"throughput\": [\n    \
                     {\"threads\": 1, \"seconds\": 0.0001, \"qps\": 9999999.0}\n  ]\n}\n";
-        let diff = report.diff_against_baseline(fast, 0.4);
+        let diff = report.diff_against_baseline(fast, 0.4, 1.0);
         assert!(diff.comparable);
         assert_eq!(diff.regressions.len(), 1, "{diff:?}");
         assert!(diff.regressions[0].contains("[paged]"), "{diff:?}");
 
         // The report diffed against its own artifact never regresses.
-        let self_diff = report.diff_against_baseline(&report.to_json(), 0.4);
+        let self_diff = report.diff_against_baseline(&report.to_json(), 0.4, 1.0);
         assert!(self_diff.comparable);
         assert!(self_diff.regressions.is_empty(), "{self_diff:?}");
         assert!(!self_diff.notes.is_empty());
 
         // A baseline measured on a different workload is incomparable.
         let other = fast.replace("\"obstacles\": 32", "\"obstacles\": 2048");
-        let diff = report.diff_against_baseline(&other, 0.4);
+        let diff = report.diff_against_baseline(&other, 0.4, 1.0);
         assert!(!diff.comparable);
         assert!(diff.regressions.is_empty());
     }

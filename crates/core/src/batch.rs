@@ -6,8 +6,9 @@
 //! nothing but large batches of range/NN/join probes against one shared
 //! pair of R-trees. All query operators take `&self` and the R-trees are
 //! [`Sync`] (atomic I/O counters, mutex-guarded LRU buffer), so a batch
-//! parallelises embarrassingly: [`QueryEngine::run_batch`] fans a slice
-//! of heterogeneous [`Query`]s out over a scoped worker pool.
+//! parallelises embarrassingly: [`QueryEngine::batch`] builds a
+//! [`BatchRequest`] that fans a slice of heterogeneous [`Query`]s out
+//! over a scoped worker pool.
 //!
 //! Design points:
 //!
@@ -16,7 +17,7 @@
 //!   expensive join simply claims fewer of the remaining queries).
 //! * **Deterministic output** — every [`Answer`] lands at its query's
 //!   input index, and each operator is a pure function of its inputs, so
-//!   the *results* of `run_batch` are identical for every thread count
+//!   the *results* of a batch are identical for every thread count
 //!   (asserted by the root `consistency` suite). Per-query
 //!   [`QueryStats`] are attributed through thread-local
 //!   [`IoSnapshot`](obstacle_rtree::IoSnapshot) windows and never race;
@@ -42,7 +43,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
-/// One query of a heterogeneous batch (see [`QueryEngine::run_batch`]).
+/// One query of a heterogeneous batch (see [`QueryEngine::batch`]).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Query {
     /// Obstacle range query: entities within obstructed distance `e` of `q`.
@@ -84,7 +85,7 @@ pub enum Query {
 }
 
 /// The result of one batch [`Query`], at the same index in the output of
-/// [`QueryEngine::run_batch`] as the query held in the input.
+/// [`BatchRequest::collect`] as the query held in the input.
 #[derive(Clone, Debug)]
 pub enum Answer {
     /// Result of a [`Query::Range`].
@@ -130,7 +131,7 @@ impl Answer {
     /// CPU time is never reproducible and the buffer-hit/miss split
     /// depends on how concurrent queries interleaved on the shared LRU
     /// buffer. This is the equality the determinism guarantee of
-    /// [`QueryEngine::run_batch`] is stated in.
+    /// [`BatchRequest::collect`] is stated in.
     pub fn same_results(&self, other: &Answer) -> bool {
         match (self, other) {
             (Answer::Range(a), Answer::Range(b)) => a.hits == b.hits,
@@ -183,7 +184,7 @@ impl Default for SceneBudget {
     }
 }
 
-/// Execution-order policy of a batch (see [`QueryEngine::run_batch_scheduled`]).
+/// Execution-order policy of a batch (see [`BatchRequest::schedule`]).
 ///
 /// Scheduling permutes only the order workers *claim* queries — answers
 /// always land at their input index and are bit-identical to sequential
@@ -220,8 +221,7 @@ pub enum Delivery {
 /// Knobs of a scheduled/streaming batch run.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct BatchOptions {
-    /// Worker threads (clamped to `[1, queries.len()]` like
-    /// [`QueryEngine::run_batch`]).
+    /// Worker threads (clamped to `[1, queries.len()]` at the terminal).
     pub threads: usize,
     /// Execution-order policy.
     pub schedule: Schedule,
@@ -274,7 +274,7 @@ pub struct BatchStats {
 }
 
 /// Iterator over the answers of a streaming batch
-/// ([`QueryEngine::run_batch_streaming`]): yields `(input_index, Answer)`
+/// ([`BatchRequest::stream`]): yields `(input_index, Answer)`
 /// pairs as workers complete them, re-ordered to input order when the run
 /// asked for [`Delivery::InputOrder`]. Dropping the stream early cancels
 /// the remaining queries (workers stop at the next claim).
@@ -328,7 +328,7 @@ impl Iterator for BatchStream {
 /// *candidates* (§4) and the cross-query amortization of Wang's
 /// shortest-paths-revisited line of work.
 ///
-/// Each `run_batch` worker owns one cache: every query it executes first
+/// Each batch worker owns one cache: every query it executes first
 /// asks [`SceneCache::scene_for`] for a scene positioned over the query's
 /// region. Nearby queries (neighbouring range disks, path corridors,
 /// clustered NN probes) then reuse absorbed obstacles and cached
@@ -423,7 +423,7 @@ impl SceneCache {
     /// The reuse distance for a dataset spanning `universe`: queries
     /// within a couple percent of the universe diagonal of the scene's
     /// coverage reuse it; farther jumps retire it. The one locality
-    /// threshold shared by every cache user (`run_batch` workers, ODJ's
+    /// threshold shared by every cache user (batch workers, ODJ's
     /// seed loop).
     pub fn slack_for(universe: &Rect) -> f64 {
         0.02 * universe.min.dist(universe.max)
@@ -453,9 +453,9 @@ impl SceneCache {
     }
 }
 
-impl QueryEngine<'_> {
+impl<'a> QueryEngine<'a> {
     /// Executes one batch [`Query`] on this engine (the sequential unit
-    /// [`QueryEngine::run_batch`] parallelises over).
+    /// the batch engine parallelises over).
     pub fn execute(&self, query: &Query) -> Answer {
         match *query {
             Query::Range { q, e } => Answer::Range(self.range(q, e)),
@@ -537,19 +537,140 @@ impl QueryEngine<'_> {
         order
     }
 
-    /// Executes `queries` across `threads` workers and returns the
-    /// answers **in input order** (`answers[i]` answers `queries[i]`).
-    ///
-    /// Equivalent to [`QueryEngine::run_batch_scheduled`] with
-    /// [`Schedule::InputOrder`] and default budgets, discarding the
-    /// [`BatchStats`].
-    pub fn run_batch(&self, queries: &[Query], threads: usize) -> Vec<Answer> {
-        self.run_batch_scheduled(queries, &BatchOptions::new(threads))
-            .0
+    /// Starts a [`BatchRequest`] over `queries` — the single entry point
+    /// of the batch engine. Configure it with the builder knobs
+    /// ([`BatchRequest::threads`], [`BatchRequest::schedule`],
+    /// [`BatchRequest::delivery`], [`BatchRequest::budget`],
+    /// [`BatchRequest::epoch_validation`]) and finish with a terminal:
+    /// [`BatchRequest::collect`] for answers in input order,
+    /// [`BatchRequest::stream`] for answers as they complete, or
+    /// [`BatchRequest::each`] for a per-answer callback.
+    pub fn batch<'q>(&self, queries: &'q [Query]) -> BatchRequest<'a, 'q> {
+        BatchRequest {
+            engine: *self,
+            queries,
+            options: BatchOptions::default(),
+            epoch_validation: None,
+        }
     }
 
-    /// Executes `queries` under the full set of batch knobs and returns
-    /// the answers **in input order** plus the run's [`BatchStats`].
+    /// Deprecated alias for the default-configured batch: `queries`
+    /// across `threads` workers, answers in input order.
+    #[deprecated(note = "use `engine.batch(queries).threads(n).collect().0`")]
+    pub fn run_batch(&self, queries: &[Query], threads: usize) -> Vec<Answer> {
+        self.batch(queries).threads(threads).collect().0
+    }
+
+    /// Deprecated alias: `queries` under the full [`BatchOptions`],
+    /// answers in input order plus the run's [`BatchStats`].
+    #[deprecated(note = "use `engine.batch(queries).options(*options).collect()`")]
+    pub fn run_batch_scheduled(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+    ) -> (Vec<Answer>, BatchStats) {
+        self.batch(queries).options(*options).collect()
+    }
+
+    /// Deprecated alias: streaming batch delivering `(input_index,
+    /// Answer)` pairs to `consumer` while workers run.
+    #[deprecated(note = "use `engine.batch(queries).options(*options).stream(consumer)`")]
+    pub fn run_batch_streaming<R>(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        consumer: impl FnOnce(BatchStream) -> R,
+    ) -> (R, BatchStats) {
+        self.batch(queries).options(*options).stream(consumer)
+    }
+
+    /// Deprecated alias: per-answer callback batch.
+    #[deprecated(note = "use `engine.batch(queries).options(*options).each(on_answer)`")]
+    pub fn run_batch_with(
+        &self,
+        queries: &[Query],
+        options: &BatchOptions,
+        on_answer: impl FnMut(usize, Answer),
+    ) -> BatchStats {
+        self.batch(queries).options(*options).each(on_answer)
+    }
+}
+
+/// A configured batch submission: one builder over every batch knob —
+/// worker count, [`Schedule`], [`Delivery`], [`SceneBudget`], epoch
+/// validation — with three terminals. Built by [`QueryEngine::batch`];
+/// the legacy `run_batch*` entry points and the resident
+/// [`QueryService`](crate::service::QueryService) are thin layers over
+/// this one request path.
+///
+/// The request is `Copy` (it borrows the engine's indexes and the query
+/// slice), so a configured request can be re-run or forked freely.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchRequest<'a, 'q> {
+    engine: QueryEngine<'a>,
+    queries: &'q [Query],
+    options: BatchOptions,
+    /// `Some` overrides the engine's `epoch_validation` option for this
+    /// request only.
+    epoch_validation: Option<bool>,
+}
+
+impl<'a> BatchRequest<'a, '_> {
+    /// Worker threads (clamped to `[1, queries.len()]` at the terminal;
+    /// one thread runs inline on the calling thread with no pool at all,
+    /// one batch-wide scene cache, still in scheduled order).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.options.threads = threads;
+        self
+    }
+
+    /// Execution-order policy (see [`Schedule`]).
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.options.schedule = schedule;
+        self
+    }
+
+    /// Delivery-order policy of [`BatchRequest::stream`] /
+    /// [`BatchRequest::each`] (collected answers are always in input
+    /// order).
+    pub fn delivery(mut self, delivery: Delivery) -> Self {
+        self.options.delivery = delivery;
+        self
+    }
+
+    /// Scene-retirement budgets of each worker's [`SceneCache`].
+    pub fn budget(mut self, budget: SceneBudget) -> Self {
+        self.options.budget = budget;
+        self
+    }
+
+    /// Overrides the engine's `epoch_validation` option for this request
+    /// (scene caches re-checked against obstacle edits before every
+    /// query; on by default, off only for ablation).
+    pub fn epoch_validation(mut self, validate: bool) -> Self {
+        self.epoch_validation = Some(validate);
+        self
+    }
+
+    /// Replaces every [`BatchOptions`] knob at once (the bridge from the
+    /// options-struct era; individual builders are preferred).
+    pub fn options(mut self, options: BatchOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The engine this request executes on, with the per-request epoch
+    /// override applied.
+    fn resolved(&self) -> QueryEngine<'a> {
+        let mut engine = self.engine;
+        if let Some(validate) = self.epoch_validation {
+            engine.options.epoch_validation = validate;
+        }
+        engine
+    }
+
+    /// Executes the request and returns the answers **in input order**
+    /// (`answers[i]` answers `queries[i]`) plus the run's [`BatchStats`].
     ///
     /// Workers are `std::thread::scope` threads claiming queries from a
     /// shared atomic cursor over the scheduled permutation — the pool
@@ -563,23 +684,17 @@ impl QueryEngine<'_> {
     /// under every schedule and thread count: every operator is a pure
     /// function of the shared indexes, which no query mutates, and scene
     /// reuse never changes answers (see [`SceneCache`]).
-    ///
-    /// `threads` is clamped to `[1, queries.len()]`; one thread runs
-    /// inline on the calling thread with no pool at all (one batch-wide
-    /// scene cache, still in scheduled order).
-    pub fn run_batch_scheduled(
-        &self,
-        queries: &[Query],
-        options: &BatchOptions,
-    ) -> (Vec<Answer>, BatchStats) {
-        let threads = options.threads.clamp(1, queries.len().max(1));
+    pub fn collect(self) -> (Vec<Answer>, BatchStats) {
+        let engine = self.resolved();
+        let queries = self.queries;
+        let threads = self.options.threads.clamp(1, queries.len().max(1));
         if threads == 1 {
-            let order = self.schedule_order(queries, options.schedule);
-            let mut cache = SceneCache::with_budget(self.options, options.budget);
+            let order = engine.schedule_order(queries, self.options.schedule);
+            let mut cache = SceneCache::with_budget(engine.options, self.options.budget);
             let mut slots: Vec<Option<Answer>> = Vec::new();
             slots.resize_with(queries.len(), || None);
             for &i in &order {
-                slots[i] = Some(self.execute_with(&queries[i], &mut cache));
+                slots[i] = Some(engine.execute_with(&queries[i], &mut cache));
             }
             let stats = BatchStats {
                 workers: 1,
@@ -596,7 +711,7 @@ impl QueryEngine<'_> {
 
         let mut slots: Vec<Option<Answer>> = Vec::new();
         slots.resize_with(queries.len(), || None);
-        let stats = self.run_batch_with(queries, options, |i, answer| {
+        let stats = self.each(|i, answer| {
             slots[i] = Some(answer);
         });
         let answers = slots
@@ -606,11 +721,11 @@ impl QueryEngine<'_> {
         (answers, stats)
     }
 
-    /// Streaming variant of [`QueryEngine::run_batch_scheduled`]:
-    /// `consumer` receives a [`BatchStream`] yielding `(input_index,
-    /// Answer)` pairs *while the workers are still running*, so the first
-    /// answers are consumable long before the batch finishes (the
-    /// navigation-service shape: results land as they are computed).
+    /// Executes the request, handing `consumer` a [`BatchStream`] that
+    /// yields `(input_index, Answer)` pairs *while the workers are still
+    /// running*, so the first answers are consumable long before the
+    /// batch finishes (the navigation-service shape: results land as
+    /// they are computed).
     ///
     /// The stream lives inside the worker scope — structured concurrency
     /// with no `'static` requirement on the engine — which is why the
@@ -624,14 +739,12 @@ impl QueryEngine<'_> {
     /// schedule, delivery policy and thread count; with
     /// [`Delivery::InputOrder`] the yielded indices are exactly `0, 1,
     /// 2, …` (a re-order buffer holds early completions).
-    pub fn run_batch_streaming<R>(
-        &self,
-        queries: &[Query],
-        options: &BatchOptions,
-        consumer: impl FnOnce(BatchStream) -> R,
-    ) -> (R, BatchStats) {
+    pub fn stream<R>(self, consumer: impl FnOnce(BatchStream) -> R) -> (R, BatchStats) {
+        let engine = self.resolved();
+        let queries = self.queries;
+        let options = self.options;
         let threads = options.threads.clamp(1, queries.len().max(1));
-        let order = self.schedule_order(queries, options.schedule);
+        let order = engine.schedule_order(queries, options.schedule);
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Answer)>();
         let mut stats = BatchStats {
@@ -645,14 +758,14 @@ impl QueryEngine<'_> {
                     let order = &order;
                     let tx = tx.clone();
                     scope.spawn(move || {
-                        let mut cache = SceneCache::with_budget(self.options, options.budget);
+                        let mut cache = SceneCache::with_budget(engine.options, options.budget);
                         loop {
                             let slot = cursor.fetch_add(1, Ordering::Relaxed);
                             if slot >= order.len() {
                                 break;
                             }
                             let i = order[slot];
-                            let answer = self.execute_with(&queries[i], &mut cache);
+                            let answer = engine.execute_with(&queries[i], &mut cache);
                             // A closed channel means the consumer dropped
                             // the stream: cancel the rest of the batch.
                             if tx.send((i, answer)).is_err() {
@@ -685,17 +798,12 @@ impl QueryEngine<'_> {
         (result, stats)
     }
 
-    /// Callback variant of [`QueryEngine::run_batch_streaming`]: invokes
-    /// `on_answer(input_index, answer)` on the calling thread for every
-    /// query as workers complete them (ordered per
-    /// [`BatchOptions::delivery`]), and returns the run's [`BatchStats`].
-    pub fn run_batch_with(
-        &self,
-        queries: &[Query],
-        options: &BatchOptions,
-        mut on_answer: impl FnMut(usize, Answer),
-    ) -> BatchStats {
-        let ((), stats) = self.run_batch_streaming(queries, options, |stream| {
+    /// Executes the request, invoking `on_answer(input_index, answer)` on
+    /// the calling thread for every query as workers complete them
+    /// (ordered per [`BatchRequest::delivery`]), and returns the run's
+    /// [`BatchStats`].
+    pub fn each(self, mut on_answer: impl FnMut(usize, Answer)) -> BatchStats {
+        let ((), stats) = self.stream(|stream| {
             for (i, answer) in stream {
                 on_answer(i, answer);
             }
@@ -708,8 +816,9 @@ impl QueryEngine<'_> {
 /// representative point over the obstacle universe, offset by one so
 /// regionless dataset-wide operators sort first (they see the whole
 /// dataset anyway, and fronting the heaviest queries helps the pool
-/// balance).
-fn hilbert_key(query: &Query, universe: &Rect) -> u64 {
+/// balance). Shared with the service queue, whose live claim order is
+/// the same key space.
+pub(crate) fn hilbert_key(query: &Query, universe: &Rect) -> u64 {
     let p = match *query {
         Query::Range { q, .. } | Query::Nearest { q, .. } => q,
         Query::Path { from, to } => Point::new(0.5 * (from.x + to.x), 0.5 * (from.y + to.y)),
@@ -780,7 +889,7 @@ mod tests {
         let queries = mixed_queries();
         let sequential: Vec<Answer> = queries.iter().map(|q| engine.execute(q)).collect();
         for threads in [1, 2, 3, 8] {
-            let parallel = engine.run_batch(&queries, threads);
+            let parallel = engine.batch(&queries).threads(threads).collect().0;
             assert_eq!(parallel.len(), sequential.len());
             for (i, (p, s)) in parallel.iter().zip(sequential.iter()).enumerate() {
                 assert!(
@@ -802,7 +911,7 @@ mod tests {
                 k: i + 1,
             })
             .collect();
-        let answers = engine.run_batch(&queries, 4);
+        let answers = engine.batch(&queries).threads(4).collect().0;
         for (i, a) in answers.iter().enumerate() {
             match a {
                 Answer::Nearest(r) => assert_eq!(r.neighbors.len(), i + 1),
@@ -830,7 +939,7 @@ mod tests {
         let solo_fetches =
             solo.stats().unwrap().entity_fetches + solo.stats().unwrap().obstacle_fetches;
         assert!(solo_fetches > 0, "scene too small to observe fetches");
-        for a in engine.run_batch(&queries, 3) {
+        for a in engine.batch(&queries).threads(3).collect().0 {
             let s = a.stats().unwrap();
             let fetches = s.entity_fetches + s.obstacle_fetches;
             assert!(
@@ -927,17 +1036,21 @@ mod tests {
     fn degenerate_batches() {
         let (entities, obstacles) = scene();
         let engine = QueryEngine::new(&entities, &obstacles);
-        assert!(engine.run_batch(&[], 4).is_empty());
-        let one = engine.run_batch(
-            &[Query::Range {
+        assert!(engine.batch(&[]).threads(4).collect().0.is_empty());
+        let one = engine
+            .batch(&[Query::Range {
                 q: Point::new(0.0, 0.0),
                 e: 1.0,
-            }],
-            16,
-        );
+            }])
+            .threads(16)
+            .collect()
+            .0;
         assert_eq!(one.len(), 1);
         // Zero threads clamps to one.
-        assert_eq!(engine.run_batch(&mixed_queries(), 0).len(), 8);
+        assert_eq!(
+            engine.batch(&mixed_queries()).threads(0).collect().0.len(),
+            8
+        );
     }
 
     #[test]
@@ -982,10 +1095,9 @@ mod tests {
         let sequential: Vec<Answer> = queries.iter().map(|q| engine.execute(q)).collect();
         for threads in [1usize, 3] {
             for schedule in [Schedule::InputOrder, Schedule::Hilbert] {
-                let options = BatchOptions::new(threads).schedule(schedule);
-                let (pairs, stats) = engine.run_batch_streaming(&queries, &options, |stream| {
-                    stream.collect::<Vec<(usize, Answer)>>()
-                });
+                let request = engine.batch(&queries).threads(threads).schedule(schedule);
+                let (pairs, stats) =
+                    request.stream(|stream| stream.collect::<Vec<(usize, Answer)>>());
                 assert_eq!(pairs.len(), queries.len());
                 assert_eq!(stats.workers, threads.clamp(1, queries.len()));
                 let mut seen = vec![false; queries.len()];
@@ -1009,12 +1121,12 @@ mod tests {
         let queries = mixed_queries();
         // Hilbert schedule *executes* out of input order, so in-order
         // delivery genuinely exercises the re-order buffer.
-        let options = BatchOptions::new(4)
+        let (indices, _) = engine
+            .batch(&queries)
+            .threads(4)
             .schedule(Schedule::Hilbert)
-            .delivery(Delivery::InputOrder);
-        let (indices, _) = engine.run_batch_streaming(&queries, &options, |stream| {
-            stream.map(|(i, _)| i).collect::<Vec<usize>>()
-        });
+            .delivery(Delivery::InputOrder)
+            .stream(|stream| stream.map(|(i, _)| i).collect::<Vec<usize>>());
         assert_eq!(indices, (0..queries.len()).collect::<Vec<_>>());
     }
 
@@ -1028,25 +1140,27 @@ mod tests {
                 k: 1,
             })
             .collect();
-        let (first, stats) =
-            engine.run_batch_streaming(&queries, &BatchOptions::new(2), |mut stream| stream.next());
+        let (first, stats) = engine
+            .batch(&queries)
+            .threads(2)
+            .stream(|mut stream| stream.next());
         let (i, a) = first.expect("at least one answer lands");
         assert!(a.same_results(&engine.execute(&queries[i])));
         assert!(stats.workers == 2);
     }
 
     #[test]
-    fn run_batch_with_delivers_in_input_order_when_asked() {
+    fn each_delivers_in_input_order_when_asked() {
         let (entities, obstacles) = scene();
         let engine = QueryEngine::new(&entities, &obstacles);
         let queries = mixed_queries();
         let sequential: Vec<Answer> = queries.iter().map(|q| engine.execute(q)).collect();
         let mut delivered = Vec::new();
-        let stats = engine.run_batch_with(
-            &queries,
-            &BatchOptions::new(3).delivery(Delivery::InputOrder),
-            |i, a| delivered.push((i, a)),
-        );
+        let stats = engine
+            .batch(&queries)
+            .threads(3)
+            .delivery(Delivery::InputOrder)
+            .each(|i, a| delivered.push((i, a)));
         assert_eq!(delivered.len(), queries.len());
         for (pos, (i, a)) in delivered.iter().enumerate() {
             assert_eq!(pos, *i);
@@ -1060,8 +1174,11 @@ mod tests {
         let (entities, obstacles) = scene();
         let engine = QueryEngine::new(&entities, &obstacles);
         let queries = mixed_queries();
-        let (answers, stats) =
-            engine.run_batch_scheduled(&queries, &BatchOptions::new(1).schedule(Schedule::Hilbert));
+        let (answers, stats) = engine
+            .batch(&queries)
+            .threads(1)
+            .schedule(Schedule::Hilbert)
+            .collect();
         let sequential: Vec<Answer> = queries.iter().map(|q| engine.execute(q)).collect();
         for (p, s) in answers.iter().zip(sequential.iter()) {
             assert!(p.same_results(s));
@@ -1071,5 +1188,47 @@ mod tests {
             stats.scene_reuses > 0,
             "the tiny clustered workload must warm the scene"
         );
+    }
+    /// The four legacy entry points must stay behaviourally identical to
+    /// the [`BatchRequest`] path they now wrap.
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_entry_points_match_batch_request() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let queries = mixed_queries();
+        let options = BatchOptions::new(3)
+            .schedule(Schedule::Hilbert)
+            .delivery(Delivery::InputOrder);
+
+        let (new_answers, _) = engine.batch(&queries).options(options).collect();
+        for (legacy, new) in engine.run_batch(&queries, 3).iter().zip(new_answers.iter()) {
+            assert!(legacy.same_results(new));
+        }
+        let (scheduled, _) = engine.run_batch_scheduled(&queries, &options);
+        for (legacy, new) in scheduled.iter().zip(new_answers.iter()) {
+            assert!(legacy.same_results(new));
+        }
+        let (streamed, _) = engine.run_batch_streaming(&queries, &options, |stream| {
+            stream.collect::<Vec<(usize, Answer)>>()
+        });
+        assert_eq!(streamed.len(), queries.len());
+        let mut called = 0;
+        engine.run_batch_with(&queries, &options, |_, _| called += 1);
+        assert_eq!(called, queries.len());
+    }
+
+    /// The per-request epoch toggle overrides the engine option without
+    /// changing answers on a static (un-edited) dataset.
+    #[test]
+    fn epoch_validation_toggle_preserves_answers() {
+        let (entities, obstacles) = scene();
+        let engine = QueryEngine::new(&entities, &obstacles);
+        let queries = mixed_queries();
+        let (on, _) = engine.batch(&queries).epoch_validation(true).collect();
+        let (off, _) = engine.batch(&queries).epoch_validation(false).collect();
+        for (a, b) in on.iter().zip(off.iter()) {
+            assert!(a.same_results(b));
+        }
     }
 }

@@ -16,8 +16,8 @@
 //! | incremental CP | [`incremental_closest_pairs`] | §6, Fig. 12 |
 //! | distance semi-join | [`semi_join`] | §2.1 (both strategies) |
 //! | shortest paths | [`shortest_obstructed_path`] | application layer |
-//! | concurrent batches | [`QueryEngine::run_batch`] | scaling layer (§7 workloads) |
-//! | streaming batches | [`QueryEngine::run_batch_streaming`] | scaling layer |
+//! | concurrent batches | [`QueryEngine::batch`] | scaling layer (§7 workloads) |
+//! | resident service | [`QueryService`] | serving layer |
 //!
 //! All algorithms share two ideas:
 //!
@@ -70,12 +70,13 @@ mod nn;
 mod path;
 mod range;
 mod semi_join;
+mod service;
 mod stats;
 mod updates;
 
 pub use batch::{
-    Answer, BatchOptions, BatchStats, BatchStream, Delivery, Query, SceneBudget, SceneCache,
-    Schedule,
+    Answer, BatchOptions, BatchRequest, BatchStats, BatchStream, Delivery, Query, SceneBudget,
+    SceneCache, Schedule,
 };
 pub use brute::BruteForce;
 pub use closest_pair::{closest_pairs, incremental_closest_pairs, IncrementalClosestPairs};
@@ -88,6 +89,10 @@ pub use join::distance_join;
 pub use nn::IncrementalNearest;
 pub use path::{close_rel, shortest_obstructed_path, shortest_obstructed_path_in};
 pub use semi_join::{semi_join, SemiJoinStrategy};
+pub use service::{
+    Admission, Completion, LatencyHistogram, Outcome, QueryService, ServiceConfig, ServiceRun,
+    ServiceStats, SubmitError, Ticket,
+};
 pub use stats::{ClosestPairsResult, JoinResult, NearestResult, QueryStats, RangeResult};
 pub use updates::{Update, UpdateStats};
 

@@ -222,7 +222,7 @@ fn batch_engine_is_backend_invariant_at_every_thread_count() {
         for threads in [1usize, 2, 4, 8] {
             for schedule in [Schedule::InputOrder, Schedule::Hilbert] {
                 let options = BatchOptions::new(threads).schedule(schedule);
-                let (answers, _) = engine.run_batch_scheduled(&queries, &options);
+                let (answers, _) = engine.batch(&queries).options(options).collect();
                 for (i, (a, o)) in answers.iter().zip(oracle.iter()).enumerate() {
                     assert!(
                         a.same_results(o),

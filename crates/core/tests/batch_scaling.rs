@@ -50,12 +50,12 @@ fn eight_thread_batch_beats_one_thread() {
     }
 
     // Warm-up (buffers), then measure.
-    let _ = engine.run_batch(&queries[..8], 1);
+    let _ = engine.batch(&queries[..8]).threads(1).collect();
     let t0 = Stopwatch::start();
-    let sequential = engine.run_batch(&queries, 1);
+    let (sequential, _) = engine.batch(&queries).threads(1).collect();
     let one = t0.elapsed();
     let t0 = Stopwatch::start();
-    let parallel = engine.run_batch(&queries, 8);
+    let (parallel, _) = engine.batch(&queries).threads(8).collect();
     let eight = t0.elapsed();
 
     // Always: determinism across thread counts.

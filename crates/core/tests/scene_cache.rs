@@ -197,9 +197,12 @@ fn region_jump_mid_batch_retires_the_cache_and_answers_hold() {
 
     let sequential: Vec<_> = queries.iter().map(|q| engine.execute(q)).collect();
     let mut streamed = vec![None; queries.len()];
-    let stats = engine.run_batch_with(&queries, &BatchOptions::new(1), |i, a| {
-        streamed[i] = Some(a);
-    });
+    let stats = engine
+        .batch(&queries)
+        .options(BatchOptions::new(1))
+        .each(|i, a| {
+            streamed[i] = Some(a);
+        });
     for (i, (s, f)) in streamed.iter().zip(sequential.iter()).enumerate() {
         assert!(
             s.as_ref().expect("delivered").same_results(f),

@@ -71,7 +71,7 @@ fn scheduling_permutes_only_execution_order_never_answers() {
     for threads in [1usize, 4] {
         for schedule in [Schedule::InputOrder, Schedule::Hilbert] {
             let options = BatchOptions::new(threads).schedule(schedule);
-            let (answers, stats) = engine.run_batch_scheduled(&queries, &options);
+            let (answers, stats) = engine.batch(&queries).options(options).collect();
             assert_eq!(stats.workers, threads);
             for (i, (p, s)) in answers.iter().zip(sequential.iter()).enumerate() {
                 assert!(
@@ -101,7 +101,7 @@ fn scheduling_preserves_per_query_io_attribution() {
             entities.tree().reset_io_stats();
             obstacles.tree().reset_io_stats();
             let options = BatchOptions::new(threads).schedule(schedule);
-            let (answers, _) = engine.run_batch_scheduled(&queries, &options);
+            let (answers, _) = engine.batch(&queries).options(options).collect();
             let (mut entity_fetches, mut obstacle_fetches) = (0u64, 0u64);
             for a in &answers {
                 let s = a.stats().expect("point-query workload carries stats");
@@ -136,14 +136,14 @@ fn hilbert_recovers_the_locality_input_order_scattered() {
 
     let mut hilbert_at_one = 0usize;
     for threads in [1usize, 2] {
-        let (a_input, s_input) = engine.run_batch_scheduled(
-            &queries,
-            &BatchOptions::new(threads).schedule(Schedule::InputOrder),
-        );
-        let (a_hilbert, s_hilbert) = engine.run_batch_scheduled(
-            &queries,
-            &BatchOptions::new(threads).schedule(Schedule::Hilbert),
-        );
+        let (a_input, s_input) = engine
+            .batch(&queries)
+            .options(BatchOptions::new(threads).schedule(Schedule::InputOrder))
+            .collect();
+        let (a_hilbert, s_hilbert) = engine
+            .batch(&queries)
+            .options(BatchOptions::new(threads).schedule(Schedule::Hilbert))
+            .collect();
         for (i, (p, s)) in a_hilbert.iter().zip(a_input.iter()).enumerate() {
             assert!(p.same_results(s), "query {i} at {threads} threads");
         }

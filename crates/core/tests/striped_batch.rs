@@ -64,7 +64,7 @@ fn striped_buffers_and_scene_reuse_are_result_identical_at_every_thread_count() 
     }
 
     for threads in [1usize, 2, 4, 8] {
-        let parallel = engine.run_batch(&queries, threads);
+        let (parallel, _) = engine.batch(&queries).threads(threads).collect();
         for (i, (p, s)) in parallel.iter().zip(sequential.iter()).enumerate() {
             assert!(
                 p.same_results(s),
@@ -91,7 +91,7 @@ fn per_query_io_windows_cover_the_global_aggregate_exactly() {
     for threads in [2usize, 8] {
         entities.tree().reset_io_stats();
         obstacles.tree().reset_io_stats();
-        let answers = engine.run_batch(&queries, threads);
+        let (answers, _) = engine.batch(&queries).threads(threads).collect();
         let (mut entity_fetches, mut obstacle_fetches) = (0u64, 0u64);
         for a in &answers {
             let s = a.stats().expect("workload carries stats");

@@ -184,7 +184,7 @@ fn run_interleaved(backend: Backend) -> Vec<Vec<Vec<(u64, u64, u64)>>> {
         for threads in [1, 4] {
             for schedule in [Schedule::InputOrder, Schedule::Hilbert] {
                 let opts = BatchOptions::new(threads).schedule(schedule);
-                let (answers, _) = engine.run_batch_scheduled(&queries, &opts);
+                let (answers, _) = engine.batch(&queries).options(opts).collect();
                 for ((a, want), q) in answers.iter().zip(&expected).zip(&queries) {
                     assert_eq!(
                         &canon(a, None),

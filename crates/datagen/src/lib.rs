@@ -16,10 +16,12 @@
 
 #![warn(missing_docs)]
 
+mod arrivals;
 mod city;
 mod entities;
 mod workload;
 
+pub use arrivals::open_loop_arrivals;
 pub use city::{City, CityConfig, ObstacleShape};
 pub use entities::{sample_entities, uniform_points, ENTITY_DISPLACEMENT};
 pub use workload::{

@@ -1,17 +1,19 @@
 // Golden fixture: MUST pass `lock-discipline`. The shim mutex (with its
-// debug lock-order checker), scoped threads, and the Stopwatch facade.
-use obstacle_rtree::sync::{Mutex, Stopwatch};
+// debug lock-order checker), condvar, rwlock, scoped threads, and the
+// Stopwatch facade.
+use obstacle_rtree::sync::{Condvar, Mutex, RwLock, Stopwatch};
 
-fn shard_work(shard: &Mutex<u64>) {
+fn shard_work(shard: &Mutex<u64>, world: &RwLock<u64>, cv: &Condvar) {
     std::thread::scope(|s| {
         s.spawn(|| {
-            *shard.lock() += 1;
+            *shard.lock() += *world.read();
+            cv.notify_all();
         });
     });
 }
 
-fn time_it(shard: &Mutex<u64>) -> std::time::Duration {
+fn time_it(shard: &Mutex<u64>, world: &RwLock<u64>, cv: &Condvar) -> std::time::Duration {
     let t0 = Stopwatch::start();
-    shard_work(shard);
+    shard_work(shard, world, cv);
     t0.elapsed()
 }

@@ -1,6 +1,8 @@
-// Golden fixture: MUST trip `lock-discipline` three times — raw mutex,
-// free-running thread, raw clock.
+// Golden fixture: MUST trip `lock-discipline` five times — raw mutex,
+// raw rwlock, raw condvar, free-running thread, raw clock.
+use std::sync::Condvar;
 use std::sync::Mutex;
+use std::sync::RwLock;
 
 fn spawn_worker() {
     std::thread::spawn(|| {});

@@ -247,6 +247,24 @@ pub fn run_passes(
                         .to_string(),
                 );
             }
+            if path_seq(tokens, i, &["std", "sync", "RwLock"]) {
+                push(
+                    LOCK_DISCIPLINE,
+                    line,
+                    "raw `std::sync::RwLock` bypasses the shim's poison recovery; use \
+                     `obstacle_rtree::sync::RwLock`"
+                        .to_string(),
+                );
+            }
+            if path_seq(tokens, i, &["std", "sync", "Condvar"]) {
+                push(
+                    LOCK_DISCIPLINE,
+                    line,
+                    "raw `std::sync::Condvar` cannot park on the shim mutex (the debug \
+                     held-stack would go stale); use `obstacle_rtree::sync::Condvar`"
+                        .to_string(),
+                );
+            }
             if path_seq(tokens, i, &["thread", "spawn"]) && !(i > 0 && punct(tokens, i - 1, '.')) {
                 push(
                     LOCK_DISCIPLINE,

@@ -89,9 +89,9 @@ fn lock_discipline_fixture_trips() {
     let src = include_str!("../fixtures/lock_discipline_trip.rs");
     let fired = passes_fired("crates/core/src/engine.rs", src);
     assert_eq!(fired, vec![LOCK_DISCIPLINE]);
-    // Raw mutex, raw spawn, raw clock: three distinct violations.
+    // Raw mutex, rwlock, condvar, spawn and clock: five violations.
     let violations = lint_source("crates/core/src/engine.rs", src);
-    assert_eq!(violations.len(), 3);
+    assert_eq!(violations.len(), 5);
 }
 
 #[test]

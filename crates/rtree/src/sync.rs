@@ -24,11 +24,23 @@
 //!    lock — the engine calls it before every LazyScene sweep so a shard
 //!    lock can never be held across an unbounded visibility expansion.
 //!
+//! The shim also wraps the two companion primitives the query service
+//! needs: [`Condvar`] (whose `wait` releases and re-acquires through the
+//! checker, so the held-stack stays truthful across a park) and
+//! [`RwLock`]. The reader/writer lock is deliberately *not* tracked by
+//! the order checker: service workers execute whole queries — including
+//! LazyScene sweeps, which call [`assert_unlocked`] on entry — under a
+//! read guard, and read guards do not exclude each other, so holding one
+//! across a sweep cannot wedge other readers the way a shard mutex
+//! could. Writers are rare (edit batches) and take no shim mutex while
+//! holding the write guard.
+//!
 //! All checking compiles away in release builds (`cfg(debug_assertions)`);
 //! the release `lock()` is exactly the old thin wrapper. The static side
-//! of the same discipline — no raw `std::sync::Mutex`, `thread::spawn`
-//! or `Instant::now` outside this file and the bench crate — is enforced
-//! by the `lock-discipline` pass of `crates/lint`.
+//! of the same discipline — no raw `std::sync::Mutex`, `RwLock`,
+//! `Condvar`, `thread::spawn` or `Instant::now` outside this file and
+//! the bench crate — is enforced by the `lock-discipline` pass of
+//! `crates/lint`.
 
 use std::ops::{Deref, DerefMut};
 use std::time::Duration;
@@ -68,7 +80,7 @@ impl<T> Mutex<T> {
         #[cfg(debug_assertions)]
         order::on_locked(self.id, site);
         MutexGuard {
-            inner,
+            inner: Some(inner),
             #[cfg(debug_assertions)]
             id: self.id,
         }
@@ -93,9 +105,13 @@ impl<T: Default> Default for Mutex<T> {
 
 /// Guard returned by [`Mutex::lock`]; releases the lock (and pops the
 /// debug held-lock stack) on drop.
+///
+/// The inner guard is an `Option` only so [`Condvar::wait`] can hand it
+/// back to the OS primitive while the thread parks; it is `Some` for the
+/// guard's entire observable lifetime.
 #[derive(Debug)]
 pub struct MutexGuard<'a, T> {
-    inner: std::sync::MutexGuard<'a, T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
     #[cfg(debug_assertions)]
     id: u64,
 }
@@ -104,21 +120,119 @@ impl<T> Deref for MutexGuard<'_, T> {
     type Target = T;
     #[inline]
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_deref().expect("guard holds the lock")
     }
 }
 
 impl<T> DerefMut for MutexGuard<'_, T> {
     #[inline]
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner.as_deref_mut().expect("guard holds the lock")
     }
 }
 
 #[cfg(debug_assertions)]
 impl<T> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
-        order::on_release(self.id);
+        if self.inner.is_some() {
+            order::on_release(self.id);
+        }
+    }
+}
+
+/// Condition variable paired with the shim [`Mutex`].
+///
+/// `wait` keeps the debug lock-order checker truthful: the held-stack
+/// entry is popped before the thread parks (the lock really is
+/// released) and re-pushed — running the full cycle/re-entrancy check —
+/// when the thread wakes holding the lock again.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Condvar {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard` and blocks until notified, then
+    /// re-acquires the lock and returns a fresh guard. Spurious wakeups
+    /// are possible; callers loop on their predicate as usual.
+    #[track_caller]
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        #[cfg(debug_assertions)]
+        let id = guard.id;
+        #[cfg(debug_assertions)]
+        let site = std::panic::Location::caller();
+        let inner = guard.inner.take().expect("guard holds the lock");
+        #[cfg(debug_assertions)]
+        order::on_release(id);
+        drop(guard);
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        #[cfg(debug_assertions)]
+        {
+            order::on_acquire(id, site);
+            order::on_locked(id, site);
+        }
+        MutexGuard {
+            inner: Some(inner),
+            #[cfg(debug_assertions)]
+            id,
+        }
+    }
+
+    /// Wakes one thread blocked in [`Condvar::wait`].
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every thread blocked in [`Condvar::wait`].
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Reader/writer lock with the shim's non-poisoning conventions.
+///
+/// Deliberately untracked by the debug lock-order checker — see the
+/// module docs: read guards do not exclude each other, and the query
+/// service executes whole queries (including [`assert_unlocked`]-guarded
+/// LazyScene sweeps) under one.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Wraps `value` in a new reader/writer lock.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared read access; a poisoned lock is recovered.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access; a poisoned lock is recovered.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Direct access through exclusive ownership — no locking needed.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -391,6 +505,75 @@ mod tests {
         let m = Mutex::new(0u32);
         drop(m.lock());
         assert_unlocked("test context");
+    }
+
+    #[test]
+    fn condvar_hands_a_value_across_threads() {
+        let slot = Mutex::new(None::<u32>);
+        let cv = Condvar::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                *slot.lock() = Some(7);
+                cv.notify_all();
+            });
+            let mut g = slot.lock();
+            while g.is_none() {
+                g = cv.wait(g);
+            }
+            assert_eq!(*g, Some(7));
+        });
+    }
+
+    #[test]
+    fn condvar_wait_releases_the_held_stack() {
+        // While parked in `wait` the thread must not count as holding
+        // the mutex: another thread asserts progress, and after the
+        // wakeup the woken thread holds it again (guard still works).
+        let state = Mutex::new(0u32);
+        let cv = Condvar::new();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let mut g = state.lock();
+                while *g == 0 {
+                    g = cv.wait(g);
+                }
+                *g += 10;
+            });
+            loop {
+                let mut g = state.lock();
+                // This lock() succeeding at all proves the waiter
+                // released the mutex; the order checker would also trip
+                // on a stale held-stack entry in debug builds.
+                if *g == 0 {
+                    *g = 1;
+                    cv.notify_all();
+                    break;
+                }
+            }
+        });
+        assert_eq!(*state.lock(), 11);
+        assert_unlocked("after condvar round-trip");
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers_and_exclusive_writes() {
+        let l = RwLock::new(5u32);
+        {
+            let r1 = l.read();
+            let r2 = l.read();
+            assert_eq!(*r1 + *r2, 10);
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_read_guard_is_invisible_to_the_order_checker() {
+        let l = RwLock::new(0u32);
+        let _r = l.read();
+        // Untracked by design: a sweep under a read guard must pass.
+        assert_unlocked("LazyScene sweep under world read lock");
     }
 
     #[test]

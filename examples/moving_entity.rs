@@ -1,11 +1,14 @@
-//! Moving query points — the future-work direction of §8, built on the
-//! primitives of this reproduction.
+//! Moving query points — the future-work direction of §8, served live.
 //!
-//! A courier walks along a straight line through the city; at each step
-//! we re-evaluate the obstructed 3-NN. The example contrasts re-running
-//! the batch ONN per step with an incremental scan that reuses the
-//! iterator machinery, and shows how often the answer set changes while
-//! moving.
+//! A courier walks along a straight line through the city, and every
+//! step submits its obstructed 3-NN probe to a resident
+//! [`QueryService`](obstacle_suite::queries::QueryService) instead of
+//! re-running a from-scratch batch per tick: the worker pool (and its
+//! scene caches) stays up for the whole route, the client only streams
+//! submissions and collects completions. Mid-route a building is
+//! demolished through the same service (`apply_updates` races the
+//! in-flight probes), and each completion's epoch stamp shows which
+//! version of the city answered it.
 //!
 //! ```sh
 //! cargo run --release --example moving_entity
@@ -14,51 +17,110 @@
 use obstacle_rtree::sync::Stopwatch;
 use obstacle_suite::datagen::{sample_entities, City, CityConfig};
 use obstacle_suite::geom::Point;
-use obstacle_suite::queries::{EntityIndex, ObstacleIndex, QueryEngine};
+use obstacle_suite::queries::{
+    Answer, EngineOptions, EntityIndex, ObstacleIndex, Outcome, Query, QueryEngine, QueryService,
+    ServiceConfig, Update,
+};
 use obstacle_suite::rtree::RTreeConfig;
+use std::collections::HashMap;
+
+/// Per-tick result: the 3-NN (id, obstructed distance) list and the
+/// obstacle epoch the answer was computed under.
+type StepAnswer = (Vec<(u64, f64)>, u64);
 
 fn main() {
     let city = City::generate(CityConfig::new(1_200, 5));
     let depots = sample_entities(&city, 150, 3);
     let entities = EntityIndex::bulk_load(RTreeConfig::default(), depots);
     let obstacles = ObstacleIndex::bulk_load(RTreeConfig::default(), city.obstacles.clone());
-    let engine = QueryEngine::new(&entities, &obstacles);
 
     // Route across the city.
     let start = Point::new(0.1, 0.15);
     let end = Point::new(0.9, 0.8);
-    let steps = 24;
+    let steps = 24usize;
+    let mid = start.lerp(end, 0.5);
 
-    let mut prev: Vec<u64> = Vec::new();
-    let mut changes = 0;
+    // The building that gets demolished mid-route: the obstacle whose
+    // bounding-box centre is closest to the route midpoint.
+    let (demolished, _) = obstacles
+        .live_polygons()
+        .map(|(id, p)| (id, p.bbox().center().dist(mid)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("the city has obstacles");
+
     let t0 = Stopwatch::start();
     println!("courier route: {start} -> {end} in {steps} steps, k = 3\n");
-    for i in 0..=steps {
-        let t = i as f64 / steps as f64;
-        let pos = start.lerp(end, t);
-        let r = engine.nearest(pos, 3);
-        let ids: Vec<u64> = r.neighbors.iter().map(|(id, _)| *id).collect();
+    let run = QueryService::run(
+        entities,
+        obstacles,
+        EngineOptions::default(),
+        ServiceConfig::default().workers(2).queue_depth(32),
+        |svc| {
+            let mut step_of: HashMap<u64, usize> = HashMap::new();
+            for i in 0..=steps {
+                let t = i as f64 / steps as f64;
+                let pos = start.lerp(end, t);
+                let ticket = svc
+                    .submit(Query::Nearest { q: pos, k: 3 })
+                    .expect("an open service with Block admission always admits");
+                step_of.insert(ticket.detach(), i);
+                if i == steps / 2 {
+                    // Live edit racing the in-flight probes: ticks still
+                    // queued may be answered by either city version.
+                    let stats = svc.apply_updates(vec![Update::DeleteObstacle(demolished)]);
+                    println!(
+                        "[step {i}: demolished obstacle {demolished} (obstacle epoch -> {})]\n",
+                        stats.obstacle_epoch
+                    );
+                }
+            }
+            // The route is submitted; collect one completion per tick.
+            let mut per_step: Vec<Option<StepAnswer>> = vec![None; steps + 1];
+            for _ in 0..step_of.len() {
+                let c = svc.recv().expect("every tick completes");
+                let step = step_of[&c.id];
+                match c.outcome {
+                    Outcome::Answered {
+                        answer: Answer::Nearest(nn),
+                        obstacle_epoch,
+                        ..
+                    } => per_step[step] = Some((nn.neighbors, obstacle_epoch)),
+                    other => unreachable!("tick {step} came back as {other:?}"),
+                }
+            }
+            (per_step, svc.stats().latency)
+        },
+    );
+
+    let (per_step, latency) = run.output;
+    let mut prev: Vec<u64> = Vec::new();
+    let mut changes = 0;
+    for (i, tick) in per_step.iter().enumerate() {
+        let (neighbors, epoch) = tick.as_ref().expect("collected above");
+        let ids: Vec<u64> = neighbors.iter().map(|(id, _)| *id).collect();
         if ids != prev {
             changes += 1;
-            let dists: Vec<String> = r
-                .neighbors
+            let dists: Vec<String> = neighbors
                 .iter()
                 .map(|(id, d)| format!("depot {id} @ {d:.4}"))
                 .collect();
-            println!("step {i:>2} ({pos}): {}", dists.join(", "));
+            let pos = start.lerp(end, i as f64 / steps as f64);
+            println!("step {i:>2} ({pos}, city v{epoch}): {}", dists.join(", "));
             prev = ids;
         }
     }
     println!(
         "\n{changes} distinct 3-NN sets along the route; total time {:.1?} \
-         ({:.2?} per step)",
+         (service p50 {:.2?} / p99 {:.2?} per probe)",
         t0.elapsed(),
-        t0.elapsed() / (steps + 1)
+        latency.p50(),
+        latency.p99(),
     );
 
-    // The incremental iterator supports "keep going until satisfied"
-    // along the route, e.g. the nearest depot beyond a minimum distance.
-    let mid = start.lerp(end, 0.5);
+    // The service hands the (edited) indexes back, so the incremental
+    // iterator still supports "keep going until satisfied" along the
+    // route, e.g. the nearest depot beyond a minimum distance.
+    let engine = QueryEngine::new(&run.entities, &run.obstacles);
     let min_d = 0.05;
     if let Some((id, d)) = engine.nearest_incremental(mid).find(|(_, d)| *d >= min_d) {
         println!("first depot at least {min_d} away from the midpoint: depot {id} at {d:.4}");

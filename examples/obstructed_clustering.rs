@@ -91,7 +91,9 @@ fn main() {
                 ("hilbert    ", Schedule::Hilbert),
             ] {
                 let (_, stats) = engine
-                    .run_batch_scheduled(&probes, &BatchOptions::new(THREADS).schedule(schedule));
+                    .batch(&probes)
+                    .options(BatchOptions::new(THREADS).schedule(schedule))
+                    .collect();
                 println!(
                     "  schedule {name}: {} scene reuse(s), {} reset(s) across {} worker(s)",
                     stats.scene_reuses, stats.scene_resets, stats.workers
@@ -100,7 +102,7 @@ fn main() {
         }
 
         let mut cost = 0.0f64;
-        let (moved, _stats) = engine.run_batch_streaming(&probes, &options, |stream| {
+        let (moved, _stats) = engine.batch(&probes).options(options).stream(|stream| {
             // Assignments land while later probes are still running —
             // a real consumer would start updating cluster summaries
             // here instead of waiting for the barrier.

@@ -236,7 +236,7 @@ fn run_batch_is_thread_count_invariant() {
     // Sanity: the workload exercises non-trivial answers.
     assert!(sequential.iter().any(|a| a.result_count() > 0));
     for threads in [1usize, 2, 8] {
-        let parallel = engine.run_batch(&queries, threads);
+        let (parallel, _) = engine.batch(&queries).threads(threads).collect();
         assert_eq!(parallel.len(), sequential.len());
         for (i, (p, s)) in parallel.iter().zip(sequential.iter()).enumerate() {
             assert!(
@@ -283,7 +283,7 @@ fn streaming_batches_match_run_batch_and_sequential_under_every_schedule() {
     assert!(sequential.iter().any(|a| a.result_count() > 0));
 
     for threads in [1usize, 2, 4, 8] {
-        let batch = engine.run_batch(&queries, threads);
+        let (batch, _) = engine.batch(&queries).threads(threads).collect();
         for (i, (p, s)) in batch.iter().zip(sequential.iter()).enumerate() {
             assert!(
                 p.same_results(s),
@@ -292,10 +292,11 @@ fn streaming_batches_match_run_batch_and_sequential_under_every_schedule() {
         }
         for schedule in [Schedule::InputOrder, Schedule::Hilbert] {
             let options = BatchOptions::new(threads).schedule(schedule);
-            let (scheduled, _) = engine.run_batch_scheduled(&queries, &options);
-            let (mut streamed, _) = engine.run_batch_streaming(&queries, &options, |stream| {
-                stream.collect::<Vec<(usize, Answer)>>()
-            });
+            let (scheduled, _) = engine.batch(&queries).options(options).collect();
+            let (mut streamed, _) = engine
+                .batch(&queries)
+                .options(options)
+                .stream(|stream| stream.collect::<Vec<(usize, Answer)>>());
             streamed.sort_by_key(|(i, _)| *i);
             assert_eq!(streamed.len(), queries.len());
             for (i, ((idx, st), sq)) in streamed.iter().zip(sequential.iter()).enumerate() {
@@ -315,9 +316,10 @@ fn streaming_batches_match_run_batch_and_sequential_under_every_schedule() {
         let options = BatchOptions::new(threads)
             .schedule(Schedule::Hilbert)
             .delivery(Delivery::InputOrder);
-        let (in_order, _) = engine.run_batch_streaming(&queries, &options, |stream| {
-            stream.collect::<Vec<(usize, Answer)>>()
-        });
+        let (in_order, _) = engine
+            .batch(&queries)
+            .options(options)
+            .stream(|stream| stream.collect::<Vec<(usize, Answer)>>());
         for (i, (idx, a)) in in_order.iter().enumerate() {
             assert_eq!(i, *idx, "in-order delivery broke at {threads} threads");
             assert!(a.same_results(&sequential[i]));
